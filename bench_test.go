@@ -1,0 +1,359 @@
+package ftc
+
+// One testing.B benchmark per paper table/figure, matching the experiment
+// index in DESIGN.md §4 (E-numbers). Custom metrics are attached with
+// b.ReportMetric so `go test -bench` output records the paper's quantities
+// (label bits, rounds, stretch), not just wall time.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/distlabel"
+	"repro/internal/graph"
+	"repro/internal/ptsketch"
+	"repro/internal/routing"
+	"repro/internal/workload"
+)
+
+// benchGraph builds the shared Table 1 workload.
+func benchGraph(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	return workload.ErdosRenyi(n, 8/float64(n), true, rng)
+}
+
+// BenchmarkTable1 measures every scheme row of Table 1 on a common
+// workload: construction once (setup), then per-op query cost; label sizes
+// are reported as metrics.
+func BenchmarkTable1(b *testing.B) {
+	g := benchGraph(256, 1)
+	const f = 3
+	forest := graph.SpanningForest(g)
+	rng := rand.New(rand.NewSource(2))
+	faultSets := make([][]int, 64)
+	for i := range faultSets {
+		faultSets[i] = workload.TreeEdgeFaults(g, forest, 1+i%f, rng)
+	}
+
+	coreRows := []struct {
+		name   string
+		params core.Params
+	}{
+		{"ours-det-netfind", core.Params{MaxFaults: f, Kind: core.KindDetNetFind}},
+		{"ours-rand-rs", core.Params{MaxFaults: f, Kind: core.KindRandRS, Seed: 3}},
+		{"dp21-2-agm-whp", core.Params{MaxFaults: f, Kind: core.KindAGM, Seed: 4}},
+		{"dp21-2-agm-full", core.Params{MaxFaults: f, Kind: core.KindAGM, Seed: 4, AGMReps: 4 * f * 8}},
+	}
+	for _, row := range coreRows {
+		row := row
+		b.Run(row.name, func(b *testing.B) {
+			s, err := core.Build(g, row.params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(s.MaxEdgeLabelBits()), "edgebits")
+			b.ReportMetric(float64(core.VertexLabelBits(s.VertexLabel(0))), "vertbits")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				faults := faultSets[i%len(faultSets)]
+				fl := make([]core.EdgeLabel, len(faults))
+				for j, e := range faults {
+					fl[j] = s.EdgeLabel(e)
+				}
+				if _, err := core.Connected(s.VertexLabel(i%g.N()), s.VertexLabel((i*7)%g.N()), fl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, full := range []bool{false, true} {
+		name := "dp21-1-whp"
+		if full {
+			name = "dp21-1-full"
+		}
+		full := full
+		b.Run(name, func(b *testing.B) {
+			s, err := ptsketch.Build(g, ptsketch.Params{MaxFaults: f, Seed: 5, Full: full})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(s.LabelBits()), "edgebits")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				faults := faultSets[i%len(faultSets)]
+				fl := make([]ptsketch.EdgeLabel, len(faults))
+				for j, e := range faults {
+					fl[j] = s.EdgeLabel(e)
+				}
+				if _, err := ptsketch.Connected(s.VertexLabel(i%g.N()), s.VertexLabel((i*7)%g.N()), fl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig1AuxTransform measures the §3.2 auxiliary-graph transform
+// (the Figure 1 construction) at scale.
+func BenchmarkFig1AuxTransform(b *testing.B) {
+	g := benchGraph(2048, 6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.NewAuxView(g)
+	}
+}
+
+// BenchmarkFig2Embedding measures the Euler-tour embedding (Figure 2) plus
+// one NetFind hierarchy level on it.
+func BenchmarkFig2Embedding(b *testing.B) {
+	g := benchGraph(2048, 7)
+	view := core.NewAuxView(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.NewAuxView(g)
+	}
+	b.ReportMetric(float64(len(view.Points)), "points")
+}
+
+// BenchmarkLabelSizeVsN records the E4 scaling series: max edge label bits
+// as n grows (fixed f=2).
+func BenchmarkLabelSizeVsN(b *testing.B) {
+	for _, n := range []int{128, 256, 512, 1024} {
+		n := n
+		b.Run(itoa(n), func(b *testing.B) {
+			g := benchGraph(n, int64(n))
+			var bits int
+			for i := 0; i < b.N; i++ {
+				s, err := core.Build(g, core.Params{MaxFaults: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bits = s.MaxEdgeLabelBits()
+			}
+			b.ReportMetric(float64(bits), "edgebits")
+			b.ReportMetric(float64(bits)/math.Pow(math.Log2(float64(g.M())), 3), "bits/log³m")
+		})
+	}
+}
+
+// BenchmarkLabelSizeVsF records the E4 series in f (fixed n).
+func BenchmarkLabelSizeVsF(b *testing.B) {
+	g := benchGraph(256, 99)
+	for _, f := range []int{1, 2, 4, 8} {
+		f := f
+		b.Run(itoa(f), func(b *testing.B) {
+			var bits int
+			for i := 0; i < b.N; i++ {
+				s, err := core.Build(g, core.Params{MaxFaults: f})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bits = s.MaxEdgeLabelBits()
+			}
+			b.ReportMetric(float64(bits), "edgebits")
+			b.ReportMetric(float64(bits)/float64(f*f), "bits/f²")
+		})
+	}
+}
+
+// BenchmarkQueryVsF records the E5 series: decode time as |F| grows, for
+// the fast (§7.6) and basic (§7.2) algorithms.
+func BenchmarkQueryVsF(b *testing.B) {
+	g := benchGraph(512, 11)
+	const budget = 8
+	s, err := core.Build(g, core.Params{MaxFaults: budget})
+	if err != nil {
+		b.Fatal(err)
+	}
+	forest := s.Forest
+	rng := rand.New(rand.NewSource(12))
+	for _, fs := range []int{1, 2, 4, 8} {
+		fs := fs
+		faults := workload.TreeEdgeFaults(g, forest, fs, rng)
+		fl := make([]core.EdgeLabel, len(faults))
+		for j, e := range faults {
+			fl[j] = s.EdgeLabel(e)
+		}
+		b.Run("fast/F="+itoa(fs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Connected(s.VertexLabel(i%g.N()), s.VertexLabel((i*13)%g.N()), fl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("basic/F="+itoa(fs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ConnectedBasic(s.VertexLabel(i%g.N()), s.VertexLabel((i*13)%g.N()), fl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConstructVsM records the E6 construction-time series.
+func BenchmarkConstructVsM(b *testing.B) {
+	for _, n := range []int{128, 256, 512} {
+		n := n
+		b.Run(itoa(n), func(b *testing.B) {
+			g := benchGraph(n, int64(3*n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Build(g, core.Params{MaxFaults: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(g.M()), "edges")
+		})
+	}
+}
+
+// BenchmarkAdaptiveDecode contrasts adaptive prefix decoding (Appendix B,
+// E13) against always-full-threshold decoding by issuing queries with tiny
+// |F| against labels built for a large budget.
+func BenchmarkAdaptiveDecode(b *testing.B) {
+	g := benchGraph(512, 21)
+	s, err := core.Build(g, core.Params{MaxFaults: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	faults := workload.TreeEdgeFaults(g, s.Forest, 1, rng)
+	fl := []core.EdgeLabel{s.EdgeLabel(faults[0])}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Connected(s.VertexLabel(i%g.N()), s.VertexLabel((i*3)%g.N()), fl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistanceLabeling measures the Corollary 1 oracle (E8): build
+// cost amortized into setup, per-op query, bounds quality as metrics.
+func BenchmarkDistanceLabeling(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	g := workload.ErdosRenyi(96, 0.1, true, rng)
+	workload.AssignRandomWeights(g, 100, rng)
+	const f, kappa = 2, 2
+	s, err := distlabel.Build(g, distlabel.Params{MaxFaults: f, Kappa: kappa})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vb, eb := s.LabelBits()
+	b.ReportMetric(float64(vb), "vertbits")
+	b.ReportMetric(float64(eb), "edgebits")
+	faults := workload.RandomFaults(g, f, rng)
+	fl := make([]distlabel.EdgeLabel, len(faults))
+	for i, e := range faults {
+		fl[i] = s.EdgeLabel(e)
+	}
+	sv := s.VertexLabel(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tv := s.VertexLabel(1 + i%(g.N()-1))
+		if _, err := distlabel.Query(sv, tv, fl, g.N(), kappa); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouting measures the Corollary 2 scheme (E9): per-op plan+deliver
+// cost with stretch and table sizes as metrics.
+func BenchmarkRouting(b *testing.B) {
+	g := workload.Grid(10, 10)
+	const f = 2
+	net, err := routing.Build(g, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total, maxLocal := net.TableBits()
+	b.ReportMetric(float64(total), "tablebits")
+	b.ReportMetric(float64(maxLocal), "maxlocalbits")
+	rng := rand.New(rand.NewSource(41))
+	faults := workload.RandomFaults(g, f, rng)
+	var hops, opt float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, d := i%g.N(), (i*37+13)%g.N()
+		path, ok, err := net.Route(s, d, faults)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ok && s != d {
+			hops += float64(len(path) - 1)
+			opt += float64(graph.HopDistancesUnder(g, workload.FaultSet(faults), s)[d])
+		}
+	}
+	b.StopTimer()
+	if opt > 0 {
+		b.ReportMetric(hops/opt, "stretch")
+	}
+}
+
+// BenchmarkCongestRounds measures the Theorem 3 construction (E10): rounds
+// are the metric; wall time is incidental.
+func BenchmarkCongestRounds(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid12x12", workload.Grid(12, 12)},
+		{"er192", benchGraph(192, 51)},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var rep *congest.ConstructionReport
+			for i := 0; i < b.N; i++ {
+				n := congest.NewNet(tc.g)
+				var err error
+				rep, _, _, _, err = congest.BuildLabels(n, 0, 16)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.TotalRounds), "rounds")
+			b.ReportMetric(math.Sqrt(float64(tc.g.M()))*float64(rep.Depth), "sqrtM*D")
+		})
+	}
+}
+
+// BenchmarkRandHierarchy measures the Proposition 5 construction (E12).
+func BenchmarkRandHierarchy(b *testing.B) {
+	g := benchGraph(1024, 61)
+	s, err := core.Build(g, core.Params{MaxFaults: 3, Kind: core.KindRandRS, Seed: 62})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(s.Spec().Levels), "depth")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(g, core.Params{MaxFaults: 3, Kind: core.KindRandRS, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,183 @@
+// Command ftcdemo regenerates the paper's construction figures on the
+// running example of §3.2/§4.3:
+//
+//	ftcdemo fig1   — the auxiliary-graph transform of Figure 1
+//	ftcdemo fig2   — the Euler-tour geometric embedding of Figure 2
+//	ftcdemo query  — a worked end-to-end query on the same instance
+//
+// With no argument all three sections are printed.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/euler"
+	"repro/internal/graph"
+	"repro/internal/paperfig"
+)
+
+func main() {
+	which := "all"
+	if len(os.Args) > 1 {
+		which = os.Args[1]
+	}
+	g, _ := paperfig.Instance()
+	view := core.NewAuxView(g)
+	switch which {
+	case "fig1":
+		fig1(g, view)
+	case "fig2":
+		fig2(g, view)
+	case "query":
+		query(g)
+	case "all":
+		fig1(g, view)
+		fmt.Println()
+		fig2(g, view)
+		fmt.Println()
+		query(g)
+	default:
+		fmt.Fprintf(os.Stderr, "usage: ftcdemo [fig1|fig2|query|all]\n")
+		os.Exit(2)
+	}
+}
+
+// fig1 prints the input graph and its auxiliary graph G′: every non-tree
+// edge e = (u, v) is subdivided into the tree half e = (u, x_e) and the
+// non-tree half e′ = (x_e, v).
+func fig1(g *graph.Graph, view *core.AuxView) {
+	fmt.Println("Figure 1 — auxiliary graph G′ (non-tree edges subdivided)")
+	fmt.Println()
+	fmt.Println("  input graph G (r = vertex 0):")
+	for e, edge := range g.Edges {
+		kind := "tree    "
+		if !view.Forest.IsTreeEdge[e] {
+			kind = "non-tree"
+		}
+		fmt.Printf("    %-4s (%d,%d)  %s\n", paperfig.EdgeName(e), edge.U, edge.V, kind)
+	}
+	fmt.Println()
+	fmt.Println("  auxiliary graph G′ / spanning tree T′:")
+	fmt.Printf("    %d original vertices + %d subdivision vertices\n", g.N(), len(view.NonTree))
+	for slot, e := range view.NonTree {
+		edge := g.Edges[e]
+		name := paperfig.EdgeName(e)
+		fmt.Printf("    %-4s (%d,%d)  →  tree edge %s = (%d, x%s) + non-tree edge %s′ = (x%s, %d)\n",
+			name, edge.U, edge.V,
+			name, view.TPrime.Parent[view.XVertex[slot]], name,
+			name, name, view.FarEnd[slot])
+	}
+	fmt.Printf("\n  T′ has %d tree edges; Euler tour length %d directed edges.\n",
+		len(view.TPrime.Parent)-1, view.Tour.Len)
+}
+
+// fig2 prints the Euler-tour coordinates and the planar points of the
+// non-tree edges, plus one cutset's checkered region, mirroring Figure 2.
+func fig2(g *graph.Graph, view *core.AuxView) {
+	fmt.Println("Figure 2 — Euler-tour embedding of non-tree edges")
+	fmt.Println()
+	fmt.Println("  1-D coordinates c(v) on T′ (0 = root, has no coordinate):")
+	type cv struct {
+		v int
+		c int32
+	}
+	var coords []cv
+	for v := 0; v < len(view.TPrime.Parent); v++ {
+		coords = append(coords, cv{v, view.Tour.C[v]})
+	}
+	sort.Slice(coords, func(i, j int) bool { return coords[i].c < coords[j].c })
+	for _, c := range coords {
+		name := fmt.Sprintf("v%d", c.v)
+		if c.v >= g.N() {
+			name = "x" + paperfig.EdgeName(view.NonTree[c.v-g.N()])
+		}
+		fmt.Printf("    c(%-4s) = %2d\n", name, c.c)
+	}
+	fmt.Println()
+	fmt.Println("  2-D points (one per non-tree edge, x < y):")
+	for _, p := range view.Points {
+		fmt.Printf("    %s′ → (%2d, %2d)\n", paperfig.EdgeName(p.Edge), p.X, p.Y)
+	}
+	fmt.Println()
+	// Illustrate Lemma 3 on the cut S = subtree of vertex 1.
+	inS := make([]bool, g.N())
+	f := view.Forest
+	var mark func(v int)
+	mark = func(v int) {
+		inS[v] = true
+		for _, c := range f.Children[v] {
+			mark(c)
+		}
+	}
+	mark(1)
+	// The checkered-region test needs the directed boundary on T′.
+	inSPrime := make([]bool, len(view.TPrime.Parent))
+	copy(inSPrime, inS)
+	for slot, x := range view.XVertex {
+		inSPrime[x] = inS[view.TPrime.Parent[x]]
+		_ = slot
+	}
+	boundary := euler.DirectedBoundary(view.TPrime, view.Tour, inSPrime)
+	fmt.Println("  Lemma 3 check for S = subtree(v1):")
+	fmt.Printf("    directed boundary tour positions: %v\n", boundary)
+	for _, p := range view.Points {
+		edge := g.Edges[p.Edge]
+		out := inS[edge.U] != inS[edge.V]
+		region := euler.CutRegionContains(boundary, p.X, p.Y)
+		status := "agrees"
+		if out != region {
+			status = "MISMATCH"
+		}
+		fmt.Printf("    %s′ at (%2d,%2d): outgoing=%-5v inRegion=%-5v  %s\n",
+			paperfig.EdgeName(p.Edge), p.X, p.Y, out, region, status)
+	}
+}
+
+// query walks one end-to-end labeled connectivity query.
+func query(g *graph.Graph) {
+	fmt.Println("Worked query on the Figure 1 instance")
+	fmt.Println()
+	s, err := core.Build(g, core.Params{MaxFaults: 2})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "build: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  deterministic scheme: k=%d, %d hierarchy levels, max edge label %d bits\n",
+		s.Spec().K, s.Spec().Levels, s.MaxEdgeLabelBits())
+	cases := []struct {
+		s, t   int
+		faults []int
+	}{
+		{3, 7, nil},
+		{3, 7, []int{5, 2}},    // cut e6 (1,3) and e3 (3,4)
+		{3, 7, []int{5, 2, 9}}, // … plus e10 (3,6): 3 faults exceeds f=2
+		{0, 5, []int{3, 7}},    // cut e4 (0,2) and e8 (2,5)
+		{0, 5, []int{3}},       // cut e4 only: 5 still reachable via e1
+	}
+	for _, c := range cases {
+		fl := make([]core.EdgeLabel, len(c.faults))
+		names := make([]string, len(c.faults))
+		for i, e := range c.faults {
+			fl[i] = s.EdgeLabel(e)
+			names[i] = paperfig.EdgeName(e)
+		}
+		got, err := core.Connected(s.VertexLabel(c.s), s.VertexLabel(c.t), fl)
+		if err != nil {
+			fmt.Printf("  connected(v%d, v%d | F=%v) → error: %v\n", c.s, c.t, names, err)
+			continue
+		}
+		want := graph.ConnectedUnder(g, toSet(c.faults), c.s, c.t)
+		fmt.Printf("  connected(v%d, v%d | F=%v) = %-5v (ground truth %v)\n", c.s, c.t, names, got, want)
+	}
+}
+
+func toSet(faults []int) map[int]bool {
+	m := map[int]bool{}
+	for _, e := range faults {
+		m[e] = true
+	}
+	return m
+}

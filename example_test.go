@@ -1,0 +1,77 @@
+package ftc_test
+
+import (
+	"fmt"
+	"log"
+
+	ftc "repro"
+)
+
+// The package-level example: build labels for a 4-cycle and decide
+// connectivity under two edge faults from labels alone.
+func Example() {
+	scheme, err := ftc.New(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+		ftc.WithMaxFaults(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, t := scheme.VertexLabel(0), scheme.VertexLabel(2)
+
+	ok, err := ftc.Connected(s, t, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("no faults:", ok)
+
+	faults := []ftc.EdgeLabel{
+		scheme.MustEdgeLabel(1, 2),
+		scheme.MustEdgeLabel(2, 3),
+	}
+	ok, err = ftc.Connected(s, t, faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("both of 2's links down:", ok)
+	// Output:
+	// no faults: true
+	// both of 2's links down: false
+}
+
+// Labels are self-contained byte strings: they can be stored or shipped and
+// decoded elsewhere without the scheme object.
+func Example_marshaling() {
+	scheme, err := ftc.New(3, [][2]int{{0, 1}, {1, 2}, {0, 2}}, ftc.WithMaxFaults(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	wire := ftc.MarshalEdgeLabel(scheme.MustEdgeLabel(0, 1))
+	back, err := ftc.UnmarshalEdgeLabel(wire)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, err := ftc.Connected(scheme.VertexLabel(0), scheme.VertexLabel(1), []ftc.EdgeLabel{back})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("0 and 1 with their link down:", ok)
+	// Output:
+	// 0 and 1 with their link down: true
+}
+
+// Vertex failures reduce to edge failures (§1.4 of the paper): a vertex
+// fault label bundles the incident edge labels.
+func Example_vertexFaults() {
+	// A star: center 0, leaves 1..3; killing the center disconnects all.
+	scheme, err := ftc.New(4, [][2]int{{0, 1}, {0, 2}, {0, 3}}, ftc.WithMaxFaults(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dead := []ftc.VertexFaultLabel{scheme.VertexFaultLabel(0)}
+	ok, err := ftc.ConnectedVertexFaults(scheme.VertexLabel(1), scheme.VertexLabel(2), dead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("leaves connected with the hub dead:", ok)
+	// Output:
+	// leaves connected with the hub dead: false
+}

@@ -1,0 +1,51 @@
+// Quickstart: build f-FTC labels for a small network and answer
+// connectivity queries under edge faults using labels only.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ftc "repro"
+)
+
+func main() {
+	// A ring of 6 routers with two chords.
+	//
+	//        0 ── 1
+	//      / |     \
+	//     5  |      2
+	//      \ |     /|
+	//        4 ── 3 ┘   (chords: 0-4, 1-3)
+	edges := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, // ring
+		{0, 4}, {1, 3}, // chords
+	}
+	scheme, err := ftc.New(6, edges, ftc.WithMaxFaults(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := scheme.Stats()
+	fmt.Printf("labels built: %d bits/vertex, ≤%d bits/edge (k=%d, %d levels)\n\n",
+		st.VertexLabelBits, st.MaxEdgeLabelBits, st.Threshold, st.HierarchyDepth)
+
+	// The decoder sees labels only — in a deployment, each node stores its
+	// own label and link labels travel with failure notifications.
+	s, t := scheme.VertexLabel(0), scheme.VertexLabel(3)
+
+	check := func(desc string, faults ...ftc.EdgeLabel) {
+		ok, err := ftc.Connected(s, t, faults)
+		if err != nil {
+			log.Fatalf("%s: %v", desc, err)
+		}
+		fmt.Printf("%-46s connected=%v\n", desc, ok)
+	}
+
+	check("no faults:")
+	check("links 2-3 and 3-4 down:",
+		scheme.MustEdgeLabel(2, 3), scheme.MustEdgeLabel(3, 4))
+	check("links 2-3, 3-4 and 1-3 down (3 isolated):",
+		scheme.MustEdgeLabel(2, 3), scheme.MustEdgeLabel(3, 4), scheme.MustEdgeLabel(1, 3))
+}

@@ -1,0 +1,172 @@
+package ftc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	scheme, err := New(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}, WithMaxFaults(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, u := scheme.VertexLabel(0), scheme.VertexLabel(2)
+	ok, err := Connected(s, u, nil)
+	if err != nil || !ok {
+		t.Fatalf("no faults: ok=%v err=%v", ok, err)
+	}
+	f := []EdgeLabel{scheme.MustEdgeLabel(1, 2), scheme.MustEdgeLabel(2, 3)}
+	ok, err = Connected(s, u, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("vertex 2 should be cut off")
+	}
+}
+
+func TestAllVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := workload.ErdosRenyi(40, 0.12, true, rng)
+	variants := map[string][]Option{
+		"det":    {WithMaxFaults(3), WithDeterministic()},
+		"greedy": {WithMaxFaults(3), WithGreedyNet()},
+		"rand":   {WithMaxFaults(3), WithRandomized(5)},
+	}
+	schemes := map[string]*Scheme{}
+	for name, opts := range variants {
+		s, err := NewFromGraph(g, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		schemes[name] = s
+	}
+	for q := 0; q < 150; q++ {
+		faults := workload.RandomFaults(g, rng.Intn(4), rng)
+		sv, tv := rng.Intn(g.N()), rng.Intn(g.N())
+		want := graph.ConnectedUnder(g, workload.FaultSet(faults), sv, tv)
+		for name, s := range schemes {
+			fl := make([]EdgeLabel, len(faults))
+			for i, e := range faults {
+				fl[i] = s.EdgeLabelByIndex(e)
+			}
+			got, err := Connected(s.VertexLabel(sv), s.VertexLabel(tv), fl)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if got != want {
+				t.Fatalf("%s: Connected(%d,%d,%v) = %v, want %v", name, sv, tv, faults, got, want)
+			}
+		}
+	}
+}
+
+func TestEdgeLabelCopyIsIndependent(t *testing.T) {
+	s, err := New(3, [][2]int{{0, 1}, {1, 2}, {0, 2}}, WithMaxFaults(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := s.EdgeLabelByIndex(0)
+	for i := range l.Out {
+		l.Out[i] = ^uint64(0)
+	}
+	fresh := s.EdgeLabelByIndex(0)
+	for _, w := range fresh.Out {
+		if w == ^uint64(0) {
+			t.Fatal("mutating a returned label corrupted scheme storage")
+		}
+	}
+}
+
+func TestEdgeLabelLookup(t *testing.T) {
+	s, err := New(3, [][2]int{{0, 1}, {1, 2}}, WithMaxFaults(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EdgeLabel(0, 2); err == nil {
+		t.Fatal("missing edge accepted")
+	}
+	a, err := s.EdgeLabel(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.EdgeLabel(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Child != b.Child {
+		t.Fatal("edge lookup must be orientation independent")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(3, [][2]int{{0, 0}}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if _, err := New(2, [][2]int{{0, 3}}); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+	if _, err := New(3, [][2]int{{0, 1}, {1, 0}}); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s, err := NewFromGraph(workload.Grid(6, 6), WithMaxFaults(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Kind != "det-netfind" {
+		t.Fatalf("Kind = %q", st.Kind)
+	}
+	if st.VertexLabelBits <= 0 || st.MaxEdgeLabelBits <= st.VertexLabelBits {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+	if st.Threshold < 2 || st.HierarchyDepth < 1 {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+}
+
+func TestMarshalThroughPublicAPI(t *testing.T) {
+	s, err := New(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 2}}, WithMaxFaults(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb := MarshalVertexLabel(s.VertexLabel(1))
+	v, err := UnmarshalVertexLabel(vb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := MarshalEdgeLabel(s.MustEdgeLabel(0, 2))
+	e, err := UnmarshalEdgeLabel(eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Connected(v, s.VertexLabel(3), []EdgeLabel{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.ConnectedUnder(s.Graph(), map[int]bool{s.Graph().EdgeIndex(0, 2): true}, 1, 3)
+	if got != want {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestErrorsAreExported(t *testing.T) {
+	s1, err := New(3, [][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(3, [][2]int{{0, 1}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Connected(s1.VertexLabel(0), s2.VertexLabel(1), nil); !errors.Is(err, ErrLabelMismatch) {
+		t.Fatalf("err = %v, want ErrLabelMismatch", err)
+	}
+}

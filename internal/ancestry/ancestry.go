@@ -1,0 +1,102 @@
+// Package ancestry implements the deterministic ancestry labeling scheme of
+// Kannan, Naor, and Rudich (paper Lemma 7): each vertex of a rooted forest
+// gets an O(log n)-bit label — its DFS preorder/postorder interval — such
+// that the ancestor/descendant relation between any two vertices is decided
+// from the two labels alone.
+//
+// Labels also carry the preorder of the component root so that queries
+// across different trees of a forest are recognized as trivially
+// disconnected (DESIGN.md §3.6).
+package ancestry
+
+import "repro/internal/graph"
+
+// Label is a single vertex's ancestry label. Preorders are global across the
+// forest and start at 1, so a zero Pre marks an invalid label.
+type Label struct {
+	Pre  uint32 // DFS preorder of the vertex (1-based, globally unique)
+	Post uint32 // largest preorder in the vertex's subtree
+	Root uint32 // preorder of the component root
+}
+
+// Valid reports whether l is a populated label.
+func (l Label) Valid() bool { return l.Pre != 0 && l.Post >= l.Pre }
+
+// IsAncestorOf reports whether l's vertex is an ancestor of m's vertex
+// (inclusive: a vertex is its own ancestor). Distinct components are never
+// related.
+func (l Label) IsAncestorOf(m Label) bool {
+	return l.Root == m.Root && l.Pre <= m.Pre && m.Pre <= l.Post
+}
+
+// Contains reports whether preorder p falls in l's subtree interval. This is
+// the point-stabbing primitive the query algorithm uses to locate the
+// fragment of a decoded edge endpoint (paper Proposition 3): the fragment of
+// a vertex v is determined by v's preorder alone.
+func (l Label) Contains(p uint32) bool { return l.Pre <= p && p <= l.Post }
+
+// Compare implements the paper's universal decoder D^anc: it returns 1 if a
+// is a proper ancestor of b, -1 if b is a proper ancestor of a, and 0
+// otherwise (including a == b and distinct components).
+func Compare(a, b Label) int {
+	if a.Root != b.Root || a.Pre == b.Pre {
+		return 0
+	}
+	if a.IsAncestorOf(b) {
+		return 1
+	}
+	if b.IsAncestorOf(a) {
+		return -1
+	}
+	return 0
+}
+
+// Labeling holds the labels of every vertex of a forest.
+type Labeling struct {
+	Labels []Label
+	// ByPre maps a preorder back to the vertex id (ByPre[0] unused).
+	ByPre []int
+}
+
+// Build computes the labeling of forest f over a graph with f's vertex
+// count. The DFS visits children in Forest.Children order, so the labeling
+// is deterministic given the forest. Runs in O(n).
+func Build(f *graph.Forest) *Labeling {
+	n := len(f.Parent)
+	l := &Labeling{
+		Labels: make([]Label, n),
+		ByPre:  make([]int, n+1),
+	}
+	next := uint32(1)
+	// Iterative DFS; the stack entry is (vertex, child cursor).
+	type frame struct {
+		v   int
+		idx int
+	}
+	stack := make([]frame, 0, 64)
+	for _, root := range f.Roots {
+		rootPre := next
+		stack = append(stack[:0], frame{v: root})
+		l.Labels[root] = Label{Pre: next, Root: rootPre}
+		l.ByPre[next] = root
+		next++
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if top.idx < len(f.Children[top.v]) {
+				c := f.Children[top.v][top.idx]
+				top.idx++
+				l.Labels[c] = Label{Pre: next, Root: rootPre}
+				l.ByPre[next] = c
+				next++
+				stack = append(stack, frame{v: c})
+				continue
+			}
+			l.Labels[top.v].Post = next - 1
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return l
+}
+
+// Of returns vertex v's label.
+func (l *Labeling) Of(v int) Label { return l.Labels[v] }

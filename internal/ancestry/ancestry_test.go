@@ -1,0 +1,146 @@
+package ancestry
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// isAncestorRef walks parent pointers — the ground truth.
+func isAncestorRef(f *graph.Forest, a, b int) bool {
+	for v := b; v != -1; v = f.Parent[v] {
+		if v == a {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAgainstParentWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(80)
+		g := workload.ErdosRenyi(n, 0.08, trial%2 == 0, rng)
+		f := graph.SpanningForest(g)
+		l := Build(f)
+		for q := 0; q < 300; q++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			got := l.Of(a).IsAncestorOf(l.Of(b))
+			want := isAncestorRef(f, a, b)
+			if got != want {
+				t.Fatalf("trial %d: IsAncestorOf(%d,%d) = %v, want %v", trial, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	// Path tree: 0 -> 1 -> 2.
+	g := graph.New(3)
+	for _, e := range [][2]int{{0, 1}, {1, 2}} {
+		if _, err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := graph.SpanningForest(g)
+	l := Build(f)
+	if c := Compare(l.Of(0), l.Of(2)); c != 1 {
+		t.Errorf("Compare(root, leaf) = %d, want 1", c)
+	}
+	if c := Compare(l.Of(2), l.Of(0)); c != -1 {
+		t.Errorf("Compare(leaf, root) = %d, want -1", c)
+	}
+	if c := Compare(l.Of(1), l.Of(1)); c != 0 {
+		t.Errorf("Compare(v, v) = %d, want 0", c)
+	}
+}
+
+func TestSiblingsUnrelated(t *testing.T) {
+	// Star: center 0 with leaves 1..4.
+	g := graph.New(5)
+	for v := 1; v < 5; v++ {
+		if _, err := g.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l := Build(graph.SpanningForest(g))
+	for a := 1; a < 5; a++ {
+		for b := 1; b < 5; b++ {
+			if a == b {
+				continue
+			}
+			if Compare(l.Of(a), l.Of(b)) != 0 {
+				t.Errorf("leaves %d,%d should be unrelated", a, b)
+			}
+		}
+	}
+}
+
+func TestCrossComponent(t *testing.T) {
+	g := graph.New(4)
+	for _, e := range [][2]int{{0, 1}, {2, 3}} {
+		if _, err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l := Build(graph.SpanningForest(g))
+	if l.Of(0).Root == l.Of(2).Root {
+		t.Error("distinct components must have distinct root ids")
+	}
+	if l.Of(0).IsAncestorOf(l.Of(3)) || Compare(l.Of(0), l.Of(3)) != 0 {
+		t.Error("cross-component vertices must be unrelated")
+	}
+}
+
+func TestLabelUniquenessAndByPre(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := workload.ErdosRenyi(64, 0.1, true, rng)
+	f := graph.SpanningForest(g)
+	l := Build(f)
+	seen := map[uint32]bool{}
+	for v := 0; v < g.N(); v++ {
+		lab := l.Of(v)
+		if !lab.Valid() {
+			t.Fatalf("vertex %d has invalid label %+v", v, lab)
+		}
+		if seen[lab.Pre] {
+			t.Fatalf("duplicate preorder %d", lab.Pre)
+		}
+		seen[lab.Pre] = true
+		if l.ByPre[lab.Pre] != v {
+			t.Fatalf("ByPre round trip failed for %d", v)
+		}
+	}
+}
+
+func TestSubtreeIntervalSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := workload.ErdosRenyi(50, 0.1, true, rng)
+	f := graph.SpanningForest(g)
+	l := Build(f)
+	// Subtree size from labels must match a direct count of descendants.
+	size := make([]int, g.N())
+	for v := range size {
+		for u := 0; u < g.N(); u++ {
+			if isAncestorRef(f, v, u) {
+				size[v]++
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		lab := l.Of(v)
+		got := int(lab.Post-lab.Pre) + 1
+		if got != size[v] {
+			t.Fatalf("subtree size of %d = %d from labels, want %d", v, got, size[v])
+		}
+	}
+}
+
+func TestZeroLabelInvalid(t *testing.T) {
+	var l Label
+	if l.Valid() {
+		t.Error("zero label must be invalid")
+	}
+}

@@ -1,0 +1,309 @@
+package congest
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Opcodes for the construction phases.
+const (
+	opJoin  uint8 = iota + 1 // BFS: "I adopt you as parent"
+	opSize                   // convergecast: subtree size
+	opOrder                  // top-down: preorder/postorder range assignment
+	opChunk                  // pipelined vector aggregation: one chunk
+	opDone                   // pipelined aggregation: stream end
+)
+
+// BFSResult is the distributed BFS tree.
+type BFSResult struct {
+	Parent     []int // parent vertex, -1 for root/unreached
+	ParentPort []int
+	Depth      []int
+	Children   [][]int
+	Rounds     int
+}
+
+// BFS builds a BFS tree from root by synchronous flooding: each newly
+// reached vertex announces itself to all neighbors in the next round;
+// already-claimed vertices ignore late announcements. Terminates after a
+// silent round; rounds ≈ eccentricity(root) + 1.
+func BFS(n *Net, root int) (*BFSResult, error) {
+	g := n.G
+	res := &BFSResult{
+		Parent:     make([]int, g.N()),
+		ParentPort: make([]int, g.N()),
+		Depth:      make([]int, g.N()),
+		Children:   make([][]int, g.N()),
+	}
+	for v := range res.Parent {
+		res.Parent[v] = -1
+		res.ParentPort[v] = -1
+		res.Depth[v] = -1
+	}
+	res.Depth[root] = 0
+	start := n.Round()
+	frontier := []int{root}
+	for len(frontier) > 0 {
+		for _, v := range frontier {
+			for port := range g.Adj(v) {
+				if err := n.Send(v, port, Message{Op: opJoin, Args: []uint32{uint32(v)}}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		n.Step()
+		var next []int
+		for v := 0; v < g.N(); v++ {
+			if res.Depth[v] != -1 {
+				continue
+			}
+			for _, in := range n.Recv(v) {
+				if in.Msg.Op != opJoin {
+					continue
+				}
+				parent := int(in.Msg.Args[0])
+				res.Parent[v] = parent
+				res.ParentPort[v] = in.Port
+				res.Depth[v] = res.Depth[parent] + 1
+				next = append(next, v)
+				break // first claim wins; port order is deterministic
+			}
+		}
+		// Children lists in deterministic order of child id.
+		sort.Ints(next)
+		for _, v := range next {
+			res.Children[res.Parent[v]] = append(res.Children[res.Parent[v]], v)
+		}
+		frontier = next
+	}
+	res.Rounds = n.Round() - start
+	return res, nil
+}
+
+// SubtreeSizes runs the convergecast of §8: leaves report size 1; an inner
+// vertex reports once all children have, so the phase finishes in
+// depth+1 rounds.
+func SubtreeSizes(n *Net, tree *BFSResult) ([]int, error) {
+	g := n.G
+	size := make([]int, g.N())
+	pending := make([]int, g.N()) // children yet to report
+	for v := 0; v < g.N(); v++ {
+		size[v] = 1
+		pending[v] = len(tree.Children[v])
+	}
+	reported := make([]bool, g.N())
+	for {
+		sent := false
+		for v := 0; v < g.N(); v++ {
+			if reported[v] || pending[v] > 0 || tree.Parent[v] == -1 {
+				continue
+			}
+			if err := n.Send(v, tree.ParentPort[v], Message{Op: opSize, Args: []uint32{uint32(size[v])}}); err != nil {
+				return nil, err
+			}
+			reported[v] = true
+			sent = true
+		}
+		if !sent {
+			break
+		}
+		n.Step()
+		for v := 0; v < g.N(); v++ {
+			for _, in := range n.Recv(v) {
+				if in.Msg.Op != opSize {
+					continue
+				}
+				size[v] += int(in.Msg.Args[0])
+				pending[v]--
+			}
+		}
+	}
+	return size, nil
+}
+
+// AncestryOrders assigns DFS preorder/postorder-style intervals top-down
+// exactly as §8 describes: once a vertex knows its own range it hands each
+// child a consecutive sub-range sized by the child's subtree. Every vertex
+// also learns its component root's preorder. Rounds ≈ depth.
+//
+// The returned intervals are [pre, post] with post = pre + subtreeSize − 1,
+// matching the centralized internal/ancestry convention.
+func AncestryOrders(n *Net, tree *BFSResult, size []int, root int) (pre, post []uint32, err error) {
+	g := n.G
+	pre = make([]uint32, g.N())
+	post = make([]uint32, g.N())
+	assigned := make([]bool, g.N())
+	pre[root] = 1
+	post[root] = uint32(size[root])
+	assigned[root] = true
+	frontier := []int{root}
+	for len(frontier) > 0 {
+		for _, v := range frontier {
+			// Hand out child ranges in Children order.
+			next := pre[v] + 1
+			for _, c := range tree.Children[v] {
+				if err := n.Send(v, portTo(n, v, c), Message{
+					Op:   opOrder,
+					Args: []uint32{next, next + uint32(size[c]) - 1},
+				}); err != nil {
+					return nil, nil, err
+				}
+				next += uint32(size[c])
+			}
+		}
+		n.Step()
+		var next []int
+		for v := 0; v < g.N(); v++ {
+			if assigned[v] {
+				continue
+			}
+			for _, in := range n.Recv(v) {
+				if in.Msg.Op != opOrder {
+					continue
+				}
+				pre[v] = in.Msg.Args[0]
+				post[v] = in.Msg.Args[1]
+				assigned[v] = true
+				next = append(next, v)
+			}
+		}
+		sort.Ints(next)
+		frontier = next
+	}
+	return pre, post, nil
+}
+
+// portTo returns v's port toward neighbor u.
+func portTo(n *Net, v, u int) int {
+	for port, h := range n.G.Adj(v) {
+		if h.To == u {
+			return port
+		}
+	}
+	return -1
+}
+
+// PipelinedSubtreeXOR aggregates a W-piece vector per vertex into subtree
+// XOR sums, streaming one piece per edge per round (the standard pipeline):
+// vertex v's stream to its parent is the piece-wise XOR of its own vector
+// and its children's streams. A vertex starts forwarding piece i once every
+// child's piece i has arrived, so the phase completes in ≈ depth + W rounds
+// — the D + f²·polylog(n) term of Theorem 3 when W = Θ(f²·polylog n / log n).
+//
+// Each vector element is one message argument and must fit in n.ArgBits
+// bits (use SplitWords to chop wider payloads); the piece index is split
+// across two arguments, so vectors up to (n+2)² pieces long are supported.
+// vec is modified in place to hold the subtree XOR sums.
+func PipelinedSubtreeXOR(n *Net, tree *BFSResult, vec [][]uint32) error {
+	g := n.G
+	if len(vec) != g.N() {
+		return fmt.Errorf("%w: vector count %d != n %d", ErrModel, len(vec), g.N())
+	}
+	w := 0
+	for _, v := range vec {
+		if len(v) > w {
+			w = len(v)
+		}
+	}
+	if w >= 1<<uint(2*n.ArgBits) {
+		return fmt.Errorf("%w: vector of %d pieces exceeds the index budget", ErrModel, w)
+	}
+	for i := range vec {
+		for len(vec[i]) < w {
+			vec[i] = append(vec[i], 0)
+		}
+	}
+	// sent[v] = chunks already forwarded to the parent; chunk i may go up
+	// once every child's chunk i has arrived (vacuously true for leaves).
+	sent := make([]int, g.N())
+	childDone := make([][]int, g.N()) // per-vertex, chunks received per child port
+	for v := 0; v < g.N(); v++ {
+		childDone[v] = make([]int, len(g.Adj(v)))
+	}
+	minChildChunks := func(v int) int {
+		m := w
+		for _, c := range tree.Children[v] {
+			p := portTo(n, v, c)
+			if childDone[v][p] < m {
+				m = childDone[v][p]
+			}
+		}
+		return m
+	}
+	for {
+		progress := false
+		for v := 0; v < g.N(); v++ {
+			if tree.Parent[v] == -1 || sent[v] >= w {
+				continue
+			}
+			avail := minChildChunks(v)
+			if sent[v] < avail {
+				piece := vec[v][sent[v]]
+				idxHi := uint32(sent[v]) >> uint(n.ArgBits)
+				idxLo := uint32(sent[v]) & (1<<uint(n.ArgBits) - 1)
+				if err := n.Send(v, tree.ParentPort[v], Message{Op: opChunk, Args: []uint32{idxHi, idxLo, piece}}); err != nil {
+					return err
+				}
+				sent[v]++
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+		n.Step()
+		for v := 0; v < g.N(); v++ {
+			for _, in := range n.Recv(v) {
+				if in.Msg.Op != opChunk {
+					continue
+				}
+				idx := int(in.Msg.Args[0])<<uint(n.ArgBits) | int(in.Msg.Args[1])
+				vec[v][idx] ^= in.Msg.Args[2]
+				childDone[v][in.Port]++
+				progress = true
+			}
+		}
+	}
+	return nil
+}
+
+// SplitWords chops 64-bit payload words into pieces of at most pieceBits
+// bits each (little-endian), the form PipelinedSubtreeXOR transports.
+func SplitWords(words []uint64, pieceBits int) []uint32 {
+	if pieceBits < 1 {
+		pieceBits = 1
+	}
+	if pieceBits > 31 {
+		pieceBits = 31
+	}
+	per := (64 + pieceBits - 1) / pieceBits
+	out := make([]uint32, 0, per*len(words))
+	mask := uint64(1)<<uint(pieceBits) - 1
+	for _, w := range words {
+		for i := 0; i < per; i++ {
+			out = append(out, uint32(w>>(uint(i*pieceBits))&mask))
+		}
+	}
+	return out
+}
+
+// JoinWords inverts SplitWords.
+func JoinWords(pieces []uint32, pieceBits, wordCount int) []uint64 {
+	if pieceBits < 1 {
+		pieceBits = 1
+	}
+	if pieceBits > 31 {
+		pieceBits = 31
+	}
+	per := (64 + pieceBits - 1) / pieceBits
+	out := make([]uint64, wordCount)
+	for w := 0; w < wordCount; w++ {
+		for i := 0; i < per; i++ {
+			idx := w*per + i
+			if idx < len(pieces) {
+				out[w] |= uint64(pieces[idx]) << uint(i*pieceBits)
+			}
+		}
+	}
+	return out
+}

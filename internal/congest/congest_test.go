@@ -1,0 +1,242 @@
+package congest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ancestry"
+	"repro/internal/epsnet"
+	"repro/internal/euler"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func TestBFSMatchesDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		g := workload.ErdosRenyi(30+trial*5, 0.1, true, rng)
+		n := NewNet(g)
+		tree, err := BFS(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := graph.HopDistancesUnder(g, nil, 0)
+		for v := 0; v < g.N(); v++ {
+			if tree.Depth[v] != want[v] {
+				t.Fatalf("depth[%d] = %d, want %d", v, tree.Depth[v], want[v])
+			}
+		}
+		// BFS rounds ≈ eccentricity + 1 wave rounds.
+		ecc := 0
+		for _, d := range want {
+			if d > ecc {
+				ecc = d
+			}
+		}
+		if tree.Rounds < ecc || tree.Rounds > ecc+3 {
+			t.Fatalf("BFS rounds = %d, eccentricity = %d", tree.Rounds, ecc)
+		}
+	}
+}
+
+func TestSubtreeSizes(t *testing.T) {
+	g := workload.Grid(5, 4)
+	n := NewNet(g)
+	tree, err := BFS(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, err := SubtreeSizes(n, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sizes[0] != g.N() {
+		t.Fatalf("root subtree size = %d, want %d", sizes[0], g.N())
+	}
+	// Every vertex: size = 1 + sum over children.
+	for v := 0; v < g.N(); v++ {
+		sum := 1
+		for _, c := range tree.Children[v] {
+			sum += sizes[c]
+		}
+		if sizes[v] != sum {
+			t.Fatalf("size[%d] = %d, want %d", v, sizes[v], sum)
+		}
+	}
+}
+
+func TestAncestryOrdersMatchCentralized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := workload.ErdosRenyi(40, 0.12, true, rng)
+	n := NewNet(g)
+	tree, err := BFS(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, err := SubtreeSizes(n, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, post, err := AncestryOrders(n, tree, sizes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the centralized labeling over the SAME tree and compare.
+	forest := toForest(n, tree, 0)
+	want := ancestry.Build(forest)
+	for v := 0; v < g.N(); v++ {
+		wl := want.Of(v)
+		if pre[v] != wl.Pre || post[v] != wl.Post {
+			t.Fatalf("vertex %d: distributed (%d,%d) vs centralized (%d,%d)",
+				v, pre[v], post[v], wl.Pre, wl.Post)
+		}
+	}
+}
+
+func TestPipelinedSubtreeXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := workload.ErdosRenyi(35, 0.12, true, rng)
+	n := NewNet(g)
+	tree, err := BFS(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const w = 12
+	mask := uint32(1)<<uint(n.ArgBits) - 1
+	vec := make([][]uint32, g.N())
+	orig := make([][]uint32, g.N())
+	for v := range vec {
+		vec[v] = make([]uint32, w)
+		orig[v] = make([]uint32, w)
+		for i := range vec[v] {
+			x := rng.Uint32() & mask
+			vec[v][i] = x
+			orig[v][i] = x
+		}
+	}
+	start := n.Round()
+	if err := PipelinedSubtreeXOR(n, tree, vec); err != nil {
+		t.Fatal(err)
+	}
+	rounds := n.Round() - start
+	// Ground truth: subtree XOR per vertex.
+	want := make([][]uint32, g.N())
+	var fill func(v int) []uint32
+	fill = func(v int) []uint32 {
+		acc := append([]uint32(nil), orig[v]...)
+		for _, c := range tree.Children[v] {
+			sub := fill(c)
+			for i := range acc {
+				acc[i] ^= sub[i]
+			}
+		}
+		want[v] = acc
+		return acc
+	}
+	fill(0)
+	for v := 0; v < g.N(); v++ {
+		for i := 0; i < w; i++ {
+			if vec[v][i] != want[v][i] {
+				t.Fatalf("subtree xor mismatch at vertex %d chunk %d", v, i)
+			}
+		}
+	}
+	// Pipelining bound: depth + w + slack.
+	depth := 0
+	for _, d := range tree.Depth {
+		if d > depth {
+			depth = d
+		}
+	}
+	if rounds > depth+w+4 {
+		t.Fatalf("pipelined aggregation took %d rounds, want ≤ depth(%d)+w(%d)+4", rounds, depth, w)
+	}
+}
+
+func TestMessageBudgetEnforced(t *testing.T) {
+	g := workload.Cycle(4)
+	n := NewNet(g)
+	big := Message{Op: 1, Args: make([]uint32, 100)}
+	if err := n.Send(0, 0, big); err == nil {
+		t.Fatal("oversized message accepted")
+	}
+	ok := Message{Op: 1, Args: []uint32{1}}
+	if err := n.Send(0, 0, ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(0, 0, ok); err == nil {
+		t.Fatal("double send on one port accepted")
+	}
+	if err := n.Send(0, 5, ok); err == nil {
+		t.Fatal("bad port accepted")
+	}
+}
+
+// TestNetFindRoundsMatchesCentralizedSelection keeps the emulated
+// distributed NetFind selection in lock-step with epsnet.NetFind.
+func TestNetFindRoundsMatchesCentralizedSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := workload.ErdosRenyi(120, 0.15, true, rng)
+	f := graph.SpanningForest(g)
+	tour := euler.Build(f)
+	pts := euler.EmbedNonTree(g, f, tour)
+	want := epsnet.NetFind(len(pts), pts)
+	got, rounds := NetFindRounds(pts, 10)
+	if len(got) != len(want) {
+		t.Fatalf("selection size %d vs centralized %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("selection differs at %d", i)
+		}
+	}
+	if rounds <= 0 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+}
+
+func TestBuildLabelsEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := workload.ErdosRenyi(60, 0.1, true, rng)
+	n := NewNet(g)
+	rep, tree, pre, post, err := BuildLabels(n, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalRounds <= 0 || rep.MaxMessageBits > n.BudgetBits {
+		t.Fatalf("report: %+v", rep)
+	}
+	// Phases all contributed.
+	if rep.BFSRounds <= 0 || rep.SizeRounds <= 0 || rep.AncestryRounds <= 0 || rep.SketchRounds <= 0 {
+		t.Fatalf("missing phase rounds: %+v", rep)
+	}
+	// Ancestry sanity: preorders are a permutation of 1..n.
+	seen := map[uint32]bool{}
+	for v := 0; v < g.N(); v++ {
+		if pre[v] < 1 || pre[v] > uint32(g.N()) || seen[pre[v]] {
+			t.Fatalf("bad preorder %d at %d", pre[v], v)
+		}
+		seen[pre[v]] = true
+		if post[v] < pre[v] {
+			t.Fatalf("post < pre at %d", v)
+		}
+	}
+	_ = tree
+}
+
+// TestRoundScaling sanity-checks the Theorem 3 shape: grids (large D) are
+// dominated by the D-dependent phases, with total rounds well below m.
+func TestRoundScaling(t *testing.T) {
+	g := workload.Grid(12, 12)
+	n := NewNet(g)
+	rep, _, _, _, err := BuildLabels(n, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Depth < 11 {
+		t.Fatalf("grid depth = %d", rep.Depth)
+	}
+	if rep.TotalRounds < rep.Depth {
+		t.Fatalf("total rounds %d below depth %d", rep.TotalRounds, rep.Depth)
+	}
+}

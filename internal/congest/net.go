@@ -1,0 +1,158 @@
+// Package congest implements a synchronous CONGEST-model simulator and the
+// distributed construction of the paper's labels (§8, Theorem 3).
+//
+// The model: computation proceeds in lock-step rounds; in each round every
+// vertex may send one message of at most B = O(log n) bits along each
+// incident edge direction. The simulator enforces both constraints —
+// oversized messages and double sends are hard errors — and counts rounds,
+// so the Õ(√m·D + f²) claim is checked against *measured* rounds.
+//
+// Packet-level phases implemented on the simulator: distributed BFS tree,
+// subtree-size convergecast, top-down ancestry-label assignment, and the
+// pipelined subtree-XOR aggregation that turns per-vertex outdetect sketches
+// into tree-edge labels (the D + f²·polylog term). The recursive NetFind
+// phase uses a communication-accurate emulation: the recursion tree and all
+// point selections run the exact centralized code while rounds are charged
+// per §8 — pipelined convergecast/broadcast within each call's Euler
+// segment, with same-level calls composed by max because their segments are
+// edge-disjoint. See DESIGN.md §3.5.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// ErrModel is returned when an algorithm violates the CONGEST constraints —
+// always a bug in the algorithm, never expected at runtime.
+var ErrModel = errors.New("congest: model violation")
+
+// Message is one CONGEST message: an opcode plus small integer arguments.
+// Its bit size is accounted explicitly.
+type Message struct {
+	Op   uint8
+	Args []uint32
+}
+
+// Bits returns the accounted size of m: 8 bits of opcode plus ⌈log₂(n+2)⌉
+// bits per argument (arguments are vertex ids, preorders, or counts, all
+// polynomially bounded — the standard CONGEST accounting).
+func (m Message) Bits(argBits int) int { return 8 + len(m.Args)*argBits }
+
+// incoming pairs a delivered message with the arrival port.
+type incoming struct {
+	Port int
+	Msg  Message
+}
+
+// Net is a synchronous message-passing network over a graph.
+type Net struct {
+	G *graph.Graph
+	// BudgetBits is B, the per-edge-direction per-round message budget.
+	BudgetBits int
+	// ArgBits is the accounted size of one message argument.
+	ArgBits int
+
+	round   int
+	staged  map[[2]int]Message // (vertex, port) → message staged this round
+	inboxes [][]incoming
+	// MaxObservedBits tracks the largest message actually sent.
+	MaxObservedBits int
+	// Messages counts total messages delivered.
+	Messages int
+}
+
+// NewNet creates a network over g with the standard B = c·⌈log₂ n⌉ budget.
+func NewNet(g *graph.Graph) *Net {
+	argBits := 1
+	for v := g.N() + 2; v > 1; v /= 2 {
+		argBits++
+	}
+	return &Net{
+		G:          g,
+		ArgBits:    argBits,
+		BudgetBits: 8 + 4*argBits, // opcode + up to four log-size arguments
+		staged:     map[[2]int]Message{},
+		inboxes:    make([][]incoming, g.N()),
+	}
+}
+
+// Round returns the number of completed rounds.
+func (n *Net) Round() int { return n.round }
+
+// AddRounds charges extra rounds computed by a communication-accurate
+// emulation phase (the distributed NetFind accounting).
+func (n *Net) AddRounds(r int) {
+	if r > 0 {
+		n.round += r
+	}
+}
+
+// Send stages a message from v along the given port (index into g.Adj(v))
+// for delivery at the end of the current round. Every argument value must
+// fit in ArgBits bits — larger quantities must be split across arguments or
+// rounds, which is exactly the discipline the CONGEST model imposes.
+func (n *Net) Send(v, port int, m Message) error {
+	if port < 0 || port >= len(n.G.Adj(v)) {
+		return fmt.Errorf("%w: vertex %d has no port %d", ErrModel, v, port)
+	}
+	key := [2]int{v, port}
+	if _, dup := n.staged[key]; dup {
+		return fmt.Errorf("%w: vertex %d sent twice on port %d in round %d", ErrModel, v, port, n.round)
+	}
+	for _, a := range m.Args {
+		if bits.Len32(a) > n.ArgBits {
+			return fmt.Errorf("%w: argument %d needs %d bits, budget is %d per argument",
+				ErrModel, a, bits.Len32(a), n.ArgBits)
+		}
+	}
+	if b := m.Bits(n.ArgBits); b > n.BudgetBits {
+		return fmt.Errorf("%w: message of %d bits exceeds budget %d", ErrModel, b, n.BudgetBits)
+	} else if b > n.MaxObservedBits {
+		n.MaxObservedBits = b
+	}
+	n.staged[key] = m
+	return nil
+}
+
+// Step delivers all staged messages (in deterministic sender order) and
+// advances the round counter.
+func (n *Net) Step() {
+	for v := range n.inboxes {
+		n.inboxes[v] = n.inboxes[v][:0]
+	}
+	keys := make([][2]int, 0, len(n.staged))
+	for key := range n.staged {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
+		m := n.staged[key]
+		v, port := key[0], key[1]
+		half := n.G.Adj(v)[port]
+		// Find the reverse port at the receiver.
+		rp := -1
+		for i, h := range n.G.Adj(half.To) {
+			if h.Edge == half.Edge {
+				rp = i
+				break
+			}
+		}
+		n.inboxes[half.To] = append(n.inboxes[half.To], incoming{Port: rp, Msg: m})
+		n.Messages++
+	}
+	n.staged = map[[2]int]Message{}
+	n.round++
+}
+
+// Recv returns the messages delivered to v in the last Step.
+func (n *Net) Recv(v int) []incoming { return n.inboxes[v] }

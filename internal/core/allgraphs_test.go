@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// TestAllFiveVertexGraphs enumerates every labeled graph on 5 vertices
+// (all 2^10 edge subsets), builds the deterministic scheme with f = 1, and
+// checks every (s, t, F) query with |F| ≤ 1 against ground truth. Together
+// with the f = 2/3 exhaustive suites this is the sharpest practical
+// statement of "full query support": no graph topology on this vertex
+// count, connected or not, produces a wrong answer.
+func TestAllFiveVertexGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive graph enumeration")
+	}
+	const n = 5
+	var pairs [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pairs = append(pairs, [2]int{u, v})
+		}
+	}
+	queries := 0
+	for mask := 0; mask < 1<<len(pairs); mask++ {
+		g := graph.New(n)
+		for i, p := range pairs {
+			if mask>>i&1 == 1 {
+				if _, err := g.AddEdge(p[0], p[1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		s, err := Build(g, Params{MaxFaults: 1})
+		if err != nil {
+			t.Fatalf("mask %b: %v", mask, err)
+		}
+		check := func(faults []int) {
+			set := workload.FaultSet(faults)
+			fl := make([]EdgeLabel, len(faults))
+			for i, e := range faults {
+				fl[i] = s.EdgeLabel(e)
+			}
+			for sv := 0; sv < n; sv++ {
+				for tv := sv + 1; tv < n; tv++ {
+					want := graph.ConnectedUnder(g, set, sv, tv)
+					got, err := Connected(s.VertexLabel(sv), s.VertexLabel(tv), fl)
+					if err != nil {
+						t.Fatalf("mask %b (s=%d t=%d F=%v): %v", mask, sv, tv, faults, err)
+					}
+					if got != want {
+						t.Fatalf("mask %b: Connected(%d,%d,%v) = %v, want %v", mask, sv, tv, faults, got, want)
+					}
+					queries++
+				}
+			}
+		}
+		check(nil)
+		for e := 0; e < g.M(); e++ {
+			check([]int{e})
+		}
+	}
+	t.Logf("verified %d queries over %d graphs", queries, 1<<len(pairs))
+}

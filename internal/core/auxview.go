@@ -1,0 +1,46 @@
+package core
+
+import (
+	"repro/internal/ancestry"
+	"repro/internal/euler"
+	"repro/internal/graph"
+)
+
+// AuxView is a read-only snapshot of the auxiliary-graph transform (§3.2)
+// and its Euler-tour geometry (§4.3) for one graph — the material of the
+// paper's Figures 1 and 2. It exists for demos, experiments, and white-box
+// tests; the labeling scheme itself never exposes it.
+type AuxView struct {
+	// Forest is the spanning forest of the original graph.
+	Forest *graph.Forest
+	// TPrime is the auxiliary spanning tree T′ (original vertices
+	// 0..n-1, then one subdivision vertex per non-tree edge).
+	TPrime *graph.Forest
+	// Anc labels T′'s vertices.
+	Anc *ancestry.Labeling
+	// Tour is the Euler tour of T′.
+	Tour *euler.Tour
+	// NonTree lists the non-tree edge indices in slot order; XVertex and
+	// FarEnd give each slot's subdivision vertex and far endpoint in T′.
+	NonTree []int
+	XVertex []int
+	FarEnd  []int
+	// Points is the planar embedding of the non-tree edges (Figure 2).
+	Points []euler.Point
+}
+
+// NewAuxView computes the transform for g.
+func NewAuxView(g *graph.Graph) *AuxView {
+	f := graph.SpanningForest(g)
+	a := buildAux(g, f)
+	return &AuxView{
+		Forest:  f,
+		TPrime:  a.tprime,
+		Anc:     a.anc,
+		Tour:    a.tour,
+		NonTree: a.nonTree,
+		XVertex: a.xVertex,
+		FarEnd:  a.farEnd,
+		Points:  a.points(),
+	}
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/ancestry"
+	"repro/internal/euler"
+	"repro/internal/graph"
+	"repro/internal/hierarchy"
+	"repro/internal/rs"
+	"repro/internal/sketch"
+)
+
+// Params configures Build.
+type Params struct {
+	// MaxFaults is the fault budget f ≥ 0 the labels must support.
+	MaxFaults int
+	// Kind selects the outdetect substrate; zero means KindDetNetFind.
+	Kind Kind
+	// Seed drives the randomized kinds (sampling hierarchy, AGM hashes).
+	Seed int64
+	// Threshold overrides the Reed–Solomon threshold k(f, m). Nil uses
+	// hierarchy.DefaultThreshold (or SamplingThreshold for KindRandRS).
+	// See DESIGN.md §3.4 for the practical-vs-theory trade-off.
+	Threshold func(f, m int) int
+	// GreedyGamma overrides the rectangle weight of the greedy ε-net
+	// (KindDetGreedy only); zero picks a default.
+	GreedyGamma int
+	// AGMReps overrides the repetition count of KindAGM; zero picks
+	// ⌈log₂ m⌉ (whp support). Full support scales this by f.
+	AGMReps int
+}
+
+// Scheme holds the labels of one construction. The labels themselves are
+// self-contained; Scheme only provides access, accounting, and test hooks.
+type Scheme struct {
+	params Params
+	token  uint64
+	spec   OutSpec
+	n      int
+
+	vertexLabels []VertexLabel
+	edgeLabels   []EdgeLabel
+
+	// Construction artifacts retained for experiments and white-box
+	// tests; the decoder never touches them.
+	Forest    *graph.Forest
+	Hierarchy *hierarchy.Hierarchy
+}
+
+// aux is the auxiliary graph G′ of §3.2: every non-tree edge e = (u, v) is
+// subdivided by a fresh vertex x_e; the half (u, x_e) joins the spanning
+// tree T′ (it is σ(e)) and the half (x_e, v) is the unique non-tree edge at
+// x_e.
+type aux struct {
+	n        int // original vertex count
+	forest   *graph.Forest
+	tprime   *graph.Forest // spanning forest of G′ (Parent/Children/Roots/Comp only)
+	anc      *ancestry.Labeling
+	tour     *euler.Tour
+	nonTree  []int // G edge indices of non-tree edges, ascending
+	xVertex  []int // xVertex[j]: subdivision vertex of nonTree[j] in G′
+	attachAt []int // attachAt[j]: the G-endpoint that parents x_e
+	farEnd   []int // farEnd[j]: the other G-endpoint (reached by e′)
+	// childOf[e] is the child-side T′ vertex of σ(e), for every G edge e.
+	childOf []int
+}
+
+func buildAux(g *graph.Graph, f *graph.Forest) *aux {
+	n := g.N()
+	a := &aux{n: n, forest: f}
+	for e := range g.Edges {
+		if !f.IsTreeEdge[e] {
+			a.nonTree = append(a.nonTree, e)
+		}
+	}
+	nPrime := n + len(a.nonTree)
+	tp := &graph.Forest{
+		Parent:   make([]int, nPrime),
+		Children: make([][]int, nPrime),
+		Roots:    append([]int(nil), f.Roots...),
+		Comp:     make([]int, nPrime),
+	}
+	copy(tp.Parent, f.Parent)
+	copy(tp.Comp, f.Comp)
+	for v := 0; v < n; v++ {
+		tp.Children[v] = append([]int(nil), f.Children[v]...)
+	}
+	a.xVertex = make([]int, len(a.nonTree))
+	a.attachAt = make([]int, len(a.nonTree))
+	a.farEnd = make([]int, len(a.nonTree))
+	for j, e := range a.nonTree {
+		edge := g.Edges[e]
+		x := n + j
+		a.xVertex[j] = x
+		a.attachAt[j] = edge.U
+		a.farEnd[j] = edge.V
+		tp.Parent[x] = edge.U
+		tp.Comp[x] = f.Comp[edge.U]
+		tp.Children[edge.U] = append(tp.Children[edge.U], x)
+	}
+	a.tprime = tp
+	a.anc = ancestry.Build(tp)
+	a.tour = euler.Build(tp)
+	a.childOf = make([]int, g.M())
+	for e, edge := range g.Edges {
+		if f.IsTreeEdge[e] {
+			// The child side is the endpoint whose forest parent is
+			// the other endpoint.
+			if f.Parent[edge.V] == edge.U {
+				a.childOf[e] = edge.V
+			} else {
+				a.childOf[e] = edge.U
+			}
+		}
+	}
+	for j, e := range a.nonTree {
+		a.childOf[e] = a.xVertex[j]
+	}
+	return a
+}
+
+// points returns the Euler-tour embedding of the non-tree edges of G′,
+// tagged with G edge indices.
+func (a *aux) points() []euler.Point {
+	pts := make([]euler.Point, 0, len(a.nonTree))
+	for j, e := range a.nonTree {
+		x, y := a.tour.C[a.xVertex[j]], a.tour.C[a.farEnd[j]]
+		if x > y {
+			x, y = y, x
+		}
+		pts = append(pts, euler.Point{X: x, Y: y, Edge: e})
+	}
+	return pts
+}
+
+// idOf returns the GF(2^64) edge ID of non-tree slot j: the packed preorders
+// of x_e and the far endpoint in T′.
+func (a *aux) idOf(j int) uint64 {
+	return edgeID(a.anc.Of(a.xVertex[j]).Pre, a.anc.Of(a.farEnd[j]).Pre)
+}
+
+// Build constructs an f-FTC labeling scheme for g (Theorem 1 / Theorem 2).
+func Build(g *graph.Graph, p Params) (*Scheme, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if p.MaxFaults < 0 {
+		return nil, fmt.Errorf("core: negative fault budget %d", p.MaxFaults)
+	}
+	if p.Kind == 0 {
+		p.Kind = KindDetNetFind
+	}
+	f := graph.SpanningForest(g)
+	a := buildAux(g, f)
+	m := g.M()
+	if m < 2 {
+		m = 2
+	}
+
+	spec := OutSpec{Kind: p.Kind, Seed: p.Seed}
+	var levels *hierarchy.Hierarchy
+	pts := a.points()
+	switch p.Kind {
+	case KindDetNetFind, KindDetGreedy, KindRandRS:
+		k := 0
+		switch {
+		case p.Threshold != nil:
+			k = p.Threshold(p.MaxFaults, m)
+		case p.Kind == KindRandRS:
+			k = hierarchy.SamplingThreshold(p.MaxFaults, g.N()+len(a.nonTree))
+		default:
+			k = hierarchy.DefaultThreshold(p.MaxFaults, m)
+		}
+		if k < 1 {
+			k = 1
+		}
+		switch p.Kind {
+		case KindDetNetFind:
+			levels = hierarchy.BuildNetFind(pts, k)
+		case KindDetGreedy:
+			gamma := p.GreedyGamma
+			if gamma == 0 {
+				gamma = defaultGreedyGamma(m)
+			}
+			levels = hierarchy.BuildGreedy(pts, gamma, k)
+		case KindRandRS:
+			levels = hierarchy.BuildSampling(pts, k, rand.New(rand.NewSource(p.Seed)))
+		}
+		spec.K = k
+		spec.Levels = levels.Depth()
+		if spec.Levels == 0 {
+			// A tree has no non-tree edges; keep one empty level so
+			// payload shapes stay nonzero and decoding is uniform.
+			spec.Levels = 1
+			levels = &hierarchy.Hierarchy{Levels: [][]int{nil}}
+		}
+	case KindAGM:
+		spec.Buckets = sketch.DefaultBuckets(m)
+		spec.Reps = p.AGMReps
+		if spec.Reps == 0 {
+			spec.Reps = defaultAGMReps(m)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown scheme kind %d", p.Kind)
+	}
+
+	s := &Scheme{
+		params:    p,
+		spec:      spec,
+		n:         g.N(),
+		Forest:    f,
+		Hierarchy: levels,
+	}
+	s.token = s.computeToken(g)
+	s.buildLabels(g, a, levels)
+	return s, nil
+}
+
+func defaultGreedyGamma(m int) int {
+	g := 2
+	for v := m; v > 1; v /= 2 {
+		g++
+	}
+	return g
+}
+
+func defaultAGMReps(m int) int {
+	r := 1
+	for v := m; v > 1; v /= 2 {
+		r++
+	}
+	if r < 4 {
+		r = 4
+	}
+	return r
+}
+
+// computeToken fingerprints the graph and construction parameters so that
+// the decoder can reject mixed labels.
+func (s *Scheme) computeToken(g *graph.Graph) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		if _, err := h.Write(buf[:]); err != nil {
+			panic("core: fnv write cannot fail: " + err.Error())
+		}
+	}
+	put(uint64(g.N()))
+	put(uint64(g.M()))
+	for _, e := range g.Edges {
+		put(uint64(e.U)<<32 | uint64(e.V))
+	}
+	put(uint64(s.params.MaxFaults))
+	put(uint64(s.spec.Kind))
+	put(uint64(s.spec.K))
+	put(uint64(s.spec.Levels))
+	put(uint64(s.spec.Reps))
+	put(uint64(s.spec.Buckets))
+	put(uint64(s.spec.Seed))
+	return h.Sum64()
+}
+
+// buildLabels computes every vertex and edge label: ancestry labels for
+// vertices, and for each G edge the endpoint labels of σ(e) plus the
+// outdetect subtree aggregate L^out(V_{T′}(σ(e))) of Proposition 4,
+// accumulated level by level to bound peak memory.
+func (s *Scheme) buildLabels(g *graph.Graph, a *aux, levels *hierarchy.Hierarchy) {
+	s.vertexLabels = make([]VertexLabel, g.N())
+	for v := 0; v < g.N(); v++ {
+		s.vertexLabels[v] = VertexLabel{Token: s.token, Anc: a.anc.Of(v)}
+	}
+	words := s.spec.Words()
+	s.edgeLabels = make([]EdgeLabel, g.M())
+	for e := range g.Edges {
+		child := a.childOf[e]
+		parent := a.tprime.Parent[child]
+		s.edgeLabels[e] = EdgeLabel{
+			Token:     s.token,
+			MaxFaults: s.params.MaxFaults,
+			Spec:      s.spec,
+			Parent:    a.anc.Of(parent),
+			Child:     a.anc.Of(child),
+			Out:       make([]uint64, words),
+		}
+	}
+
+	// slotOf maps a non-tree G edge index to its slot j in a.nonTree.
+	slotOf := make(map[int]int, len(a.nonTree))
+	for j, e := range a.nonTree {
+		slotOf[e] = j
+	}
+	nPrime := len(a.tprime.Parent)
+	// preOrderVerts[i] = vertex with preorder i+1; reverse iteration gives
+	// children-before-parents, which makes the in-place subtree XOR work.
+	preOrder := make([]int, nPrime)
+	for v := 0; v < nPrime; v++ {
+		preOrder[a.anc.Of(v).Pre-1] = v
+	}
+
+	if s.spec.Kind == KindAGM {
+		agm := sketch.Spec{Reps: s.spec.Reps, Buckets: s.spec.Buckets, Seed: s.spec.Seed}
+		acc := make([]uint64, nPrime*words)
+		for j := range a.nonTree {
+			id := a.idOf(j)
+			agm.AddEdge(acc[a.xVertex[j]*words:(a.xVertex[j]+1)*words], id)
+			agm.AddEdge(acc[a.farEnd[j]*words:(a.farEnd[j]+1)*words], id)
+		}
+		s.foldSubtrees(g, a, preOrder, acc, words, 0)
+		return
+	}
+
+	stride := 2 * s.spec.K
+	acc := make([]uint64, nPrime*stride)
+	for lvl, level := range levels.Levels {
+		for i := range acc {
+			acc[i] = 0
+		}
+		for _, e := range level {
+			j := slotOf[e]
+			id := a.idOf(j)
+			addPowers(acc[a.xVertex[j]*stride:(a.xVertex[j]+1)*stride], id)
+			addPowers(acc[a.farEnd[j]*stride:(a.farEnd[j]+1)*stride], id)
+		}
+		s.foldSubtrees(g, a, preOrder, acc, stride, lvl*stride)
+	}
+}
+
+// foldSubtrees turns per-vertex payload blocks into subtree aggregates in
+// place (reverse preorder pushes each vertex's block into its parent), then
+// copies each G edge's child-subtree block into the edge label at dstOff.
+func (s *Scheme) foldSubtrees(g *graph.Graph, a *aux, preOrder []int, acc []uint64, stride, dstOff int) {
+	for i := len(preOrder) - 1; i >= 0; i-- {
+		v := preOrder[i]
+		p := a.tprime.Parent[v]
+		if p < 0 {
+			continue
+		}
+		src := acc[v*stride : (v+1)*stride]
+		dst := acc[p*stride : (p+1)*stride]
+		for w := range src {
+			dst[w] ^= src[w]
+		}
+	}
+	for e := range g.Edges {
+		child := a.childOf[e]
+		copy(s.edgeLabels[e].Out[dstOff:dstOff+stride], acc[child*stride:(child+1)*stride])
+	}
+}
+
+// addPowers folds edge ID alpha's first len(dst) power sums into dst (the
+// Reed–Solomon row of the parity-check matrix, Proposition 2).
+func addPowers(dst []uint64, alpha uint64) {
+	rs.Sketch(dst).AddEdge(alpha)
+}
+
+// N returns the vertex count of the labeled graph.
+func (s *Scheme) N() int { return s.n }
+
+// Spec returns the outdetect payload descriptor.
+func (s *Scheme) Spec() OutSpec { return s.spec }
+
+// MaxFaults returns the fault budget f.
+func (s *Scheme) MaxFaults() int { return s.params.MaxFaults }
+
+// Token returns the scheme fingerprint embedded in every label.
+func (s *Scheme) Token() uint64 { return s.token }
+
+// VertexLabel returns vertex v's label.
+func (s *Scheme) VertexLabel(v int) VertexLabel { return s.vertexLabels[v] }
+
+// EdgeLabel returns edge e's label. The Out slice is shared with the
+// scheme's storage and must be treated as immutable; MarshalEdgeLabel / the
+// public facade produce independent copies.
+func (s *Scheme) EdgeLabel(e int) EdgeLabel { return s.edgeLabels[e] }

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/ancestry"
+)
+
+// Labels are logically binary strings (§7.1); this file gives them a
+// concrete wire form, which is also what the label-size experiments (E4)
+// measure. Encoding is little-endian and versioned by a leading magic byte.
+
+const (
+	vertexMagic byte = 0x56 // 'V'
+	edgeMagic   byte = 0x45 // 'E'
+)
+
+// ErrBadLabel is returned by the unmarshalers for malformed bytes.
+var ErrBadLabel = errors.New("core: malformed label encoding")
+
+func putAnc(b []byte, l ancestry.Label) []byte {
+	b = binary.LittleEndian.AppendUint32(b, l.Pre)
+	b = binary.LittleEndian.AppendUint32(b, l.Post)
+	b = binary.LittleEndian.AppendUint32(b, l.Root)
+	return b
+}
+
+func getAnc(b []byte) (ancestry.Label, []byte, error) {
+	if len(b) < 12 {
+		return ancestry.Label{}, nil, fmt.Errorf("%w: short ancestry field", ErrBadLabel)
+	}
+	return ancestry.Label{
+		Pre:  binary.LittleEndian.Uint32(b),
+		Post: binary.LittleEndian.Uint32(b[4:]),
+		Root: binary.LittleEndian.Uint32(b[8:]),
+	}, b[12:], nil
+}
+
+// MarshalVertexLabel encodes a vertex label.
+func MarshalVertexLabel(l VertexLabel) []byte {
+	b := make([]byte, 0, 21)
+	b = append(b, vertexMagic)
+	b = binary.LittleEndian.AppendUint64(b, l.Token)
+	b = putAnc(b, l.Anc)
+	return b
+}
+
+// UnmarshalVertexLabel decodes a vertex label.
+func UnmarshalVertexLabel(b []byte) (VertexLabel, error) {
+	if len(b) < 1 || b[0] != vertexMagic {
+		return VertexLabel{}, fmt.Errorf("%w: missing vertex magic", ErrBadLabel)
+	}
+	b = b[1:]
+	if len(b) < 8 {
+		return VertexLabel{}, fmt.Errorf("%w: short token", ErrBadLabel)
+	}
+	var l VertexLabel
+	l.Token = binary.LittleEndian.Uint64(b)
+	var err error
+	l.Anc, b, err = getAnc(b[8:])
+	if err != nil {
+		return VertexLabel{}, err
+	}
+	if len(b) != 0 {
+		return VertexLabel{}, fmt.Errorf("%w: trailing bytes", ErrBadLabel)
+	}
+	return l, nil
+}
+
+// MarshalEdgeLabel encodes an edge label, payload included.
+func MarshalEdgeLabel(l EdgeLabel) []byte {
+	b := make([]byte, 0, 64+8*len(l.Out))
+	b = append(b, edgeMagic)
+	b = binary.LittleEndian.AppendUint64(b, l.Token)
+	b = binary.LittleEndian.AppendUint32(b, uint32(l.MaxFaults))
+	b = append(b, byte(l.Spec.Kind))
+	b = binary.LittleEndian.AppendUint32(b, uint32(l.Spec.K))
+	b = binary.LittleEndian.AppendUint32(b, uint32(l.Spec.Levels))
+	b = binary.LittleEndian.AppendUint32(b, uint32(l.Spec.Reps))
+	b = binary.LittleEndian.AppendUint32(b, uint32(l.Spec.Buckets))
+	b = binary.LittleEndian.AppendUint64(b, uint64(l.Spec.Seed))
+	b = putAnc(b, l.Parent)
+	b = putAnc(b, l.Child)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(l.Out)))
+	for _, w := range l.Out {
+		b = binary.LittleEndian.AppendUint64(b, w)
+	}
+	return b
+}
+
+// UnmarshalEdgeLabel decodes an edge label.
+func UnmarshalEdgeLabel(b []byte) (EdgeLabel, error) {
+	var l EdgeLabel
+	if len(b) < 1 || b[0] != edgeMagic {
+		return l, fmt.Errorf("%w: missing edge magic", ErrBadLabel)
+	}
+	b = b[1:]
+	need := func(n int) error {
+		if len(b) < n {
+			return fmt.Errorf("%w: truncated edge label", ErrBadLabel)
+		}
+		return nil
+	}
+	if err := need(8 + 4 + 1 + 4 + 4 + 4 + 4 + 8); err != nil {
+		return l, err
+	}
+	l.Token = binary.LittleEndian.Uint64(b)
+	b = b[8:]
+	l.MaxFaults = int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	l.Spec.Kind = Kind(b[0])
+	b = b[1:]
+	l.Spec.K = int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	l.Spec.Levels = int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	l.Spec.Reps = int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	l.Spec.Buckets = int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	l.Spec.Seed = int64(binary.LittleEndian.Uint64(b))
+	b = b[8:]
+	var err error
+	l.Parent, b, err = getAnc(b)
+	if err != nil {
+		return l, err
+	}
+	l.Child, b, err = getAnc(b)
+	if err != nil {
+		return l, err
+	}
+	if err := need(4); err != nil {
+		return l, err
+	}
+	count := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if count != l.Spec.Words() {
+		return l, fmt.Errorf("%w: payload length %d does not match spec %d", ErrBadLabel, count, l.Spec.Words())
+	}
+	if err := need(8 * count); err != nil {
+		return l, err
+	}
+	l.Out = make([]uint64, count)
+	for i := range l.Out {
+		l.Out[i] = binary.LittleEndian.Uint64(b)
+		b = b[8:]
+	}
+	if len(b) != 0 {
+		return l, fmt.Errorf("%w: trailing bytes", ErrBadLabel)
+	}
+	return l, nil
+}
+
+// VertexLabelBits returns the wire size of a vertex label in bits.
+func VertexLabelBits(l VertexLabel) int { return 8 * len(MarshalVertexLabel(l)) }
+
+// EdgeLabelBits returns the wire size of an edge label in bits.
+func EdgeLabelBits(l EdgeLabel) int { return 8 * len(MarshalEdgeLabel(l)) }
+
+// MaxEdgeLabelBits returns the maximum edge-label size of the scheme — the
+// paper's per-edge label-size metric.
+func (s *Scheme) MaxEdgeLabelBits() int {
+	maxBits := 0
+	for e := range s.edgeLabels {
+		if b := EdgeLabelBits(s.edgeLabels[e]); b > maxBits {
+			maxBits = b
+		}
+	}
+	return maxBits
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/fragments"
+)
+
+// ErrLabelMismatch is returned when labels from different graphs or
+// constructions are mixed in one query.
+var ErrLabelMismatch = errors.New("core: labels belong to different schemes")
+
+// ErrTooManyFaults is returned when the (deduplicated) fault set exceeds the
+// budget f the labels were constructed for.
+var ErrTooManyFaults = errors.New("core: fault set exceeds the labels' budget")
+
+// Connected is the universal decoder D^con (§7.1): it decides the s–t
+// connectivity of G − F purely from the labels of s, t, and the edges of F,
+// using the fast query algorithm of §7.6. It never accesses the graph.
+func Connected(s, t VertexLabel, faults []EdgeLabel) (bool, error) {
+	return connected(s, t, faults, true)
+}
+
+// ConnectedBasic runs the simpler §7.2 query algorithm (always grow the
+// fragment containing s). Primarily a cross-check and a Table 1 measurement
+// point; results are always identical to Connected.
+func ConnectedBasic(s, t VertexLabel, faults []EdgeLabel) (bool, error) {
+	return connected(s, t, faults, false)
+}
+
+func connected(s, t VertexLabel, faults []EdgeLabel, fast bool) (bool, error) {
+	if s.Token != t.Token {
+		return false, fmt.Errorf("%w: vertex tokens differ", ErrLabelMismatch)
+	}
+	if s.Anc.Root != t.Anc.Root {
+		// Different trees of the spanning forest: never connected, no
+		// matter the faults.
+		return false, nil
+	}
+	if s.Anc.Pre == t.Anc.Pre {
+		return true, nil
+	}
+	q, err := newQueryState(s, t, faults)
+	if err != nil {
+		return false, err
+	}
+	if q == nil {
+		// No relevant faults: same component ⇒ connected.
+		return true, nil
+	}
+	if q.fragS == q.fragT {
+		return true, nil
+	}
+	if fast {
+		return q.runFast()
+	}
+	return q.runBasic()
+}
+
+// queryState is the per-query working set: the fragment decomposition, one
+// outdetect aggregate per super-fragment, and the boundary bookkeeping of
+// §7.6.
+type queryState struct {
+	spec         OutSpec
+	maxFaults    int
+	frags        *fragments.Set
+	fragS, fragT int
+
+	// Per fragment c (0..q): parent pointer for the union-find over
+	// fragments, and for roots the live super-fragment state.
+	parent []int
+	super  []*superFrag
+
+	// recording, when set (RoutePlan), retains every decoded crossing
+	// with its endpoint fragments for route extraction.
+	recording bool
+	records   []crossRec
+}
+
+// superFrag is τ(S) from §7.6: the aggregated outdetect payload, the
+// boundary fault bitset, and membership flags.
+type superFrag struct {
+	sum      []uint64
+	cut      []uint64 // bitset over fault indices
+	cutSize  int
+	hasS     bool
+	hasT     bool
+	version  int
+	discard  bool
+	closed   bool
+	fragRoot int
+}
+
+func newQueryState(s, t VertexLabel, faults []EdgeLabel) (*queryState, error) {
+	var fs []fragments.Fault
+	var spec OutSpec
+	maxFaults := 0
+	var relevant []EdgeLabel
+	for i := range faults {
+		fl := &faults[i]
+		if fl.Token != s.Token {
+			return nil, fmt.Errorf("%w: fault %d token differs", ErrLabelMismatch, i)
+		}
+		if fl.Child.Root != s.Anc.Root {
+			continue // fault in another component: irrelevant
+		}
+		relevant = append(relevant, *fl)
+		maxFaults = fl.MaxFaults
+		spec = fl.Spec
+	}
+	if len(relevant) == 0 {
+		return nil, nil
+	}
+	for _, fl := range relevant {
+		ft, err := fragments.Normalize(fl.Parent, fl.Child)
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, ft)
+	}
+	set, err := fragments.Build(fs)
+	if err != nil {
+		return nil, err
+	}
+	if len(set.Faults) > maxFaults {
+		return nil, fmt.Errorf("%w: %d faults, budget %d", ErrTooManyFaults, len(set.Faults), maxFaults)
+	}
+	// Re-associate deduplicated faults with their labels (by child pre).
+	labelByChild := make(map[uint32]*EdgeLabel, len(relevant))
+	for i := range relevant {
+		ft, err := fragments.Normalize(relevant[i].Parent, relevant[i].Child)
+		if err != nil {
+			return nil, err
+		}
+		labelByChild[ft.Child.Pre] = &relevant[i]
+	}
+	words := spec.Words()
+	q := &queryState{
+		spec:      spec,
+		maxFaults: maxFaults,
+		frags:     set,
+		parent:    make([]int, set.Count()),
+		super:     make([]*superFrag, set.Count()),
+	}
+	for c := 0; c < set.Count(); c++ {
+		q.parent[c] = c
+		sf := &superFrag{
+			sum:      make([]uint64, words),
+			cut:      make([]uint64, (len(set.Faults)+63)/64),
+			fragRoot: c,
+		}
+		for _, fi := range set.Boundary[c] {
+			fl := labelByChild[set.Faults[fi].Child.Pre]
+			if fl == nil || len(fl.Out) != words {
+				return nil, fmt.Errorf("%w: inconsistent fault payloads", ErrLabelMismatch)
+			}
+			for w := range fl.Out {
+				sf.sum[w] ^= fl.Out[w]
+			}
+			sf.cut[fi/64] ^= 1 << uint(fi%64)
+		}
+		sf.cutSize = popcount(sf.cut)
+		q.super[c] = sf
+	}
+	q.fragS = set.StabLabel(s.Anc)
+	q.fragT = set.StabLabel(t.Anc)
+	q.super[q.fragS].hasS = true
+	q.super[q.fragT].hasT = true
+	return q, nil
+}
+
+func popcount(words []uint64) int {
+	n := 0
+	for _, w := range words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// find is the union-find lookup over fragment indices.
+func (q *queryState) find(c int) int {
+	for q.parent[c] != c {
+		q.parent[c] = q.parent[q.parent[c]]
+		c = q.parent[c]
+	}
+	return c
+}
+
+// adaptiveBudget scales the Reed–Solomon prefix budget to the actual
+// boundary size of the queried super-fragment (Appendix B): the threshold
+// grows as f² for the deterministic hierarchy and as f for the sampled one,
+// so a boundary of b ≤ f faults needs only the correspondingly scaled
+// prefix. DecodeOutgoing retries at the full threshold on failure, so this
+// is purely a speed optimization.
+func (q *queryState) adaptiveBudget(boundary int) int {
+	if q.spec.Kind == KindAGM || q.maxFaults == 0 || boundary >= q.maxFaults {
+		return q.spec.K
+	}
+	var scaled int
+	switch q.spec.Kind {
+	case KindRandRS:
+		scaled = q.spec.K * boundary / q.maxFaults
+	default:
+		scaled = q.spec.K * boundary * boundary / (q.maxFaults * q.maxFaults)
+	}
+	if scaled < 4 {
+		scaled = 4
+	}
+	if scaled > q.spec.K {
+		scaled = q.spec.K
+	}
+	return scaled
+}
+
+// mergeInto unions the super-fragment rooted at src into the one rooted at
+// dst (both must be distinct union-find roots) and returns the new root's
+// state.
+func (q *queryState) mergeInto(dst, src int) *superFrag {
+	a, b := q.super[dst], q.super[src]
+	q.parent[src] = dst
+	for w := range a.sum {
+		a.sum[w] ^= b.sum[w]
+	}
+	for w := range a.cut {
+		a.cut[w] ^= b.cut[w]
+	}
+	a.cutSize = popcount(a.cut)
+	a.hasS = a.hasS || b.hasS
+	a.hasT = a.hasT || b.hasT
+	a.version++
+	b.discard = true
+	return a
+}
+
+// growOnce decodes the outgoing edges of the super-fragment rooted at root
+// and merges every discovered neighbor super-fragment into it. It returns
+// (done, answer): done=true when the query is resolved.
+func (q *queryState) growOnce(root int) (bool, bool, error) {
+	sf := q.super[root]
+	ids, err := q.spec.DecodeOutgoing(sf.sum, q.adaptiveBudget(sf.cutSize))
+	if err != nil {
+		return false, false, err
+	}
+	if len(ids) == 0 {
+		// Closed: V(S) is a union of G−F components.
+		if sf.hasS || sf.hasT {
+			return true, false, nil
+		}
+		sf.discard = true
+		return false, false, nil
+	}
+	merges := 0
+	for _, id := range ids {
+		p1, p2 := edgeIDParts(id)
+		f1, f2 := q.frags.Stab(p1), q.frags.Stab(p2)
+		if q.recording {
+			q.records = append(q.records, crossRec{p1: p1, p2: p2, c1: f1, c2: f2})
+		}
+		c1 := q.find(f1)
+		c2 := q.find(f2)
+		cur := q.find(root)
+		var other int
+		switch {
+		case c1 == cur && c2 != cur:
+			other = c2
+		case c2 == cur && c1 != cur:
+			other = c1
+		default:
+			// Both endpoints already inside (an earlier id this round
+			// merged the other side) — skip.
+			continue
+		}
+		merges++
+		merged := q.mergeInto(cur, other)
+		if merged.hasS && merged.hasT {
+			return true, true, nil
+		}
+	}
+	if merges == 0 {
+		// Every decoded edge claims to stay inside the super-fragment: a
+		// genuine outgoing-edge set cannot do that, so the syndrome was
+		// an undetected overload (only reachable with thresholds far
+		// below the defaults). Surface it rather than looping.
+		return false, false, fmt.Errorf("%w: decoded edges do not leave the fragment", ErrDecode)
+	}
+	return false, false, nil
+}
+
+// runBasic grows the fragment containing s until t's fragment is merged or
+// the component closes (§7.2).
+func (q *queryState) runBasic() (bool, error) {
+	for {
+		root := q.find(q.fragS)
+		done, ans, err := q.growOnce(root)
+		if err != nil {
+			return false, err
+		}
+		if done {
+			return ans, nil
+		}
+		if q.super[q.find(q.fragS)].discard {
+			// s's component closed without touching t.
+			return false, nil
+		}
+	}
+}
+
+// superHeap orders live super-fragments by boundary size (then by fragment
+// root for determinism) — the §7.6 refinement.
+type superHeap struct {
+	q     *queryState
+	items []heapItem
+}
+
+type heapItem struct {
+	root    int
+	version int
+	cutSize int
+}
+
+func (h *superHeap) Len() int { return len(h.items) }
+func (h *superHeap) Less(i, j int) bool {
+	if h.items[i].cutSize != h.items[j].cutSize {
+		return h.items[i].cutSize < h.items[j].cutSize
+	}
+	return h.items[i].root < h.items[j].root
+}
+func (h *superHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *superHeap) Push(x interface{}) { h.items = append(h.items, x.(heapItem)) }
+func (h *superHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// runFast is the heap-driven query of §7.6: always expand the live
+// super-fragment with the smallest tree boundary.
+func (q *queryState) runFast() (bool, error) {
+	h := &superHeap{q: q}
+	for c := 0; c < q.frags.Count(); c++ {
+		sf := q.super[c]
+		h.items = append(h.items, heapItem{root: c, version: sf.version, cutSize: sf.cutSize})
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(heapItem)
+		root := it.root
+		sf := q.super[root]
+		if sf.discard || q.find(root) != root || sf.version != it.version {
+			continue // stale entry (lazy deletion)
+		}
+		done, ans, err := q.growOnce(root)
+		if err != nil {
+			return false, err
+		}
+		if done {
+			return ans, nil
+		}
+		cur := q.find(root)
+		csf := q.super[cur]
+		if !csf.discard {
+			heap.Push(h, heapItem{root: cur, version: csf.version, cutSize: csf.cutSize})
+		}
+	}
+	// Every super-fragment closed without uniting s and t.
+	return false, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import "fmt"
+
+// RouteStep is one leg of a forbidden-set route plan (Corollary 2 support).
+// The router tree-routes toward the T′ preorder Near; when the current node
+// either owns the virtual subdivision vertex with preorder Near, or is
+// itself Near and Far is nonzero, it crosses the non-tree edge identified by
+// the pair and continues with the next step. A final step has Far == 0 and
+// Near == the destination's preorder.
+type RouteStep struct {
+	Near, Far uint32
+}
+
+// crossRec is a decoded crossing edge remembered during query growth: the
+// edge's two ID parts and the (original, pre-merge) fragments they stab.
+type crossRec struct {
+	p1, p2 uint32
+	c1, c2 int
+}
+
+// RoutePlan computes a forbidden-set route plan from s to t avoiding the
+// faulty edges, using labels only. It returns (plan, true, nil) when t is
+// reachable; (nil, false, nil) when provably unreachable. The plan's
+// crossings hop between tree fragments exactly along a path in the fragment
+// graph discovered by the §7.6 query.
+func RoutePlan(s, t VertexLabel, faults []EdgeLabel) ([]RouteStep, bool, error) {
+	if s.Token != t.Token {
+		return nil, false, fmt.Errorf("%w: vertex tokens differ", ErrLabelMismatch)
+	}
+	if s.Anc.Root != t.Anc.Root {
+		return nil, false, nil
+	}
+	final := RouteStep{Near: t.Anc.Pre}
+	if s.Anc.Pre == t.Anc.Pre {
+		return []RouteStep{final}, true, nil
+	}
+	q, err := newQueryState(s, t, faults)
+	if err != nil {
+		return nil, false, err
+	}
+	if q == nil || q.fragS == q.fragT {
+		// No relevant faults (or same fragment): pure tree routing.
+		return []RouteStep{final}, true, nil
+	}
+	q.recording = true
+	ok, err := q.runFast()
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	// BFS over the fragment graph induced by the recorded crossings.
+	count := q.frags.Count()
+	adj := make([][]int, count) // record indices
+	for ri, r := range q.records {
+		if r.c1 == r.c2 {
+			continue
+		}
+		adj[r.c1] = append(adj[r.c1], ri)
+		adj[r.c2] = append(adj[r.c2], ri)
+	}
+	prev := make([]int, count) // record index that discovered the fragment
+	for i := range prev {
+		prev[i] = -1
+	}
+	visited := make([]bool, count)
+	visited[q.fragS] = true
+	queue := []int{q.fragS}
+	for len(queue) > 0 && !visited[q.fragT] {
+		c := queue[0]
+		queue = queue[1:]
+		for _, ri := range adj[c] {
+			r := q.records[ri]
+			next := r.c1 + r.c2 - c
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			prev[next] = ri
+			queue = append(queue, next)
+		}
+	}
+	if !visited[q.fragT] {
+		// The query proved connectivity, so the recorded crossings must
+		// span s's super-fragment; failing here is an internal bug.
+		return nil, false, fmt.Errorf("core: internal: fragment path missing after positive query")
+	}
+	// Walk back from t's fragment, emitting crossings in reverse.
+	var rev []RouteStep
+	c := q.fragT
+	for c != q.fragS {
+		r := q.records[prev[c]]
+		from := r.c1 + r.c2 - c
+		near, far := r.p1, r.p2
+		if q.frags.Stab(near) != from {
+			near, far = far, near
+		}
+		rev = append(rev, RouteStep{Near: near, Far: far})
+		c = from
+	}
+	plan := make([]RouteStep, 0, len(rev)+1)
+	for i := len(rev) - 1; i >= 0; i-- {
+		plan = append(plan, rev[i])
+	}
+	plan = append(plan, final)
+	return plan, true, nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import "fmt"
+
+// Session amortizes queries that share one fault set — the dominant pattern
+// in practice (one failure event, many reachability probes). It runs the
+// fragment discovery of §7.6 once, to completion, computing the full
+// connectivity partition of the fragments; subsequent probes cost two
+// interval stabs plus a union-find lookup.
+//
+// A Session is still decoder-side only: it is built purely from labels.
+type Session struct {
+	token uint64
+	root  uint32
+	q     *queryState
+	// trivial is set when the fault set is empty/irrelevant: connectivity
+	// degenerates to same-component.
+	trivial bool
+}
+
+// NewSession prepares a session for the component identified by anchor (any
+// vertex label in the component of interest) and the given fault labels.
+func NewSession(anchor VertexLabel, faults []EdgeLabel) (*Session, error) {
+	s := &Session{token: anchor.Token, root: anchor.Anc.Root}
+	// Reuse the query-state construction with s = t = anchor; fragS/fragT
+	// collapse but the fragment structure is what we're after.
+	q, err := newQueryState(anchor, anchor, faults)
+	if err != nil {
+		return nil, err
+	}
+	if q == nil {
+		s.trivial = true
+		return s, nil
+	}
+	s.q = q
+	// Drive every super-fragment to closure: repeatedly grow any live
+	// super-fragment until all are closed. The total number of grow steps
+	// is bounded by fragments + merges.
+	for {
+		progress := false
+		for c := 0; c < q.frags.Count(); c++ {
+			root := q.find(c)
+			sf := q.super[root]
+			if sf.discard || sf.closed {
+				continue
+			}
+			ids, err := q.spec.DecodeOutgoing(sf.sum, q.adaptiveBudget(sf.cutSize))
+			if err != nil {
+				return nil, err
+			}
+			if len(ids) == 0 {
+				sf.closed = true
+				continue
+			}
+			merged := false
+			for _, id := range ids {
+				p1, p2 := edgeIDParts(id)
+				c1 := q.find(q.frags.Stab(p1))
+				c2 := q.find(q.frags.Stab(p2))
+				cur := q.find(root)
+				var other int
+				switch {
+				case c1 == cur && c2 != cur:
+					other = c2
+				case c2 == cur && c1 != cur:
+					other = c1
+				default:
+					continue
+				}
+				q.mergeInto(cur, other)
+				merged = true
+			}
+			if !merged {
+				return nil, fmt.Errorf("%w: decoded edges do not leave the fragment", ErrDecode)
+			}
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	return s, nil
+}
+
+// Connected probes s–t connectivity under the session's fault set.
+func (s *Session) Connected(sv, tv VertexLabel) (bool, error) {
+	if sv.Token != s.token || tv.Token != s.token {
+		return false, fmt.Errorf("%w: session token differs", ErrLabelMismatch)
+	}
+	if sv.Anc.Root != tv.Anc.Root {
+		return false, nil
+	}
+	if sv.Anc.Pre == tv.Anc.Pre {
+		return true, nil
+	}
+	if s.trivial || sv.Anc.Root != s.root {
+		// No relevant faults for this component: same root ⇒ connected.
+		return true, nil
+	}
+	a := s.q.find(s.q.frags.StabLabel(sv.Anc))
+	b := s.q.find(s.q.frags.StabLabel(tv.Anc))
+	return a == b, nil
+}
+
+// Fragments returns the number of tree fragments the fault set induced.
+func (s *Session) Fragments() int {
+	if s.trivial {
+		return 1
+	}
+	return s.q.frags.Count()
+}
+
+// Components returns the number of connected components the fragments form
+// in G − F (within the session's component of G).
+func (s *Session) Components() int {
+	if s.trivial {
+		return 1
+	}
+	seen := map[int]bool{}
+	for c := 0; c < s.q.frags.Count(); c++ {
+		seen[s.q.find(c)] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,176 @@
+package distlabel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func buildScheme(t *testing.T, seed int64, n int, f, kappa int) (*graph.Graph, *Scheme) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := workload.ErdosRenyi(n, 0.2, true, rng)
+	workload.AssignRandomWeights(g, 60, rng)
+	s, err := Build(g, Params{MaxFaults: f, Kappa: kappa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s
+}
+
+func runQuery(t *testing.T, g *graph.Graph, s *Scheme, sv, tv int, faults []int, kappa int) Result {
+	t.Helper()
+	fl := make([]EdgeLabel, len(faults))
+	for i, e := range faults {
+		fl[i] = s.EdgeLabel(e)
+	}
+	res, err := Query(s.VertexLabel(sv), s.VertexLabel(tv), fl, g.N(), kappa)
+	if err != nil {
+		t.Fatalf("Query(%d,%d,%v): %v", sv, tv, faults, err)
+	}
+	return res
+}
+
+// TestBoundsSandwichGroundTruth validates every guarantee in Result against
+// exact Dijkstra / bottleneck computations.
+func TestBoundsSandwichGroundTruth(t *testing.T) {
+	const kappa = 2
+	for trial := 0; trial < 5; trial++ {
+		g, s := buildScheme(t, int64(trial), 22+3*trial, 2, kappa)
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		for q := 0; q < 40; q++ {
+			faults := workload.RandomFaults(g, rng.Intn(3), rng)
+			set := workload.FaultSet(faults)
+			sv, tv := rng.Intn(g.N()), rng.Intn(g.N())
+			if sv == tv {
+				continue
+			}
+			res := runQuery(t, g, s, sv, tv, faults, kappa)
+			wantConn := graph.ConnectedUnder(g, set, sv, tv)
+			if res.Connected != wantConn {
+				t.Fatalf("connectivity mismatch: got %v want %v", res.Connected, wantConn)
+			}
+			if !wantConn {
+				continue
+			}
+			bottleneck := graph.BottleneckDistanceUnder(g, set, sv, tv)
+			dist := graph.WeightedDistancesUnder(g, set, sv)[tv]
+			if bottleneck > res.BottleneckUpper {
+				t.Fatalf("bottleneck %d exceeds upper bound %d", bottleneck, res.BottleneckUpper)
+			}
+			if bottleneck < res.BottleneckLower {
+				t.Fatalf("bottleneck %d below lower bound %d", bottleneck, res.BottleneckLower)
+			}
+			if dist > res.DistanceUpper {
+				t.Fatalf("distance %d exceeds upper bound %d", dist, res.DistanceUpper)
+			}
+			if dist < res.DistanceLower {
+				t.Fatalf("distance %d below lower bound %d", dist, res.DistanceLower)
+			}
+		}
+	}
+}
+
+func TestUnweightedCollapsesToConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := workload.ErdosRenyi(20, 0.2, true, rng)
+	s, err := Build(g, Params{MaxFaults: 2, Kappa: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Scales() != 1 {
+		t.Fatalf("unweighted graph should have 1 scale, got %d", s.Scales())
+	}
+	res := runQuery(t, g, s, 0, g.N()-1, nil, 2)
+	if !res.Connected || res.Scale != 1 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+func TestNonSpannerFaultsIgnorable(t *testing.T) {
+	// Faults restricted to non-spanner edges must never flip connectivity
+	// (that is the fault-tolerance property of the spanner).
+	rng := rand.New(rand.NewSource(11))
+	g := workload.ErdosRenyi(25, 0.35, true, rng)
+	workload.AssignRandomWeights(g, 30, rng)
+	const f = 2
+	s, err := Build(g, Params{MaxFaults: f, Kappa: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outside []int
+	for e := 0; e < g.M(); e++ {
+		if !s.sp.InSpanner[e] {
+			outside = append(outside, e)
+		}
+	}
+	if len(outside) < f {
+		t.Skip("spanner kept almost everything")
+	}
+	faults := outside[:f]
+	set := workload.FaultSet(faults)
+	for q := 0; q < 30; q++ {
+		sv, tv := rng.Intn(g.N()), rng.Intn(g.N())
+		res := runQuery(t, g, s, sv, tv, faults, 2)
+		if res.Connected != graph.ConnectedUnder(g, set, sv, tv) {
+			t.Fatalf("non-spanner faults changed the answer for (%d,%d)", sv, tv)
+		}
+	}
+}
+
+func TestDisconnection(t *testing.T) {
+	// A weighted path: cutting an edge separates the sides.
+	g := graph.New(4)
+	var ids []int
+	for i := 0; i < 3; i++ {
+		id, err := g.AddWeightedEdge(i, i+1, int64(1)<<uint(2*i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	s, err := Build(g, Params{MaxFaults: 1, Kappa: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runQuery(t, g, s, 0, 3, []int{ids[1]}, 1)
+	if res.Connected {
+		t.Fatal("cut edge should disconnect")
+	}
+	res = runQuery(t, g, s, 0, 3, nil, 1)
+	if !res.Connected {
+		t.Fatal("path should be connected")
+	}
+	// The path bottleneck is the heaviest edge, 16: scale must bracket it.
+	if res.BottleneckUpper < 16 || res.BottleneckLower > 16 {
+		t.Fatalf("bottleneck 16 outside [%d,%d]", res.BottleneckLower, res.BottleneckUpper)
+	}
+}
+
+func TestLabelBits(t *testing.T) {
+	_, s := buildScheme(t, 77, 20, 1, 2)
+	vb, eb := s.LabelBits()
+	if vb <= 0 || eb <= 0 {
+		t.Fatalf("label bits: %d, %d", vb, eb)
+	}
+	if vb >= eb {
+		t.Fatalf("vertex labels (%d bits) should be far smaller than edge labels (%d bits)", vb, eb)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Params{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := Build(workload.Cycle(4), Params{MaxFaults: -1}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	if _, err := Query(VertexLabel{}, VertexLabel{}, nil, 5, 2); err == nil {
+		t.Fatal("empty labels accepted")
+	}
+}

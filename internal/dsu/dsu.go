@@ -1,0 +1,66 @@
+// Package dsu implements a disjoint-set union (union–find) structure with
+// union by size and path compression. It backs the fragment-merging loop of
+// the fast query algorithm (paper §7.6) and the ground-truth connectivity
+// checks used throughout the test suites.
+package dsu
+
+// DSU is a disjoint-set forest over the integers [0, n).
+type DSU struct {
+	parent []int32
+	size   []int32
+	sets   int
+}
+
+// New returns a DSU with n singleton sets.
+func New(n int) *DSU {
+	d := &DSU{
+		parent: make([]int32, n),
+		size:   make([]int32, n),
+		sets:   n,
+	}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+		d.size[i] = 1
+	}
+	return d
+}
+
+// Find returns the canonical representative of x's set.
+func (d *DSU) Find(x int) int {
+	root := int32(x)
+	for d.parent[root] != root {
+		root = d.parent[root]
+	}
+	// Path compression.
+	for int32(x) != root {
+		next := d.parent[x]
+		d.parent[x] = root
+		x = int(next)
+	}
+	return int(root)
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// happened (false when they were already in the same set).
+func (d *DSU) Union(x, y int) bool {
+	rx, ry := int32(d.Find(x)), int32(d.Find(y))
+	if rx == ry {
+		return false
+	}
+	if d.size[rx] < d.size[ry] {
+		rx, ry = ry, rx
+	}
+	d.parent[ry] = rx
+	d.size[rx] += d.size[ry]
+	d.sets--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (d *DSU) Same(x, y int) bool { return d.Find(x) == d.Find(y) }
+
+// Sets returns the current number of disjoint sets.
+func (d *DSU) Sets() int { return d.sets }
+
+// SizeOf returns the size of the set containing x.
+func (d *DSU) SizeOf(x int) int { return int(d.size[d.Find(x)]) }

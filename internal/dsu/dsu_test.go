@@ -1,0 +1,68 @@
+package dsu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicUnionFind(t *testing.T) {
+	d := New(6)
+	if d.Sets() != 6 {
+		t.Fatalf("Sets() = %d, want 6", d.Sets())
+	}
+	if !d.Union(0, 1) {
+		t.Fatal("Union(0,1) should merge")
+	}
+	if d.Union(1, 0) {
+		t.Fatal("Union(1,0) should be a no-op")
+	}
+	d.Union(2, 3)
+	d.Union(0, 3)
+	if !d.Same(1, 2) {
+		t.Fatal("1 and 2 should be connected via 0-1, 2-3, 0-3")
+	}
+	if d.Same(4, 5) {
+		t.Fatal("4 and 5 should be separate")
+	}
+	if d.Sets() != 3 {
+		t.Fatalf("Sets() = %d, want 3", d.Sets())
+	}
+	if d.SizeOf(1) != 4 {
+		t.Fatalf("SizeOf(1) = %d, want 4", d.SizeOf(1))
+	}
+}
+
+// TestAgainstNaive cross-checks a long random operation sequence against a
+// quadratic reference implementation.
+func TestAgainstNaive(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(7))
+	d := New(n)
+	ref := make([]int, n) // ref[i] = naive component id
+	for i := range ref {
+		ref[i] = i
+	}
+	relabel := func(from, to int) {
+		for i := range ref {
+			if ref[i] == from {
+				ref[i] = to
+			}
+		}
+	}
+	for op := 0; op < 2000; op++ {
+		x, y := rng.Intn(n), rng.Intn(n)
+		if rng.Intn(2) == 0 {
+			merged := d.Union(x, y)
+			if merged != (ref[x] != ref[y]) {
+				t.Fatalf("op %d: Union(%d,%d) merged=%v, ref disagrees", op, x, y, merged)
+			}
+			if ref[x] != ref[y] {
+				relabel(ref[y], ref[x])
+			}
+		} else {
+			if d.Same(x, y) != (ref[x] == ref[y]) {
+				t.Fatalf("op %d: Same(%d,%d) disagrees with reference", op, x, y)
+			}
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package epsnet implements the paper's deterministic ε-net constructions
+// for axis-aligned rectangles (§4.3, §7.5):
+//
+//   - NetFind — the divide-and-conquer algorithm of Lemma 12, producing in
+//     O(|P|·log|P|·log N) time a (12·log N / |P|)-net of size at most
+//     |P|·log|P| / (2·log N) (a constant fraction when N = |P|).
+//   - GreedyCanonicalNet — a polynomial-time deterministic alternative used
+//     where the paper invokes the optimal net of Mustafa–Dutta–Ghosh
+//     [MDG18]; see DESIGN.md §3.5 for the substitution rationale.
+//
+// Feeding these nets to the Euler-tour embedding of non-tree edges yields
+// the (S_{f,T}, k)-good sparsification hierarchy (Lemma 5): a shape in H_2f
+// with ≥ γ(2f+1)²/2 points contains an axis-aligned rectangle with ≥ γ
+// points, so an ε-net for rectangles hits every heavy cutset region.
+package epsnet
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/euler"
+)
+
+// Point aliases the Euler-tour embedding point: (X, Y) planar coordinates
+// plus the identity of the edge the point represents.
+type Point = euler.Point
+
+// lg returns log₂(max(n, 2)).
+func lg(n int) float64 {
+	if n < 2 {
+		n = 2
+	}
+	return math.Log2(float64(n))
+}
+
+// NetFind implements Lemma 12. Given a point multiset pts and a size bound
+// N ≥ |pts|, it returns a subset hitting every axis-aligned rectangle that
+// contains at least 12·log₂N of the points. The output size is at most
+// |pts|·log₂|pts| / (2·log₂N); with N = len(pts) that is at most half the
+// input, which is how the hierarchy shrinks geometrically.
+func NetFind(n int, pts []Point) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	work := make([]Point, len(pts))
+	copy(work, pts)
+	// One global sort by (X, Y, Edge); recursion bisects sorted slices so
+	// the vertical median line is just the middle index.
+	sort.Slice(work, func(i, j int) bool {
+		if work[i].X != work[j].X {
+			return work[i].X < work[j].X
+		}
+		if work[i].Y != work[j].Y {
+			return work[i].Y < work[j].Y
+		}
+		return work[i].Edge < work[j].Edge
+	})
+	logN := lg(n)
+	selected := map[int]Point{} // keyed by edge id: dedupes across recursion levels
+	netFindRec(work, logN, selected)
+	out := make([]Point, 0, len(selected))
+	for _, p := range selected {
+		out = append(out, p)
+	}
+	// Deterministic output order.
+	sort.Slice(out, func(i, j int) bool { return out[i].Edge < out[j].Edge })
+	return out
+}
+
+// netFindRec processes one recursive call of Lemma 12 on x-sorted points.
+func netFindRec(pts []Point, logN float64, selected map[int]Point) {
+	if float64(len(pts)) < 12*logN {
+		return
+	}
+	mid := len(pts) / 2
+	m := pts[mid].X // vertical bisecting line x = M
+	// Lemma 11 with ε = 1/(2·log N): chunks of 2/ε = 4·log N points by
+	// y-order; per chunk keep the x-closest point on each side of the line.
+	crossNet(pts, m, int(math.Ceil(4*logN)), selected)
+	netFindRec(pts[:mid], logN, selected)
+	netFindRec(pts[mid:], logN, selected)
+}
+
+// crossNet implements Lemma 11: a net for rectangles crossing the vertical
+// line x = m. Points are re-sorted by y and cut into chunks of the given
+// size; each chunk contributes the point with maximum X among those with
+// X ≤ m and the point with minimum X among those with X ≥ m.
+func crossNet(pts []Point, m int32, chunk int, selected map[int]Point) {
+	if chunk < 1 {
+		chunk = 1
+	}
+	byY := make([]Point, len(pts))
+	copy(byY, pts)
+	sort.Slice(byY, func(i, j int) bool {
+		if byY[i].Y != byY[j].Y {
+			return byY[i].Y < byY[j].Y
+		}
+		if byY[i].X != byY[j].X {
+			return byY[i].X < byY[j].X
+		}
+		return byY[i].Edge < byY[j].Edge
+	})
+	for start := 0; start < len(byY); start += chunk {
+		end := start + chunk
+		if end > len(byY) {
+			end = len(byY)
+		}
+		var lo, hi *Point
+		for i := start; i < end; i++ {
+			p := byY[i]
+			if p.X <= m && (lo == nil || p.X > lo.X) {
+				q := p
+				lo = &q
+			}
+			if p.X >= m && (hi == nil || p.X < hi.X) {
+				q := p
+				hi = &q
+			}
+		}
+		if lo != nil {
+			selected[lo.Edge] = *lo
+		}
+		if hi != nil {
+			selected[hi.Edge] = *hi
+		}
+	}
+}
+
+// NetFindThreshold returns the rectangle weight above which NetFind's output
+// is guaranteed to hit: 12·log₂N points.
+func NetFindThreshold(n int) int {
+	return int(math.Ceil(12 * lg(n)))
+}
+
+// GreedyCanonicalNet returns a subset of pts hitting every axis-aligned
+// rectangle containing at least gamma points, via greedy hitting-set over
+// the canonical minimal heavy rectangles. It is the polynomial-time
+// deterministic stand-in for [MDG18] (DESIGN.md §3.5): for every pair of
+// y-bounds realized by input points it slides a minimal x-window of exactly
+// gamma points, then greedily picks the point stabbing the most unhit
+// windows. Intended for the poly(N) second scheme on moderate N (the window
+// enumeration is O(N³) in the worst case).
+func GreedyCanonicalNet(pts []Point, gamma int) []Point {
+	if gamma < 1 {
+		gamma = 1
+	}
+	if len(pts) < gamma {
+		return nil
+	}
+	ys := distinctYs(pts)
+	// Enumerate canonical minimal heavy rectangles as point-index sets.
+	var rects [][]int
+	for loi := 0; loi < len(ys); loi++ {
+		for hii := loi; hii < len(ys); hii++ {
+			yLo, yHi := ys[loi], ys[hii]
+			// Points within the y-band, sorted by x.
+			var band []int
+			for i, p := range pts {
+				if p.Y >= yLo && p.Y <= yHi {
+					band = append(band, i)
+				}
+			}
+			if len(band) < gamma {
+				continue
+			}
+			sort.Slice(band, func(a, b int) bool { return pts[band[a]].X < pts[band[b]].X })
+			for s := 0; s+gamma <= len(band); s++ {
+				win := make([]int, gamma)
+				copy(win, band[s:s+gamma])
+				rects = append(rects, win)
+			}
+		}
+	}
+	// Greedy hitting set.
+	hitCount := make([]int, len(pts))
+	alive := make([]bool, len(rects))
+	remaining := len(rects)
+	for i := range rects {
+		alive[i] = true
+		for _, p := range rects[i] {
+			hitCount[p]++
+		}
+	}
+	var chosen []Point
+	picked := make([]bool, len(pts))
+	for remaining > 0 {
+		best, bestCnt := -1, 0
+		for i, c := range hitCount {
+			if !picked[i] && c > bestCnt {
+				best, bestCnt = i, c
+			}
+		}
+		if best == -1 {
+			break
+		}
+		picked[best] = true
+		chosen = append(chosen, pts[best])
+		for ri, r := range rects {
+			if !alive[ri] {
+				continue
+			}
+			covered := false
+			for _, p := range r {
+				if p == best {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				alive[ri] = false
+				remaining--
+				for _, p := range r {
+					hitCount[p]--
+				}
+			}
+		}
+	}
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i].Edge < chosen[j].Edge })
+	return chosen
+}
+
+func distinctYs(pts []Point) []int32 {
+	set := map[int32]bool{}
+	for _, p := range pts {
+		set[p.Y] = true
+	}
+	out := make([]int32, 0, len(set))
+	for y := range set {
+		out = append(out, y)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CountInRect counts points of pts inside the closed rectangle
+// [x1,x2]×[y1,y2] — a test/validation helper.
+func CountInRect(pts []Point, x1, x2, y1, y2 int32) int {
+	cnt := 0
+	for _, p := range pts {
+		if p.X >= x1 && p.X <= x2 && p.Y >= y1 && p.Y <= y2 {
+			cnt++
+		}
+	}
+	return cnt
+}

@@ -1,0 +1,226 @@
+package epsnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomPoints(rng *rand.Rand, n int, coordMax int32) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			X:    1 + rng.Int31n(coordMax),
+			Y:    1 + rng.Int31n(coordMax),
+			Edge: i,
+		}
+	}
+	return pts
+}
+
+// heavyRectangles generates rectangles guaranteed to contain at least
+// `weight` points by growing around random point subsets. Returns fewer than
+// count when weight is close to the population size.
+func heavyRectangles(rng *rand.Rand, pts []Point, weight, count int) [][4]int32 {
+	if weight > len(pts) {
+		return nil
+	}
+	var out [][4]int32
+	for attempt := 0; len(out) < count && attempt < 10*count; attempt++ {
+		// Anchor at a random point and expand until heavy.
+		c := pts[rng.Intn(len(pts))]
+		x1, x2, y1, y2 := c.X, c.X, c.Y, c.Y
+		grow := int32(1)
+		for CountInRect(pts, x1, x2, y1, y2) < weight && grow < 1<<20 {
+			x1, x2, y1, y2 = x1-grow, x2+grow, y1-grow, y2+grow
+			grow *= 2
+		}
+		if CountInRect(pts, x1, x2, y1, y2) >= weight {
+			out = append(out, [4]int32{x1, x2, y1, y2})
+		}
+	}
+	return out
+}
+
+func hasPointIn(net []Point, r [4]int32) bool {
+	for _, p := range net {
+		if p.X >= r[0] && p.X <= r[1] && p.Y >= r[2] && p.Y <= r[3] {
+			return true
+		}
+	}
+	return false
+}
+
+func TestNetFindHitsHeavyRectangles(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{300, 1000, 4000} {
+		pts := randomPoints(rng, n, int32(4*n))
+		net := NetFind(n, pts)
+		weight := NetFindThreshold(n)
+		rects := heavyRectangles(rng, pts, weight, 200)
+		if len(rects) == 0 {
+			t.Fatalf("n=%d: no heavy rectangles generated (weight %d)", n, weight)
+		}
+		for _, r := range rects {
+			if !hasPointIn(net, r) {
+				t.Fatalf("n=%d: heavy rectangle %v (weight ≥ %d) not hit by net of size %d",
+					n, r, weight, len(net))
+			}
+		}
+	}
+}
+
+// TestNetFindThinRectangles targets the adversarial case grids miss: long,
+// thin rectangles (width-zero x-slabs and y-slabs).
+func TestNetFindThinRectangles(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 600
+	// Clustered x-coordinates make thin vertical slabs heavy.
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: int32(1 + (i%10)*100), Y: rng.Int31n(10000), Edge: i}
+	}
+	net := NetFind(n, pts)
+	weight := NetFindThreshold(n)
+	// Each vertical line x = 1+k*100 holds n/10 = 60 points ≥ weight?
+	if 60 < weight {
+		t.Skipf("threshold %d exceeds slab population", weight)
+	}
+	for k := 0; k < 10; k++ {
+		x := int32(1 + k*100)
+		if CountInRect(pts, x, x, 0, 10000) < weight {
+			continue
+		}
+		if !hasPointIn(net, [4]int32{x, x, 0, 10000}) {
+			t.Fatalf("vertical slab x=%d not hit", x)
+		}
+	}
+}
+
+func TestNetFindSizeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{100, 500, 2000} {
+		pts := randomPoints(rng, n, int32(2*n))
+		net := NetFind(n, pts)
+		bound := float64(n) * math.Log2(float64(n)) / (2 * math.Log2(float64(n)))
+		if float64(len(net)) > bound {
+			t.Fatalf("n=%d: net size %d exceeds bound %.1f", n, len(net), bound)
+		}
+		if len(net) == 0 && n >= 100 {
+			t.Fatalf("n=%d: empty net is suspicious", n)
+		}
+	}
+}
+
+func TestNetFindShrinksGeometrically(t *testing.T) {
+	// Iterating NetFind with N = |P| must reach ∅ in O(log) steps —
+	// this is the hierarchy-depth property (Definition 1).
+	rng := rand.New(rand.NewSource(4))
+	pts := randomPoints(rng, 3000, 50000)
+	depth := 0
+	for len(pts) > 0 {
+		next := NetFind(len(pts), pts)
+		if len(next) > len(pts)/2+1 {
+			t.Fatalf("level %d: %d -> %d is not a constant-fraction shrink", depth, len(pts), len(next))
+		}
+		pts = next
+		depth++
+		if depth > 40 {
+			t.Fatal("hierarchy depth exceeds any reasonable log bound")
+		}
+	}
+	if depth < 2 {
+		t.Fatalf("depth = %d, expected a multi-level hierarchy", depth)
+	}
+}
+
+func TestNetFindSmallInputs(t *testing.T) {
+	if out := NetFind(10, nil); out != nil {
+		t.Fatalf("empty input: %v", out)
+	}
+	pts := []Point{{X: 1, Y: 2, Edge: 0}}
+	if out := NetFind(1, pts); len(out) != 0 {
+		t.Fatalf("singleton below threshold should give empty net, got %v", out)
+	}
+}
+
+func TestNetFindDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomPoints(rng, 500, 1000)
+	a := NetFind(500, pts)
+	b := NetFind(500, pts)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic size %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic output at %d", i)
+		}
+	}
+}
+
+func TestNetFindDuplicateCoordinates(t *testing.T) {
+	// All points on one vertical line — degenerate geometry.
+	pts := make([]Point, 200)
+	for i := range pts {
+		pts[i] = Point{X: 7, Y: int32(i), Edge: i}
+	}
+	net := NetFind(200, pts)
+	w := NetFindThreshold(200)
+	// Any y-interval with ≥ w points must be hit.
+	for lo := 0; lo+w <= 200; lo += w {
+		if !hasPointIn(net, [4]int32{7, 7, int32(lo), int32(lo + w - 1)}) {
+			t.Fatalf("y-interval [%d,%d] with %d points not hit", lo, lo+w-1, w)
+		}
+	}
+}
+
+func TestGreedyCanonicalNet(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n, gamma = 80, 8
+	pts := randomPoints(rng, n, 500)
+	net := GreedyCanonicalNet(pts, gamma)
+	// Exhaustive-ish verification over canonical rectangle corners.
+	for trial := 0; trial < 2000; trial++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		x1, x2 := pts[i].X, pts[j].X
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		y1, y2 := pts[i].Y, pts[j].Y
+		if y1 > y2 {
+			y1, y2 = y2, y1
+		}
+		if CountInRect(pts, x1, x2, y1, y2) >= gamma && !hasPointIn(net, [4]int32{x1, x2, y1, y2}) {
+			t.Fatalf("rectangle [%d,%d]×[%d,%d] heavy but unhit (net size %d)", x1, x2, y1, y2, len(net))
+		}
+	}
+	if len(net) == 0 || len(net) >= n {
+		t.Fatalf("net size %d out of expected range", len(net))
+	}
+}
+
+func TestGreedyCanonicalNetEdgeCases(t *testing.T) {
+	if out := GreedyCanonicalNet(nil, 3); out != nil {
+		t.Fatalf("nil input: %v", out)
+	}
+	pts := []Point{{X: 1, Y: 1, Edge: 0}, {X: 2, Y: 2, Edge: 1}}
+	if out := GreedyCanonicalNet(pts, 5); out != nil {
+		t.Fatalf("fewer points than gamma: %v", out)
+	}
+	// gamma = 1 must select a hitting set for every single point.
+	net := GreedyCanonicalNet(pts, 1)
+	if len(net) != 2 {
+		t.Fatalf("gamma=1 net = %v, want both points", net)
+	}
+}
+
+func BenchmarkNetFind(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randomPoints(rng, 5000, 100000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NetFind(len(pts), pts)
+	}
+}

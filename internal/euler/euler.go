@@ -1,0 +1,145 @@
+// Package euler implements the Euler-tour structure of Duan–Pettie that the
+// paper uses to give cutsets a geometric form (§4.3, §7.5): every undirected
+// tree edge is replaced by two opposite directed edges, the tour orders all
+// directed edges, and each non-root vertex v receives the one-dimensional
+// coordinate c(v) — the tour position of the edge arriving from its parent.
+// A non-tree edge (u,v) then becomes the planar point (c(u), c(v)) with
+// x < y, and Lemma 3 states that the outgoing non-tree edges of any vertex
+// set S are exactly the points in a "checkered" symmetric difference of
+// axis-aligned halfspaces determined by ∂T(S). That geometry is what the
+// ε-net sparsification in internal/epsnet consumes.
+package euler
+
+import "repro/internal/graph"
+
+// Tour holds the Euler-tour coordinates of a rooted forest.
+type Tour struct {
+	// C[v] is the tour position (1-based, global across the forest) of
+	// the directed edge parent(v) → v, or 0 for roots.
+	C []int32
+	// UpPos[v] is the tour position of the directed edge v → parent(v),
+	// or 0 for roots.
+	UpPos []int32
+	// Len is the total number of directed edges in the tour.
+	Len int32
+}
+
+// Build computes the Euler tour of forest f, visiting children in
+// Forest.Children order (deterministic). Runs in O(n).
+func Build(f *graph.Forest) *Tour {
+	n := len(f.Parent)
+	t := &Tour{
+		C:     make([]int32, n),
+		UpPos: make([]int32, n),
+	}
+	pos := int32(0)
+	type frame struct {
+		v   int
+		idx int
+	}
+	stack := make([]frame, 0, 64)
+	for _, root := range f.Roots {
+		stack = append(stack[:0], frame{v: root})
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if top.idx < len(f.Children[top.v]) {
+				c := f.Children[top.v][top.idx]
+				top.idx++
+				pos++
+				t.C[c] = pos
+				stack = append(stack, frame{v: c})
+				continue
+			}
+			if p := f.Parent[top.v]; p != -1 {
+				pos++
+				t.UpPos[top.v] = pos
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	t.Len = pos
+	return t
+}
+
+// Point is the planar embedding of a non-tree edge: X < Y are the Euler
+// coordinates of its endpoints; Edge is the edge index in the host graph.
+type Point struct {
+	X, Y int32
+	Edge int
+}
+
+// EmbedNonTree maps every non-tree edge of g (under forest f) to its planar
+// point. Non-tree edges incident to a root would receive coordinate 0; they
+// cannot occur because a root's non-tree neighbors are non-roots and both
+// endpoints of a non-tree edge are non-roots or the edge would be a tree
+// edge — except for a non-tree edge touching the root itself, whose root
+// endpoint has c = 0. The geometry still works: halfspace membership tests
+// use c(v) ≥ a with a ≥ 1, so coordinate 0 is simply "left of everything",
+// matching the fact that the root is never strictly inside any fragment
+// interval.
+func EmbedNonTree(g *graph.Graph, f *graph.Forest, t *Tour) []Point {
+	var pts []Point
+	for e, edge := range g.Edges {
+		if f.IsTreeEdge[e] {
+			continue
+		}
+		x, y := t.C[edge.U], t.C[edge.V]
+		if x > y {
+			x, y = y, x
+		}
+		pts = append(pts, Point{X: x, Y: y, Edge: e})
+	}
+	return pts
+}
+
+// DirectedBoundary returns the sorted tour positions of all directed tree
+// edges crossing the cut (S, V∖S): for each tree edge with exactly one
+// endpoint in S, both of its directed versions contribute (∂_{T⃗}(S) in the
+// paper). inS must have one entry per vertex. Used by the Lemma 3 / Lemma 9
+// validators and by tests of the sparsification hierarchy.
+func DirectedBoundary(f *graph.Forest, t *Tour, inS []bool) []int32 {
+	var out []int32
+	for v, p := range f.Parent {
+		if p == -1 {
+			continue
+		}
+		if inS[v] != inS[p] {
+			out = append(out, t.C[v], t.UpPos[v])
+		}
+	}
+	sortInt32(out)
+	return out
+}
+
+// CutRegionContains evaluates the right-hand side of Lemma 3 for one point:
+// whether (x, y) lies in the symmetric difference of the halfspaces
+// {X ≥ c(e)} and {Y ≥ c(e)} over the directed boundary edges. boundary must
+// be sorted ascending.
+func CutRegionContains(boundary []int32, x, y int32) bool {
+	cnt := countLE(boundary, x) + countLE(boundary, y)
+	return cnt%2 == 1
+}
+
+// countLE returns how many sorted values are ≤ v.
+func countLE(sorted []int32, v int32) int {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func sortInt32(a []int32) {
+	// Insertion sort: boundary lists have at most 2|∂T(S)| ≤ 2f entries
+	// in production use; test helpers tolerate the quadratic corner.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

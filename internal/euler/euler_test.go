@@ -1,0 +1,169 @@
+package euler
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func buildAll(t *testing.T, g *graph.Graph) (*graph.Forest, *Tour, []Point) {
+	t.Helper()
+	f := graph.SpanningForest(g)
+	tour := Build(f)
+	return f, tour, EmbedNonTree(g, f, tour)
+}
+
+func TestTourBasicInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := workload.ErdosRenyi(60, 0.1, true, rng)
+	f, tour, _ := buildAll(t, g)
+	n := g.N()
+	// 2(n - #roots) directed edges.
+	if int(tour.Len) != 2*(n-len(f.Roots)) {
+		t.Fatalf("tour length = %d, want %d", tour.Len, 2*(n-len(f.Roots)))
+	}
+	seen := map[int32]bool{}
+	for v := 0; v < n; v++ {
+		if f.Parent[v] == -1 {
+			if tour.C[v] != 0 || tour.UpPos[v] != 0 {
+				t.Fatalf("root %d must have zero coordinates", v)
+			}
+			continue
+		}
+		if tour.C[v] < 1 || tour.C[v] > tour.Len || tour.UpPos[v] < 1 || tour.UpPos[v] > tour.Len {
+			t.Fatalf("vertex %d coordinates out of range: %d, %d", v, tour.C[v], tour.UpPos[v])
+		}
+		// The downward edge precedes the upward edge.
+		if tour.C[v] >= tour.UpPos[v] {
+			t.Fatalf("vertex %d: down %d must precede up %d", v, tour.C[v], tour.UpPos[v])
+		}
+		for _, p := range []int32{tour.C[v], tour.UpPos[v]} {
+			if seen[p] {
+				t.Fatalf("duplicate tour position %d", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestTourNesting(t *testing.T) {
+	// The interval [C[v], UpPos[v]] of a child nests strictly inside its
+	// parent's interval — that is what makes the geometry work.
+	rng := rand.New(rand.NewSource(2))
+	g := workload.ErdosRenyi(80, 0.06, true, rng)
+	f, tour, _ := buildAll(t, g)
+	for v := 0; v < g.N(); v++ {
+		p := f.Parent[v]
+		if p == -1 || f.Parent[p] == -1 {
+			continue
+		}
+		if !(tour.C[p] < tour.C[v] && tour.UpPos[v] < tour.UpPos[p]) {
+			t.Fatalf("child %d interval [%d,%d] not nested in parent %d interval [%d,%d]",
+				v, tour.C[v], tour.UpPos[v], p, tour.C[p], tour.UpPos[p])
+		}
+	}
+}
+
+// TestLemma3 verifies the paper's Lemma 3 exhaustively over random vertex
+// subsets: a non-tree edge is outgoing of S if and only if its planar point
+// lies in the symmetric-difference region of the directed boundary.
+func TestLemma3(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(60)
+		g := workload.ErdosRenyi(n, 0.15, true, rng)
+		f, tour, pts := buildAll(t, g)
+		for subset := 0; subset < 40; subset++ {
+			inS := make([]bool, n)
+			for v := range inS {
+				inS[v] = rng.Intn(2) == 0
+			}
+			boundary := DirectedBoundary(f, tour, inS)
+			for _, pt := range pts {
+				e := g.Edges[pt.Edge]
+				outgoing := inS[e.U] != inS[e.V]
+				inRegion := CutRegionContains(boundary, pt.X, pt.Y)
+				if outgoing != inRegion {
+					t.Fatalf("trial %d: edge (%d,%d) at (%d,%d): outgoing=%v inRegion=%v (|S|=%d)",
+						trial, e.U, e.V, pt.X, pt.Y, outgoing, inRegion, countTrue(inS))
+				}
+			}
+		}
+	}
+}
+
+// TestLemma9 verifies the parity statement of Lemma 9: for S containing the
+// root, |ET(c(v)) ∩ ∂T⃗(S)| is even exactly when v ∈ S.
+func TestLemma9(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(50)
+		g := workload.ErdosRenyi(n, 0.1, true, rng)
+		f, tour, _ := buildAll(t, g)
+		root := f.Roots[0]
+		for subset := 0; subset < 30; subset++ {
+			inS := make([]bool, n)
+			inS[root] = true
+			for v := range inS {
+				if v != root {
+					inS[v] = rng.Intn(2) == 0
+				}
+			}
+			boundary := DirectedBoundary(f, tour, inS)
+			for v := 0; v < n; v++ {
+				if v == root {
+					continue
+				}
+				even := countLE(boundary, tour.C[v])%2 == 0
+				if even != inS[v] {
+					t.Fatalf("trial %d: vertex %d parity even=%v but inS=%v", trial, v, even, inS[v])
+				}
+			}
+		}
+	}
+}
+
+func TestEmbedNonTreePointsOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := workload.ErdosRenyi(50, 0.2, true, rng)
+	f, _, pts := buildAll(t, g)
+	nonTree := 0
+	for e := range g.Edges {
+		if !f.IsTreeEdge[e] {
+			nonTree++
+		}
+	}
+	if len(pts) != nonTree {
+		t.Fatalf("points = %d, want %d", len(pts), nonTree)
+	}
+	for _, p := range pts {
+		if p.X >= p.Y {
+			t.Fatalf("point (%d,%d) not strictly ordered", p.X, p.Y)
+		}
+	}
+}
+
+func TestCountLE(t *testing.T) {
+	sorted := []int32{2, 4, 4, 9}
+	cases := []struct {
+		v    int32
+		want int
+	}{{1, 0}, {2, 1}, {3, 1}, {4, 3}, {8, 3}, {9, 4}, {10, 4}}
+	for _, c := range cases {
+		if got := countLE(sorted, c.v); got != c.want {
+			t.Errorf("countLE(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func countTrue(b []bool) int {
+	n := 0
+	for _, x := range b {
+		if x {
+			n++
+		}
+	}
+	return n
+}

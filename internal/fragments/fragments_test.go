@@ -1,0 +1,220 @@
+package fragments
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ancestry"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// setup builds a random connected graph, forest, and labeling.
+func setup(seed int64, n int, p float64) (*graph.Graph, *graph.Forest, *ancestry.Labeling) {
+	rng := rand.New(rand.NewSource(seed))
+	g := workload.ErdosRenyi(n, p, true, rng)
+	f := graph.SpanningForest(g)
+	return g, f, ancestry.Build(f)
+}
+
+// faultFromEdge converts a tree edge to a Fault via Normalize.
+func faultFromEdge(t *testing.T, g *graph.Graph, l *ancestry.Labeling, e int) Fault {
+	t.Helper()
+	edge := g.Edges[e]
+	ft, err := Normalize(l.Of(edge.U), l.Of(edge.V))
+	if err != nil {
+		t.Fatalf("Normalize edge %d: %v", e, err)
+	}
+	return ft
+}
+
+// refFragment computes the ground-truth fragment id of each vertex: the
+// component of the tree after removing the fault edges, re-indexed to match
+// the Set convention (0 = root's fragment; i+1 = fragment under fault i).
+func refFragments(g *graph.Graph, f *graph.Forest, l *ancestry.Labeling, s *Set, faultEdges []int) []int {
+	faults := map[int]bool{}
+	for e := range g.Edges {
+		if !f.IsTreeEdge[e] {
+			faults[e] = true
+		}
+	}
+	for _, e := range faultEdges {
+		faults[e] = true
+	}
+	comp, _ := graph.Components(g, faults)
+	// Map each tree component to the Set fragment id via its shallowest
+	// vertex: the root fragment contains the tree root; fragment i+1
+	// contains fault i's child endpoint.
+	fragOfComp := map[int]int{}
+	root := f.Roots[0]
+	fragOfComp[comp[root]] = 0
+	for i, ft := range s.Faults {
+		v := l.ByPre[ft.Child.Pre]
+		fragOfComp[comp[v]] = i + 1
+	}
+	out := make([]int, g.N())
+	for v := range out {
+		out[v] = fragOfComp[comp[v]]
+	}
+	return out
+}
+
+func TestStabMatchesGroundTruth(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		g, f, l := setup(int64(trial), 40+trial, 0.1)
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		faultEdges := workload.TreeEdgeFaults(g, f, 1+rng.Intn(5), rng)
+		var treeFaults []int
+		for _, e := range faultEdges {
+			if f.IsTreeEdge[e] {
+				treeFaults = append(treeFaults, e)
+			}
+		}
+		if len(treeFaults) == 0 {
+			continue
+		}
+		var faults []Fault
+		for _, e := range treeFaults {
+			faults = append(faults, faultFromEdge(t, g, l, e))
+		}
+		s, err := Build(faults)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		if s.Count() != len(treeFaults)+1 {
+			t.Fatalf("Count = %d, want %d", s.Count(), len(treeFaults)+1)
+		}
+		ref := refFragments(g, f, l, s, treeFaults)
+		for v := 0; v < g.N(); v++ {
+			if got := s.StabLabel(l.Of(v)); got != ref[v] {
+				t.Fatalf("trial %d: Stab(%d) = %d, want %d", trial, v, got, ref[v])
+			}
+		}
+	}
+}
+
+func TestBoundarySizes(t *testing.T) {
+	// Path 0-1-2-3-4 rooted at 0; faults (1,2) and (3,4): fragments
+	// {0,1}, {2,3}, {4}. Boundary of middle fragment = both faults.
+	g := graph.New(5)
+	var eids []int
+	for i := 0; i < 4; i++ {
+		id, err := g.AddEdge(i, i+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eids = append(eids, id)
+	}
+	f := graph.SpanningForest(g)
+	l := ancestry.Build(f)
+	faults := []Fault{
+		faultFromEdge(t, g, l, eids[1]),
+		faultFromEdge(t, g, l, eids[3]),
+	}
+	s, err := Build(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fragment of vertex 2 should have both faults on its boundary.
+	frag2 := s.StabLabel(l.Of(2))
+	if len(s.Boundary[frag2]) != 2 {
+		t.Fatalf("middle fragment boundary = %v, want 2 faults", s.Boundary[frag2])
+	}
+	frag0 := s.StabLabel(l.Of(0))
+	if frag0 != 0 || len(s.Boundary[0]) != 1 {
+		t.Fatalf("root fragment = %d boundary = %v", frag0, s.Boundary[0])
+	}
+	frag4 := s.StabLabel(l.Of(4))
+	if len(s.Boundary[frag4]) != 1 {
+		t.Fatalf("leaf fragment boundary = %v", s.Boundary[frag4])
+	}
+	// Total boundary incidences = 2|F|.
+	total := 0
+	for _, b := range s.Boundary {
+		total += len(b)
+	}
+	if total != 4 {
+		t.Fatalf("total boundary incidences = %d, want 4", total)
+	}
+}
+
+func TestNormalizeRejectsNonTreePairs(t *testing.T) {
+	g, _, l := setup(99, 30, 0.3)
+	// Find two vertices with no ancestor relation.
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if ancestry.Compare(l.Of(u), l.Of(v)) == 0 {
+				if _, err := Normalize(l.Of(u), l.Of(v)); err == nil {
+					t.Fatalf("Normalize accepted unrelated pair %d,%d", u, v)
+				}
+				return
+			}
+		}
+	}
+	t.Skip("no unrelated pair found")
+}
+
+func TestNormalizeOrients(t *testing.T) {
+	g := graph.New(3)
+	if _, err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	f := graph.SpanningForest(g)
+	l := ancestry.Build(f)
+	ft1, err := Normalize(l.Of(0), l.Of(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft2, err := Normalize(l.Of(1), l.Of(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft1 != ft2 {
+		t.Fatal("Normalize must be orientation independent")
+	}
+	if ft1.Parent.Pre > ft1.Child.Pre {
+		t.Fatal("parent must have the smaller preorder on a root path")
+	}
+}
+
+func TestBuildDedupes(t *testing.T) {
+	g := graph.New(3)
+	if _, err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	f := graph.SpanningForest(g)
+	l := ancestry.Build(f)
+	ft, err := Normalize(l.Of(0), l.Of(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build([]Fault{ft, ft, ft})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d after dedupe, want 2", s.Count())
+	}
+}
+
+func TestBuildRejectsMixedComponents(t *testing.T) {
+	g := graph.New(4)
+	if _, err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	f := graph.SpanningForest(g)
+	l := ancestry.Build(f)
+	bad := Fault{Parent: l.Of(0), Child: l.Of(3)}
+	if _, err := Build([]Fault{bad}); err == nil {
+		t.Fatal("Build accepted a cross-component fault")
+	}
+}

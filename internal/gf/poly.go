@@ -1,0 +1,182 @@
+package gf
+
+// Poly is a univariate polynomial over GF(2^64). Poly[i] is the coefficient
+// of x^i. The canonical form has no trailing zero coefficients; the zero
+// polynomial is the empty (or nil) slice. All operations accept non-canonical
+// inputs and return canonical outputs.
+type Poly []uint64
+
+// PolyTrim returns p with trailing zero coefficients removed.
+func PolyTrim(p Poly) Poly {
+	n := len(p)
+	for n > 0 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+// Deg returns the degree of p, with Deg(0) = -1.
+func (p Poly) Deg() int { return len(PolyTrim(p)) - 1 }
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(PolyTrim(p)) == 0 }
+
+// Clone returns an independent copy of p.
+func (p Poly) Clone() Poly {
+	q := make(Poly, len(p))
+	copy(q, p)
+	return q
+}
+
+// PolyAdd returns a + b (coefficient-wise XOR).
+func PolyAdd(a, b Poly) Poly {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	out := make(Poly, len(a))
+	copy(out, a)
+	for i, c := range b {
+		out[i] ^= c
+	}
+	return PolyTrim(out)
+}
+
+// PolyMul returns the product a·b by schoolbook multiplication. Degrees in
+// this library are bounded by the outdetect threshold k, so the quadratic
+// algorithm is the right tool.
+func PolyMul(a, b Poly) Poly {
+	a, b = PolyTrim(a), PolyTrim(b)
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make(Poly, len(a)+len(b)-1)
+	for i, ca := range a {
+		if ca == 0 {
+			continue
+		}
+		for j, cb := range b {
+			if cb != 0 {
+				out[i+j] ^= Mul(ca, cb)
+			}
+		}
+	}
+	return PolyTrim(out)
+}
+
+// PolyMod returns a mod m. It panics if m is zero, which is a programming
+// error (callers always reduce modulo a known nonzero factor).
+func PolyMod(a, m Poly) Poly {
+	m = PolyTrim(m)
+	if len(m) == 0 {
+		panic("gf: PolyMod by zero polynomial")
+	}
+	r := PolyTrim(a).Clone()
+	dm := len(m) - 1
+	inv := Inv(m[dm])
+	for len(r)-1 >= dm && len(r) > 0 {
+		dr := len(r) - 1
+		q := Mul(r[dr], inv)
+		shift := dr - dm
+		for i, c := range m {
+			if c != 0 {
+				r[i+shift] ^= Mul(q, c)
+			}
+		}
+		r = PolyTrim(r)
+	}
+	return r
+}
+
+// PolyDivExact returns a / m, discarding any remainder. It is used to peel
+// factors discovered by gcd splitting, where divisibility is guaranteed.
+func PolyDivExact(a, m Poly) Poly {
+	m = PolyTrim(m)
+	if len(m) == 0 {
+		panic("gf: PolyDivExact by zero polynomial")
+	}
+	r := PolyTrim(a).Clone()
+	dm := len(m) - 1
+	if len(r)-1 < dm {
+		return nil
+	}
+	inv := Inv(m[dm])
+	quo := make(Poly, len(r)-dm)
+	for len(r) > 0 && len(r)-1 >= dm {
+		dr := len(r) - 1
+		q := Mul(r[dr], inv)
+		shift := dr - dm
+		quo[shift] = q
+		for i, c := range m {
+			if c != 0 {
+				r[i+shift] ^= Mul(q, c)
+			}
+		}
+		r = PolyTrim(r)
+	}
+	return PolyTrim(quo)
+}
+
+// PolyGCD returns the monic greatest common divisor of a and b.
+func PolyGCD(a, b Poly) Poly {
+	a, b = PolyTrim(a).Clone(), PolyTrim(b).Clone()
+	for len(b) > 0 {
+		a, b = b, PolyMod(a, b)
+	}
+	return PolyMonic(a)
+}
+
+// PolyMonic scales p so its leading coefficient is 1.
+func PolyMonic(p Poly) Poly {
+	p = PolyTrim(p)
+	if len(p) == 0 {
+		return nil
+	}
+	lead := p[len(p)-1]
+	if lead == 1 {
+		return p
+	}
+	inv := Inv(lead)
+	out := make(Poly, len(p))
+	for i, c := range p {
+		out[i] = Mul(c, inv)
+	}
+	return out
+}
+
+// PolyEval evaluates p at x by Horner's rule.
+func PolyEval(p Poly, x uint64) uint64 {
+	var acc uint64
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = Mul(acc, x) ^ p[i]
+	}
+	return acc
+}
+
+// PolyDeriv returns the formal derivative of p. In characteristic two the
+// even-degree terms vanish.
+func PolyDeriv(p Poly) Poly {
+	if len(p) < 2 {
+		return nil
+	}
+	out := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i += 2 {
+		out[i-1] = p[i]
+	}
+	return PolyTrim(out)
+}
+
+// PolySqrMod returns p² mod m, exploiting the linearity of squaring in
+// characteristic two: (Σ c_i x^i)² = Σ c_i² x^(2i).
+func PolySqrMod(p, m Poly) Poly {
+	p = PolyTrim(p)
+	if len(p) == 0 {
+		return nil
+	}
+	sq := make(Poly, 2*len(p)-1)
+	for i, c := range p {
+		if c != 0 {
+			sq[2*i] = Sqr(c)
+		}
+	}
+	return PolyMod(sq, m)
+}

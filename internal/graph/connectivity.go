@@ -1,0 +1,183 @@
+package graph
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// ConnectedUnder reports whether s and t are connected in g − F, where F is
+// a set of edge indices. It is the exact ground truth the labeling schemes
+// are validated against.
+func ConnectedUnder(g *Graph, faults map[int]bool, s, t int) bool {
+	if s == t {
+		return true
+	}
+	visited := make([]bool, g.N())
+	visited[s] = true
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, h := range g.Adj(u) {
+			if faults[h.Edge] || visited[h.To] {
+				continue
+			}
+			if h.To == t {
+				return true
+			}
+			visited[h.To] = true
+			queue = append(queue, h.To)
+		}
+	}
+	return false
+}
+
+// Components returns a component id per vertex of g − F and the component
+// count.
+func Components(g *Graph, faults map[int]bool) ([]int, int) {
+	comp := make([]int, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	count := 0
+	var queue []int
+	for r := 0; r < g.N(); r++ {
+		if comp[r] != -1 {
+			continue
+		}
+		comp[r] = count
+		queue = append(queue[:0], r)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, h := range g.Adj(u) {
+				if faults[h.Edge] || comp[h.To] != -1 {
+					continue
+				}
+				comp[h.To] = count
+				queue = append(queue, h.To)
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// HopDistancesUnder returns the single-source hop distances from s in g − F,
+// with -1 for unreachable vertices.
+func HopDistancesUnder(g *Graph, faults map[int]bool, s int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, h := range g.Adj(u) {
+			if faults[h.Edge] || dist[h.To] != -1 {
+				continue
+			}
+			dist[h.To] = dist[u] + 1
+			queue = append(queue, h.To)
+		}
+	}
+	return dist
+}
+
+// distItem is a Dijkstra priority-queue entry.
+type distItem struct {
+	v int
+	d int64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// WeightedDistancesUnder returns single-source shortest-path distances in
+// g − F under edge weights (Dijkstra), with -1 for unreachable vertices.
+func WeightedDistancesUnder(g *Graph, faults map[int]bool, s int) []int64 {
+	dist := make([]int64, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	h := &distHeap{{v: s, d: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(distItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		for _, half := range g.Adj(it.v) {
+			if faults[half.Edge] {
+				continue
+			}
+			nd := it.d + g.Weight(half.Edge)
+			if dist[half.To] == -1 || nd < dist[half.To] {
+				dist[half.To] = nd
+				heap.Push(h, distItem{v: half.To, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// BottleneckDistanceUnder returns the minimax edge weight over all s–t paths
+// in g − F (the fault-tolerant bottleneck distance), or -1 if disconnected.
+// Computed by Kruskal-style union of edges in increasing weight order.
+func BottleneckDistanceUnder(g *Graph, faults map[int]bool, s, t int) int64 {
+	if s == t {
+		return 0
+	}
+	order := make([]int, 0, g.M())
+	for e := range g.Edges {
+		if !faults[e] {
+			order = append(order, e)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return g.Weight(order[i]) < g.Weight(order[j])
+	})
+	d := newDSULite(g.N())
+	for _, e := range order {
+		d.union(g.Edges[e].U, g.Edges[e].V)
+		if d.find(s) == d.find(t) {
+			return g.Weight(e)
+		}
+	}
+	return -1
+}
+
+// dsuLite is a minimal union-find local to this file so that graph stays a
+// leaf package with no internal imports.
+type dsuLite struct{ p []int }
+
+func newDSULite(n int) *dsuLite {
+	d := &dsuLite{p: make([]int, n)}
+	for i := range d.p {
+		d.p[i] = i
+	}
+	return d
+}
+
+func (d *dsuLite) find(x int) int {
+	for d.p[x] != x {
+		d.p[x] = d.p[d.p[x]]
+		x = d.p[x]
+	}
+	return x
+}
+
+func (d *dsuLite) union(a, b int) { d.p[d.find(a)] = d.find(b) }

@@ -1,0 +1,165 @@
+// Package graph provides the undirected-graph substrate shared by every
+// other component: adjacency storage, spanning-forest construction, and
+// exact (non-labeled) connectivity and distance queries used as ground truth
+// in tests and experiments.
+//
+// Graphs are simple (no self-loops, no parallel edges): edge identifiers in
+// the labeling schemes are derived from endpoint preorders (paper §3.1), so
+// parallel edges would collide. The auxiliary-graph transform of §3.2 never
+// introduces parallels.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Half is one endpoint's view of an incident edge.
+type Half struct {
+	To   int // neighbor vertex
+	Edge int // index into Graph.Edges
+}
+
+// Edge is an undirected edge between U and V with U < V.
+type Edge struct {
+	U, V int
+}
+
+// Other returns the endpoint of e that is not x.
+func (e Edge) Other(x int) int {
+	if x == e.U {
+		return e.V
+	}
+	return e.U
+}
+
+// Graph is an undirected simple graph with optional positive integer edge
+// weights. The zero value is an empty graph; use New to create one with a
+// fixed vertex count.
+type Graph struct {
+	n       int
+	Edges   []Edge
+	Weights []int64 // nil for unweighted graphs; else len(Weights) == len(Edges)
+	adj     [][]Half
+	seen    map[Edge]struct{}
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{
+		n:    n,
+		adj:  make([][]Half, n),
+		seen: make(map[Edge]struct{}),
+	}
+}
+
+// ErrBadEdge is returned for self-loops, duplicate edges, or out-of-range
+// endpoints.
+var ErrBadEdge = errors.New("graph: invalid edge")
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.Edges) }
+
+// AddEdge inserts the undirected edge {u, v} and returns its index.
+func (g *Graph) AddEdge(u, v int) (int, error) {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return -1, fmt.Errorf("%w: endpoint out of range (%d,%d) with n=%d", ErrBadEdge, u, v, g.n)
+	}
+	if u == v {
+		return -1, fmt.Errorf("%w: self-loop at %d", ErrBadEdge, u)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	e := Edge{U: u, V: v}
+	if _, dup := g.seen[e]; dup {
+		return -1, fmt.Errorf("%w: duplicate edge (%d,%d)", ErrBadEdge, u, v)
+	}
+	g.seen[e] = struct{}{}
+	idx := len(g.Edges)
+	g.Edges = append(g.Edges, e)
+	g.adj[u] = append(g.adj[u], Half{To: v, Edge: idx})
+	g.adj[v] = append(g.adj[v], Half{To: u, Edge: idx})
+	if g.Weights != nil {
+		g.Weights = append(g.Weights, 1)
+	}
+	return idx, nil
+}
+
+// AddWeightedEdge inserts {u, v} with weight w > 0.
+func (g *Graph) AddWeightedEdge(u, v int, w int64) (int, error) {
+	if w <= 0 {
+		return -1, fmt.Errorf("%w: non-positive weight %d", ErrBadEdge, w)
+	}
+	if g.Weights == nil {
+		g.Weights = make([]int64, len(g.Edges))
+		for i := range g.Weights {
+			g.Weights[i] = 1
+		}
+	}
+	idx, err := g.AddEdge(u, v)
+	if err != nil {
+		return -1, err
+	}
+	g.Weights[idx] = w
+	return idx, nil
+}
+
+// Weight returns the weight of edge e (1 for unweighted graphs).
+func (g *Graph) Weight(e int) int64 {
+	if g.Weights == nil {
+		return 1
+	}
+	return g.Weights[e]
+}
+
+// HasEdge reports whether {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	_, ok := g.seen[Edge{U: u, V: v}]
+	return ok
+}
+
+// EdgeIndex returns the index of edge {u,v}, or -1 if absent.
+func (g *Graph) EdgeIndex(u, v int) int {
+	if !g.HasEdge(u, v) {
+		return -1
+	}
+	for _, h := range g.adj[u] {
+		if h.To == v {
+			return h.Edge
+		}
+	}
+	return -1
+}
+
+// Adj returns the adjacency list of u. The slice must not be modified.
+func (g *Graph) Adj(u int) []Half { return g.adj[u] }
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	out := New(g.n)
+	for i, e := range g.Edges {
+		if g.Weights != nil {
+			if _, err := out.AddWeightedEdge(e.U, e.V, g.Weights[i]); err != nil {
+				panic("graph: clone of valid graph failed: " + err.Error())
+			}
+		} else {
+			if _, err := out.AddEdge(e.U, e.V); err != nil {
+				panic("graph: clone of valid graph failed: " + err.Error())
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+// Package graphio reads and writes graphs and label databases in simple
+// text/binary formats, so the labeling schemes can be used as standalone
+// artifacts: build labels once, ship the per-vertex/per-edge files, answer
+// queries anywhere.
+//
+// Graph text format (comments with '#', blank lines ignored):
+//
+//	n <vertexCount>
+//	e <u> <v> [weight]
+//
+// Label database binary format: a small header, then length-prefixed
+// marshaled labels (vertices first, then edges, in index order).
+package graphio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// ErrFormat is returned for malformed inputs.
+var ErrFormat = errors.New("graphio: malformed input")
+
+// ReadGraph parses the text format.
+func ReadGraph(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var g *graph.Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "n":
+			if g != nil {
+				return nil, fmt.Errorf("%w: line %d: duplicate n directive", ErrFormat, line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: line %d: n takes one argument", ErrFormat, line)
+			}
+			count, err := strconv.Atoi(fields[1])
+			if err != nil || count < 0 {
+				return nil, fmt.Errorf("%w: line %d: bad vertex count %q", ErrFormat, line, fields[1])
+			}
+			g = graph.New(count)
+		case "e":
+			if g == nil {
+				return nil, fmt.Errorf("%w: line %d: edge before n directive", ErrFormat, line)
+			}
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, fmt.Errorf("%w: line %d: e takes two or three arguments", ErrFormat, line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("%w: line %d: bad endpoints", ErrFormat, line)
+			}
+			if len(fields) == 4 {
+				w, err := strconv.ParseInt(fields[3], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%w: line %d: bad weight %q", ErrFormat, line, fields[3])
+				}
+				if _, err := g.AddWeightedEdge(u, v, w); err != nil {
+					return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, line, err)
+				}
+			} else if _, err := g.AddEdge(u, v); err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, line, err)
+			}
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown directive %q", ErrFormat, line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("%w: missing n directive", ErrFormat)
+	}
+	return g, nil
+}
+
+// WriteGraph emits the text format.
+func WriteGraph(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
+		return err
+	}
+	for e, edge := range g.Edges {
+		var err error
+		if g.Weights != nil {
+			_, err = fmt.Fprintf(bw, "e %d %d %d\n", edge.U, edge.V, g.Weight(e))
+		} else {
+			_, err = fmt.Fprintf(bw, "e %d %d\n", edge.U, edge.V)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+const dbMagic = "FTCLABEL1"
+
+// WriteLabels serializes a scheme's complete label database.
+func WriteLabels(w io.Writer, s *core.Scheme, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(dbMagic); err != nil {
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(g.N()))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(g.M()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	writeBlob := func(b []byte) error {
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(b)))
+		if _, err := bw.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		_, err := bw.Write(b)
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		if err := writeBlob(core.MarshalVertexLabel(s.VertexLabel(v))); err != nil {
+			return err
+		}
+	}
+	for e := 0; e < g.M(); e++ {
+		if err := writeBlob(core.MarshalEdgeLabel(s.EdgeLabel(e))); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LabelDB is a loaded label database — everything a query site needs.
+type LabelDB struct {
+	Vertices []core.VertexLabel
+	Edges    []core.EdgeLabel
+}
+
+// ReadLabels loads a label database written by WriteLabels.
+func ReadLabels(r io.Reader) (*LabelDB, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(dbMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrFormat, err)
+	}
+	if string(magic) != dbMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, magic)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrFormat, err)
+	}
+	n := int(binary.LittleEndian.Uint64(hdr[0:]))
+	m := int(binary.LittleEndian.Uint64(hdr[8:]))
+	if n < 0 || m < 0 || n > 1<<30 || m > 1<<30 {
+		return nil, fmt.Errorf("%w: implausible sizes n=%d m=%d", ErrFormat, n, m)
+	}
+	readBlob := func() ([]byte, error) {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return nil, err
+		}
+		size := binary.LittleEndian.Uint32(lenBuf[:])
+		if size > 1<<28 {
+			return nil, fmt.Errorf("%w: blob of %d bytes", ErrFormat, size)
+		}
+		b := make([]byte, size)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	db := &LabelDB{
+		Vertices: make([]core.VertexLabel, n),
+		Edges:    make([]core.EdgeLabel, m),
+	}
+	for v := 0; v < n; v++ {
+		blob, err := readBlob()
+		if err != nil {
+			return nil, fmt.Errorf("%w: vertex %d: %v", ErrFormat, v, err)
+		}
+		if db.Vertices[v], err = core.UnmarshalVertexLabel(blob); err != nil {
+			return nil, fmt.Errorf("vertex %d: %w", v, err)
+		}
+	}
+	for e := 0; e < m; e++ {
+		blob, err := readBlob()
+		if err != nil {
+			return nil, fmt.Errorf("%w: edge %d: %v", ErrFormat, e, err)
+		}
+		if db.Edges[e], err = core.UnmarshalEdgeLabel(blob); err != nil {
+			return nil, fmt.Errorf("edge %d: %w", e, err)
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,134 @@
+package graphio
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func TestReadGraphBasic(t *testing.T) {
+	in := `
+# a triangle with one weighted edge
+n 3
+e 0 1
+e 1 2 7
+e 0 2
+`
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if g.Weight(1) != 7 || g.Weight(0) != 1 {
+		t.Fatalf("weights: %d, %d", g.Weight(1), g.Weight(0))
+	}
+}
+
+func TestReadGraphErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"edge before n":  "e 0 1\n",
+		"duplicate n":    "n 3\nn 4\n",
+		"bad count":      "n x\n",
+		"bad endpoint":   "n 3\ne 0 q\n",
+		"self loop":      "n 3\ne 1 1\n",
+		"unknown":        "n 3\nz 1 2\n",
+		"bad weight":     "n 3\ne 0 1 heavy\n",
+		"argument count": "n 3\ne 0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadGraph(strings.NewReader(in)); !errors.Is(err, ErrFormat) && !errors.Is(err, graph.ErrBadEdge) {
+			t.Errorf("%s: err = %v, want format error", name, err)
+		}
+	}
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := workload.ErdosRenyi(30, 0.2, true, rng)
+	workload.AssignRandomWeights(g, 50, rng)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatalf("round trip changed shape")
+	}
+	for e := range g.Edges {
+		if back.Edges[e] != g.Edges[e] || back.Weight(e) != g.Weight(e) {
+			t.Fatalf("edge %d changed", e)
+		}
+	}
+}
+
+func TestLabelDBRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := workload.ErdosRenyi(25, 0.2, true, rng)
+	s, err := core.Build(g, core.Params{MaxFaults: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLabels(&buf, s, g); err != nil {
+		t.Fatal(err)
+	}
+	db, err := ReadLabels(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Vertices) != g.N() || len(db.Edges) != g.M() {
+		t.Fatalf("db shape %d/%d", len(db.Vertices), len(db.Edges))
+	}
+	// Queries through the loaded database match direct queries.
+	for q := 0; q < 50; q++ {
+		faults := workload.RandomFaults(g, rng.Intn(3), rng)
+		sv, tv := rng.Intn(g.N()), rng.Intn(g.N())
+		fl := make([]core.EdgeLabel, len(faults))
+		fl2 := make([]core.EdgeLabel, len(faults))
+		for i, e := range faults {
+			fl[i] = s.EdgeLabel(e)
+			fl2[i] = db.Edges[e]
+		}
+		want, err1 := core.Connected(s.VertexLabel(sv), s.VertexLabel(tv), fl)
+		got, err2 := core.Connected(db.Vertices[sv], db.Vertices[tv], fl2)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error mismatch: %v vs %v", err1, err2)
+		}
+		if err1 == nil && got != want {
+			t.Fatalf("loaded labels disagree")
+		}
+	}
+}
+
+func TestReadLabelsRejectsGarbage(t *testing.T) {
+	if _, err := ReadLabels(strings.NewReader("nope")); !errors.Is(err, ErrFormat) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	// Truncated database.
+	rng := rand.New(rand.NewSource(3))
+	g := workload.ErdosRenyi(10, 0.3, true, rng)
+	s, err := core.Build(g, core.Params{MaxFaults: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLabels(&buf, s, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadLabels(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated database accepted")
+	}
+}

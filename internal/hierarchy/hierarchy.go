@@ -1,0 +1,158 @@
+// Package hierarchy constructs the (S_{f,T}, k)-good sparsification
+// hierarchies of Definition 1: a chain E_0 ⊇ E_1 ⊇ … ⊇ E_h = ∅ of non-tree
+// edge sets such that (i) each level is a constant fraction of the previous
+// one, so h = O(log n), and (ii) whenever a vertex set S with small tree
+// boundary has more than k outgoing edges at level i, it still has at least
+// one outgoing edge at level i+1. Property (ii) is what lets the decoder
+// scan levels top-down and trust the first nonzero syndrome (DESIGN.md
+// §3.3).
+//
+// Three constructions are provided, matching Lemma 5 and Appendix A:
+//
+//   - BuildNetFind — deterministic, near-linear time, k = O(f² log n)
+//     (Lemma 5, first bullet), via epsnet.NetFind on the Euler-tour
+//     embedding of non-tree edges.
+//   - BuildGreedy — deterministic, polynomial time, the stand-in for the
+//     [MDG18]-based second bullet (see DESIGN.md §3.5).
+//   - BuildSampling — randomized, k = O(f log n) (Proposition 5), by
+//     independent halving.
+package hierarchy
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/epsnet"
+	"repro/internal/euler"
+)
+
+// Hierarchy is the chain of edge levels. Levels[0] is the full non-tree edge
+// set; the implicit final level is empty. Each entry is a sorted slice of
+// edge indices.
+type Hierarchy struct {
+	Levels [][]int
+}
+
+// Depth returns the number of non-empty levels.
+func (h *Hierarchy) Depth() int { return len(h.Levels) }
+
+// lg2 returns log₂(max(n,2)).
+func lg2(n int) float64 {
+	if n < 2 {
+		n = 2
+	}
+	return math.Log2(float64(n))
+}
+
+// BuildNetFind builds the deterministic hierarchy of Lemma 5 (first
+// construction). pts is the Euler-tour embedding of the non-tree edges;
+// stopAt is the threshold k the consuming sketch will use — once a level has
+// at most stopAt edges, every S trivially has |∂_{E_i}(S)| ≤ k there, so the
+// next level may be empty.
+func BuildNetFind(pts []euler.Point, stopAt int) *Hierarchy {
+	h := &Hierarchy{}
+	cur := append([]euler.Point(nil), pts...)
+	for len(cur) > 0 {
+		h.Levels = append(h.Levels, edgeIDs(cur))
+		if len(cur) <= stopAt {
+			break
+		}
+		next := epsnet.NetFind(len(cur), cur)
+		if len(next) >= len(cur) {
+			// Cannot happen (NetFind returns ≤ half), but never loop.
+			break
+		}
+		cur = next
+	}
+	return h
+}
+
+// BuildGreedy builds a deterministic hierarchy using the greedy canonical
+// ε-net (polynomial-time alternative construction). gamma is the rectangle
+// weight the net must hit; the resulting hierarchy is good for
+// k = gamma·(2f+1)²/2 by the shape-decomposition argument of §4.3.
+func BuildGreedy(pts []euler.Point, gamma, stopAt int) *Hierarchy {
+	h := &Hierarchy{}
+	cur := append([]euler.Point(nil), pts...)
+	for len(cur) > 0 {
+		h.Levels = append(h.Levels, edgeIDs(cur))
+		if len(cur) <= stopAt {
+			break
+		}
+		next := epsnet.GreedyCanonicalNet(cur, gamma)
+		if len(next) >= len(cur) {
+			// The greedy net is not guaranteed to halve; force progress
+			// by dropping to a strict subset (keep every other point of
+			// the net). This preserves the subset chain; the goodness
+			// property for the forced level is validated empirically
+			// (EXPERIMENTS.md E2).
+			next = next[:len(cur)/2]
+		}
+		cur = next
+	}
+	return h
+}
+
+// BuildSampling builds the randomized hierarchy of Proposition 5: level i+1
+// keeps each edge of level i independently with probability 1/2, and the
+// chain is cut once a level has at most stopAt edges.
+func BuildSampling(pts []euler.Point, stopAt int, rng *rand.Rand) *Hierarchy {
+	h := &Hierarchy{}
+	cur := append([]euler.Point(nil), pts...)
+	for len(cur) > 0 {
+		h.Levels = append(h.Levels, edgeIDs(cur))
+		if len(cur) <= stopAt {
+			break
+		}
+		var next []euler.Point
+		for _, p := range cur {
+			if rng.Intn(2) == 0 {
+				next = append(next, p)
+			}
+		}
+		if len(next) == len(cur) {
+			next = next[:len(cur)-1]
+		}
+		cur = next
+	}
+	return h
+}
+
+// DefaultThreshold is the practical sketch threshold k(f, m) used by the
+// deterministic scheme: f²·⌈log₂ m⌉ clamped below by 2f+2 and by the
+// NetFind hitting weight, so the final-level cut-off in BuildNetFind is
+// sound. See DESIGN.md §3.4 for why this is deliberately far below the
+// worst-case constant 6(2f+1)²·log₂ m of Lemma 5.
+func DefaultThreshold(f, m int) int {
+	k := f * f * int(math.Ceil(lg2(m)))
+	if low := 2*f + 2; k < low {
+		k = low
+	}
+	if nf := epsnet.NetFindThreshold(m); k < nf {
+		k = nf
+	}
+	return k
+}
+
+// StrictTheoryThreshold is the worst-case threshold 6(2f+1)²·⌈log₂ m⌉ from
+// Lemma 5 — the value under which the ε-net argument proves goodness for
+// every S ∈ S_{f,T}. Only practical for very small graphs.
+func StrictTheoryThreshold(f, m int) int {
+	return 6 * (2*f + 1) * (2*f + 1) * int(math.Ceil(lg2(m)))
+}
+
+// SamplingThreshold is the randomized threshold ⌈5·f·log₂ n⌉ of
+// Proposition 5.
+func SamplingThreshold(f, n int) int {
+	return int(math.Ceil(5 * float64(f) * lg2(n)))
+}
+
+func edgeIDs(pts []euler.Point) []int {
+	out := make([]int, len(pts))
+	for i, p := range pts {
+		out[i] = p.Edge
+	}
+	sort.Ints(out)
+	return out
+}

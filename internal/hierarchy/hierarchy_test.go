@@ -1,0 +1,191 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/euler"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// buildEmbedding constructs a graph, its forest, and the non-tree embedding.
+func buildEmbedding(n int, p float64, seed int64) (*graph.Graph, *graph.Forest, *euler.Tour, []euler.Point) {
+	rng := rand.New(rand.NewSource(seed))
+	g := workload.ErdosRenyi(n, p, true, rng)
+	f := graph.SpanningForest(g)
+	tour := euler.Build(f)
+	return g, f, tour, euler.EmbedNonTree(g, f, tour)
+}
+
+func TestSubsetChain(t *testing.T) {
+	_, _, _, pts := buildEmbedding(200, 0.1, 1)
+	for name, h := range map[string]*Hierarchy{
+		"netfind":  BuildNetFind(pts, 10),
+		"sampling": BuildSampling(pts, 10, rand.New(rand.NewSource(2))),
+	} {
+		for i := 1; i < len(h.Levels); i++ {
+			prev := map[int]bool{}
+			for _, e := range h.Levels[i-1] {
+				prev[e] = true
+			}
+			for _, e := range h.Levels[i] {
+				if !prev[e] {
+					t.Fatalf("%s: level %d contains edge %d absent from level %d", name, i, e, i-1)
+				}
+			}
+			if len(h.Levels[i]) >= len(h.Levels[i-1]) {
+				t.Fatalf("%s: level %d did not shrink (%d -> %d)", name, i, len(h.Levels[i-1]), len(h.Levels[i]))
+			}
+		}
+		if h.Depth() < 2 {
+			t.Fatalf("%s: depth = %d, want a multi-level hierarchy", name, h.Depth())
+		}
+		if h.Depth() > 40 {
+			t.Fatalf("%s: depth = %d exceeds any log bound", name, h.Depth())
+		}
+	}
+}
+
+func TestLevelZeroIsAllNonTree(t *testing.T) {
+	g, f, _, pts := buildEmbedding(100, 0.15, 3)
+	h := BuildNetFind(pts, 8)
+	nonTree := 0
+	for e := range g.Edges {
+		if !f.IsTreeEdge[e] {
+			nonTree++
+		}
+	}
+	if len(h.Levels[0]) != nonTree {
+		t.Fatalf("level 0 has %d edges, want %d", len(h.Levels[0]), nonTree)
+	}
+}
+
+func boundaryCount(g *graph.Graph, level []int, inS []bool) int {
+	cnt := 0
+	for _, e := range level {
+		edge := g.Edges[e]
+		if inS[edge.U] != inS[edge.V] {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+func TestNetFindHierarchyGoodness(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, f, _, pts := buildEmbedding(150, 0.2, 5)
+	const maxF = 4
+	k := DefaultThreshold(maxF, g.M())
+	h := BuildNetFind(pts, k)
+	// Fragments must come from the tree: overlay non-tree edges as faults.
+	v := goodnessViolationsWithTreeFragments(t, g, f, h, maxF, k, 400, rng)
+	if v != 0 {
+		t.Fatalf("%d goodness violations with practical k=%d", v, k)
+	}
+}
+
+func TestSamplingHierarchyGoodness(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, f, _, pts := buildEmbedding(150, 0.2, 7)
+	const maxF = 4
+	k := SamplingThreshold(maxF, g.N())
+	h := BuildSampling(pts, k, rng)
+	v := goodnessViolationsWithTreeFragments(t, g, f, h, maxF, k, 400, rng)
+	if v != 0 {
+		t.Fatalf("%d goodness violations with sampling k=%d", v, k)
+	}
+}
+
+// goodnessViolationsWithTreeFragments is like goodnessViolations but builds
+// S from fragments of the spanning tree (the actual S_{f,T} family).
+func goodnessViolationsWithTreeFragments(t *testing.T, g *graph.Graph, f *graph.Forest, h *Hierarchy, maxF, k, trials int, rng *rand.Rand) int {
+	t.Helper()
+	var treeEdges []int
+	overlay := map[int]bool{}
+	for e := range g.Edges {
+		if f.IsTreeEdge[e] {
+			treeEdges = append(treeEdges, e)
+		} else {
+			overlay[e] = true
+		}
+	}
+	violations := 0
+	for trial := 0; trial < trials; trial++ {
+		nf := 1 + rng.Intn(maxF)
+		faults := map[int]bool{}
+		for e := range overlay {
+			faults[e] = true
+		}
+		chosen := 0
+		for chosen < nf && chosen < len(treeEdges) {
+			e := treeEdges[rng.Intn(len(treeEdges))]
+			if !faults[e] {
+				faults[e] = true
+				chosen++
+			}
+		}
+		comp, cnt := graph.Components(g, faults)
+		pick := make([]bool, cnt)
+		for c := range pick {
+			pick[c] = rng.Intn(2) == 0
+		}
+		inS := make([]bool, g.N())
+		for v := range inS {
+			inS[v] = pick[comp[v]]
+		}
+		for i := 0; i < len(h.Levels); i++ {
+			cur := boundaryCount(g, h.Levels[i], inS)
+			if cur <= k {
+				continue
+			}
+			nextCount := 0
+			if i+1 < len(h.Levels) {
+				nextCount = boundaryCount(g, h.Levels[i+1], inS)
+			}
+			if nextCount == 0 {
+				violations++
+			}
+		}
+	}
+	return violations
+}
+
+func TestGreedyHierarchy(t *testing.T) {
+	_, _, _, pts := buildEmbedding(60, 0.25, 8)
+	h := BuildGreedy(pts, 6, 12)
+	if h.Depth() < 1 {
+		t.Fatal("greedy hierarchy empty")
+	}
+	for i := 1; i < len(h.Levels); i++ {
+		if len(h.Levels[i]) >= len(h.Levels[i-1]) {
+			t.Fatalf("greedy level %d did not shrink", i)
+		}
+	}
+}
+
+func TestThresholds(t *testing.T) {
+	if k := DefaultThreshold(1, 100); k < 4 {
+		t.Fatalf("DefaultThreshold(1,100) = %d too small", k)
+	}
+	if DefaultThreshold(4, 1000) <= DefaultThreshold(1, 1000) {
+		t.Fatal("threshold must grow with f")
+	}
+	if StrictTheoryThreshold(2, 100) <= DefaultThreshold(2, 100) {
+		t.Fatal("strict threshold should dominate the practical one")
+	}
+	if SamplingThreshold(3, 1024) != 150 {
+		t.Fatalf("SamplingThreshold(3,1024) = %d, want 150", SamplingThreshold(3, 1024))
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	h := BuildNetFind(nil, 5)
+	if h.Depth() != 0 {
+		t.Fatalf("empty input depth = %d", h.Depth())
+	}
+	hs := BuildSampling(nil, 5, rand.New(rand.NewSource(1)))
+	if hs.Depth() != 0 {
+		t.Fatalf("empty sampling depth = %d", hs.Depth())
+	}
+}

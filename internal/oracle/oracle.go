@@ -1,0 +1,119 @@
+// Package oracle wraps the f-FTC labeling as a centralized connectivity
+// oracle for failure-prone graphs (§1.4: "any f-FTC labeling scheme is also
+// usable as a centralized oracle with the space complexity of m times the
+// label size"). The oracle is prepared once; thereafter any query
+// (s, t, F ⊆ E, |F| ≤ f) is answered without touching the graph — the
+// decoder-only property is what distinguishes it from recomputation, and
+// what the Duan–Pettie line of work targets.
+//
+// A Recompute baseline (BFS per query) is included for the benchmark
+// harness: the oracle's value shows when queries far outnumber updates or
+// when the graph itself is no longer available.
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Oracle is a prepared connectivity oracle.
+type Oracle struct {
+	n      int
+	labels *core.Scheme
+}
+
+// New prepares an oracle for g with fault budget f using the deterministic
+// scheme.
+func New(g *graph.Graph, f int) (*Oracle, error) {
+	s, err := core.Build(g, core.Params{MaxFaults: f})
+	if err != nil {
+		return nil, fmt.Errorf("oracle: %w", err)
+	}
+	return &Oracle{n: g.N(), labels: s}, nil
+}
+
+// NewWithParams prepares an oracle with explicit scheme parameters.
+func NewWithParams(g *graph.Graph, p core.Params) (*Oracle, error) {
+	s, err := core.Build(g, p)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: %w", err)
+	}
+	return &Oracle{n: g.N(), labels: s}, nil
+}
+
+// Connected answers an (s, t, F) query. F is a set of edge indices.
+func (o *Oracle) Connected(s, t int, faults []int) (bool, error) {
+	if s < 0 || t < 0 || s >= o.n || t >= o.n {
+		return false, fmt.Errorf("oracle: vertex out of range")
+	}
+	fl := make([]core.EdgeLabel, len(faults))
+	for i, e := range faults {
+		fl[i] = o.labels.EdgeLabel(e)
+	}
+	return core.Connected(o.labels.VertexLabel(s), o.labels.VertexLabel(t), fl)
+}
+
+// ComponentsUnder returns, for a fixed fault set, a connected-component
+// identifier for every vertex, computed purely through oracle queries and
+// union-find (|F|+1 fragments merge in at most |F| oracle probes — this is
+// the fragment-graph structure the labels encode). The identifiers are
+// canonical vertex ids.
+func (o *Oracle) ComponentsUnder(faults []int, probe []int) (map[int]int, error) {
+	// For the vertices in probe, group them by pairwise queries against
+	// the first member of each discovered group — O(|probe|·groups)
+	// oracle calls, each Õ(|F|⁴).
+	groups := [][]int{}
+	out := make(map[int]int, len(probe))
+	for _, v := range probe {
+		placed := false
+		for gi := range groups {
+			ok, err := o.Connected(groups[gi][0], v, faults)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				groups[gi] = append(groups[gi], v)
+				out[v] = groups[gi][0]
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, []int{v})
+			out[v] = v
+		}
+	}
+	return out, nil
+}
+
+// SpaceBits reports the oracle's storage: the sum of all label sizes (the
+// §1.4 m-times-label-size accounting).
+func (o *Oracle) SpaceBits(g *graph.Graph) int {
+	total := 0
+	for v := 0; v < g.N(); v++ {
+		total += core.VertexLabelBits(o.labels.VertexLabel(v))
+	}
+	for e := 0; e < g.M(); e++ {
+		total += core.EdgeLabelBits(o.labels.EdgeLabel(e))
+	}
+	return total
+}
+
+// Recompute is the trivial baseline: answer by BFS on g − F.
+type Recompute struct {
+	g *graph.Graph
+}
+
+// NewRecompute wraps g.
+func NewRecompute(g *graph.Graph) *Recompute { return &Recompute{g: g} }
+
+// Connected answers by BFS.
+func (r *Recompute) Connected(s, t int, faults []int) bool {
+	set := make(map[int]bool, len(faults))
+	for _, e := range faults {
+		set[e] = true
+	}
+	return graph.ConnectedUnder(r.g, set, s, t)
+}

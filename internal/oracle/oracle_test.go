@@ -1,0 +1,112 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestOracleMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 6; trial++ {
+		g := workload.ErdosRenyi(40, 0.1, true, rng)
+		const f = 3
+		o, err := New(g, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := NewRecompute(g)
+		for q := 0; q < 80; q++ {
+			faults := workload.RandomFaults(g, rng.Intn(f+1), rng)
+			s, d := rng.Intn(g.N()), rng.Intn(g.N())
+			got, err := o.Connected(s, d, faults)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != base.Connected(s, d, faults) {
+				t.Fatalf("oracle disagrees with recompute on (%d,%d,%v)", s, d, faults)
+			}
+		}
+	}
+}
+
+func TestOracleRandomizedVariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := workload.ErdosRenyi(30, 0.15, true, rng)
+	o, err := NewWithParams(g, core.Params{MaxFaults: 2, Kind: core.KindRandRS, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewRecompute(g)
+	for q := 0; q < 60; q++ {
+		faults := workload.RandomFaults(g, rng.Intn(3), rng)
+		s, d := rng.Intn(g.N()), rng.Intn(g.N())
+		got, err := o.Connected(s, d, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != base.Connected(s, d, faults) {
+			t.Fatal("randomized oracle disagrees")
+		}
+	}
+}
+
+func TestComponentsUnder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := workload.Grid(4, 4)
+	const f = 4
+	o, err := New(g, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewRecompute(g)
+	for trial := 0; trial < 10; trial++ {
+		faults := workload.RandomFaults(g, f, rng)
+		probe := rng.Perm(g.N())[:8]
+		comp, err := o.ComponentsUnder(faults, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range probe {
+			for _, b := range probe {
+				same := comp[a] == comp[b]
+				want := base.Connected(a, b, faults)
+				if same != want {
+					t.Fatalf("components disagree for (%d,%d) under %v", a, b, faults)
+				}
+			}
+		}
+	}
+}
+
+func TestVertexRangeValidation(t *testing.T) {
+	g := workload.Cycle(5)
+	o, err := New(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Connected(-1, 2, nil); err == nil {
+		t.Fatal("negative vertex accepted")
+	}
+	if _, err := o.Connected(0, 9, nil); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+}
+
+func TestSpaceBits(t *testing.T) {
+	g := workload.Grid(5, 5)
+	o, err := New(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := o.SpaceBits(g)
+	if bits <= 0 {
+		t.Fatalf("space = %d", bits)
+	}
+	// Space should be dominated by edge labels: more than m·vertexbits.
+	if bits < g.M()*96 {
+		t.Fatalf("space accounting implausibly small: %d", bits)
+	}
+}

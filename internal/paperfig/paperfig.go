@@ -1,0 +1,52 @@
+// Package paperfig holds the running example of the paper's Figures 1 and 2:
+// a 12-edge graph whose non-tree edges e1, e3, e5, e9, e12 are subdivided by
+// the auxiliary-graph transform (Figure 1) and then mapped to planar points
+// by the Euler-tour coordinates (Figure 2).
+//
+// The figures are drawings, so the exact vertex layout is not recoverable
+// from the text; this instance reconstructs the figure's parameters exactly
+// — 12 edges, 7 of them spanning-tree edges, 5 non-tree edges carrying the
+// primed names, and an Euler tour of 24 directed edges on the auxiliary tree
+// — so every quantity the figures illustrate (the subdivision, the
+// coordinate ranges, the checkered cut regions) is regenerated faithfully.
+package paperfig
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// EdgeName returns the paper's name for edge index i (e1..e12).
+func EdgeName(i int) string { return fmt.Sprintf("e%d", i+1) }
+
+// Instance returns the Figure 1 graph. Vertex 0 is the root r. Edges are
+// inserted in name order e1..e12; NonTree lists the indices of the edges
+// that are non-tree under the BFS spanning tree from r (matching the primed
+// edges of the figure: e1, e3, e5, e9, e12).
+func Instance() (*graph.Graph, []int) {
+	g := graph.New(8)
+	// 0 = r. Tree (BFS from 0): e2 (0-1), e4 (0-2), e6 (1-3), e7 (1-4),
+	// e8 (2-5), e10 (3-6), e11 (4-7). Non-tree: e1 (1-2), e3 (3-4),
+	// e5 (5-7), e9 (5-6), e12 (6-7).
+	edges := [][2]int{
+		{1, 2}, // e1  (non-tree)
+		{0, 1}, // e2
+		{3, 4}, // e3  (non-tree)
+		{0, 2}, // e4
+		{5, 7}, // e5  (non-tree)
+		{1, 3}, // e6
+		{1, 4}, // e7
+		{2, 5}, // e8
+		{5, 6}, // e9  (non-tree)
+		{3, 6}, // e10
+		{4, 7}, // e11
+		{6, 7}, // e12 (non-tree)
+	}
+	for _, e := range edges {
+		if _, err := g.AddEdge(e[0], e[1]); err != nil {
+			panic("paperfig: invalid fixed instance: " + err.Error())
+		}
+	}
+	return g, []int{0, 2, 4, 8, 11}
+}

@@ -1,0 +1,56 @@
+package paperfig
+
+import (
+	"testing"
+
+	"repro/internal/euler"
+	"repro/internal/graph"
+)
+
+func TestInstanceMatchesFigureParameters(t *testing.T) {
+	g, nonTree := Instance()
+	if g.N() != 8 || g.M() != 12 {
+		t.Fatalf("n=%d m=%d, want 8, 12", g.N(), g.M())
+	}
+	f := graph.SpanningForest(g)
+	if len(f.Roots) != 1 || f.Roots[0] != 0 {
+		t.Fatalf("roots = %v, want {0}", f.Roots)
+	}
+	// Exactly the primed edges of Figure 1 are non-tree.
+	want := map[int]bool{0: true, 2: true, 4: true, 8: true, 11: true}
+	for e := 0; e < g.M(); e++ {
+		if f.IsTreeEdge[e] == want[e] {
+			t.Fatalf("edge %s tree status mismatch (tree=%v)", EdgeName(e), f.IsTreeEdge[e])
+		}
+	}
+	if len(nonTree) != 5 {
+		t.Fatalf("non-tree list = %v", nonTree)
+	}
+	for _, e := range nonTree {
+		if !want[e] {
+			t.Fatalf("edge %s listed non-tree but is a tree edge", EdgeName(e))
+		}
+	}
+}
+
+func TestFigure2CoordinateRange(t *testing.T) {
+	// The auxiliary tree T′ has 12 edges (7 tree + 5 subdivision halves),
+	// so the Euler tour has 24 directed edges — the 1..24 numbering shown
+	// in Figure 2. Here the original tree alone gives 2·7 = 14 positions;
+	// the full 24 appears in the demo via the auxiliary transform.
+	g, _ := Instance()
+	f := graph.SpanningForest(g)
+	tour := euler.Build(f)
+	if int(tour.Len) != 14 {
+		t.Fatalf("tour length = %d, want 14 for the original tree", tour.Len)
+	}
+	pts := euler.EmbedNonTree(g, f, tour)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d, want 5", len(pts))
+	}
+	for _, p := range pts {
+		if p.X < 1 || p.Y > tour.Len || p.X >= p.Y {
+			t.Fatalf("point out of range: %+v", p)
+		}
+	}
+}

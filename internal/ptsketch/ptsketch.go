@@ -1,0 +1,375 @@
+// Package ptsketch implements the first Dory–Parter scheme (the remaining
+// Table 1 baseline): fault-tolerant connectivity labels built on the
+// cycle-space sampling of Pritchard–Thurimella [PT11] instead of graph
+// sketches (paper §1.4).
+//
+// Every non-tree edge draws a uniform b-bit string φ(e); every tree edge
+// stores the XOR of φ over the non-tree edges whose fundamental cycle
+// crosses it (equivalently: whose endpoints straddle its subtree). For a
+// fault set F, each fragment's sketch — the XOR of its boundary tree-edge
+// sketches, corrected for faulty non-tree edges — equals the XOR of φ over
+// the surviving non-tree edges leaving the fragment. A set of fragments is a
+// union of G−F components exactly when its sketches XOR to zero (with high
+// probability), so the connectivity partition is the coarsest-to-finest
+// grouping induced by the left null space of the fragment-sketch matrix,
+// computed by GF(2) Gaussian elimination in Õ(f³) time.
+//
+// Unlike the sketch-based schemes, a failure here is silent (a zero-XOR
+// collision merges two components): that is the "whp query support" the
+// paper's deterministic construction eliminates, and the benchmark harness
+// measures it directly.
+package ptsketch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/ancestry"
+	"repro/internal/fragments"
+	"repro/internal/graph"
+)
+
+// ErrLabelMismatch is returned when labels from different schemes are mixed.
+var ErrLabelMismatch = errors.New("ptsketch: labels belong to different schemes")
+
+// ErrTooManyFaults is returned when the fault set exceeds the budget.
+var ErrTooManyFaults = errors.New("ptsketch: fault set exceeds the labels' budget")
+
+// VertexLabel is the per-vertex label: an ancestry label plus scheme token.
+type VertexLabel struct {
+	Token uint64
+	Anc   ancestry.Label
+}
+
+// EdgeLabel is the per-edge label. Tree edges carry the cycle-space sketch
+// of their subtree cut; non-tree edges carry their own φ value and both
+// endpoint ancestry labels (needed to locate which fragments a faulty
+// non-tree edge crossed).
+type EdgeLabel struct {
+	Token     uint64
+	MaxFaults int
+	Words     int
+	IsTree    bool
+	// A is the parent-side endpoint for tree edges; either endpoint for
+	// non-tree edges.
+	A, B ancestry.Label
+	Phi  []uint64
+}
+
+// Params configures Build.
+type Params struct {
+	// MaxFaults is the fault budget f.
+	MaxFaults int
+	// Bits is the sketch width b. Zero selects the whp default
+	// f + 2·⌈log₂ n⌉ + 8; the full-support variant of DP21 multiplies the
+	// log term by f.
+	Bits int
+	// Full selects the full-query-support parameterization (b scaled by
+	// f as in DP21 footnote 4).
+	Full bool
+	// Seed drives the φ sampling.
+	Seed int64
+}
+
+// Scheme holds the labels of one construction.
+type Scheme struct {
+	token  uint64
+	words  int
+	bits   int
+	params Params
+
+	vertexLabels []VertexLabel
+	edgeLabels   []EdgeLabel
+}
+
+// defaultBits returns the sketch width for an n-vertex graph.
+func defaultBits(p Params, n int) int {
+	if p.Bits > 0 {
+		return p.Bits
+	}
+	logn := int(math.Ceil(math.Log2(float64(n + 2))))
+	if p.Full {
+		f := p.MaxFaults
+		if f < 1 {
+			f = 1
+		}
+		return p.MaxFaults + 2*f*logn + 8
+	}
+	return p.MaxFaults + 2*logn + 8
+}
+
+// Build constructs the DP21-1 labeling for g.
+func Build(g *graph.Graph, p Params) (*Scheme, error) {
+	if g == nil {
+		return nil, fmt.Errorf("ptsketch: nil graph")
+	}
+	if p.MaxFaults < 0 {
+		return nil, fmt.Errorf("ptsketch: negative fault budget")
+	}
+	f := graph.SpanningForest(g)
+	anc := ancestry.Build(f)
+	bits := defaultBits(p, g.N())
+	words := (bits + 63) / 64
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	s := &Scheme{words: words, bits: bits, params: p}
+	s.token = token(g, p, bits)
+
+	// φ for non-tree edges; per-vertex XOR accumulator.
+	n := g.N()
+	acc := make([]uint64, n*words)
+	phi := map[int][]uint64{}
+	for e, edge := range g.Edges {
+		if f.IsTreeEdge[e] {
+			continue
+		}
+		v := make([]uint64, words)
+		for i := range v {
+			v[i] = rng.Uint64()
+		}
+		maskTo(v, bits)
+		phi[e] = v
+		xorInto(acc[edge.U*words:(edge.U+1)*words], v)
+		xorInto(acc[edge.V*words:(edge.V+1)*words], v)
+	}
+	// Subtree XOR: reverse BFS order pushes children into parents.
+	order := f.BFSOrder
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if p := f.Parent[v]; p >= 0 {
+			xorInto(acc[p*words:(p+1)*words], acc[v*words:(v+1)*words])
+		}
+	}
+
+	s.vertexLabels = make([]VertexLabel, n)
+	for v := 0; v < n; v++ {
+		s.vertexLabels[v] = VertexLabel{Token: s.token, Anc: anc.Of(v)}
+	}
+	s.edgeLabels = make([]EdgeLabel, g.M())
+	for e, edge := range g.Edges {
+		el := EdgeLabel{
+			Token:     s.token,
+			MaxFaults: p.MaxFaults,
+			Words:     words,
+		}
+		if f.IsTreeEdge[e] {
+			child := edge.V
+			if f.Parent[edge.V] != edge.U {
+				child = edge.U
+			}
+			el.IsTree = true
+			el.A = anc.Of(edge.Other(child))
+			el.B = anc.Of(child)
+			el.Phi = append([]uint64(nil), acc[child*words:(child+1)*words]...)
+		} else {
+			el.A = anc.Of(edge.U)
+			el.B = anc.Of(edge.V)
+			el.Phi = append([]uint64(nil), phi[e]...)
+		}
+		s.edgeLabels[e] = el
+	}
+	return s, nil
+}
+
+// VertexLabel returns vertex v's label.
+func (s *Scheme) VertexLabel(v int) VertexLabel { return s.vertexLabels[v] }
+
+// EdgeLabel returns edge e's label (shared payload; treat as immutable).
+func (s *Scheme) EdgeLabel(e int) EdgeLabel { return s.edgeLabels[e] }
+
+// LabelBits returns the per-edge label size in bits: the b-bit φ sketch (the
+// paper's O(f + log n) term) plus the two ancestry labels and the fixed
+// header.
+func (s *Scheme) LabelBits() int {
+	return s.bits + 8*(1+8+4+4+24)
+}
+
+// Connected is the universal decoder: s–t connectivity of G − F from labels
+// only. Correct with high probability over the construction's randomness; a
+// failure is a silent false "connected".
+func Connected(sv, tv VertexLabel, faults []EdgeLabel) (bool, error) {
+	if sv.Token != tv.Token {
+		return false, fmt.Errorf("%w: vertex tokens differ", ErrLabelMismatch)
+	}
+	if sv.Anc.Root != tv.Anc.Root {
+		return false, nil
+	}
+	if sv.Anc.Pre == tv.Anc.Pre {
+		return true, nil
+	}
+	var treeFaults []fragments.Fault
+	var treeLabels []EdgeLabel
+	var nonTree []EdgeLabel
+	maxFaults := 0
+	words := 0
+	seenTree := map[uint32]bool{}
+	seenNonTree := map[[2]uint32]bool{}
+	for i := range faults {
+		fl := faults[i]
+		if fl.Token != sv.Token {
+			return false, fmt.Errorf("%w: fault %d token differs", ErrLabelMismatch, i)
+		}
+		if fl.A.Root != sv.Anc.Root {
+			continue
+		}
+		maxFaults = fl.MaxFaults
+		words = fl.Words
+		if fl.IsTree {
+			ft, err := fragments.Normalize(fl.A, fl.B)
+			if err != nil {
+				return false, err
+			}
+			if seenTree[ft.Child.Pre] {
+				continue
+			}
+			seenTree[ft.Child.Pre] = true
+			treeFaults = append(treeFaults, ft)
+			treeLabels = append(treeLabels, fl)
+		} else {
+			key := [2]uint32{fl.A.Pre, fl.B.Pre}
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			if seenNonTree[key] {
+				continue
+			}
+			seenNonTree[key] = true
+			nonTree = append(nonTree, fl)
+		}
+	}
+	if len(treeFaults)+len(nonTree) > maxFaults && maxFaults > 0 {
+		return false, fmt.Errorf("%w: %d faults, budget %d", ErrTooManyFaults,
+			len(treeFaults)+len(nonTree), maxFaults)
+	}
+	if len(treeFaults) == 0 {
+		// The spanning tree survives intact: the component stays
+		// connected no matter which non-tree edges failed.
+		return true, nil
+	}
+	set, err := fragments.Build(treeFaults)
+	if err != nil {
+		return false, err
+	}
+	q := len(set.Faults)
+	// Fragment sketches: XOR of boundary tree-edge sketches…
+	sketches := make([][]uint64, q+1)
+	for c := 0; c <= q; c++ {
+		sketches[c] = make([]uint64, words)
+		for _, fi := range set.Boundary[c] {
+			// Find the label whose child preorder matches fault fi.
+			for j := range treeFaults {
+				if treeFaults[j].Child.Pre == set.Faults[fi].Child.Pre {
+					xorInto(sketches[c], treeLabels[j].Phi)
+					break
+				}
+			}
+		}
+	}
+	// …corrected for faulty non-tree edges that crossed fragments.
+	for _, fl := range nonTree {
+		cu, cv := set.StabLabel(fl.A), set.StabLabel(fl.B)
+		if cu == cv {
+			continue
+		}
+		xorInto(sketches[cu], fl.Phi)
+		xorInto(sketches[cv], fl.Phi)
+	}
+	comp := nullspacePartition(sketches)
+	return comp[set.StabLabel(sv.Anc)] == comp[set.StabLabel(tv.Anc)], nil
+}
+
+// nullspacePartition groups the rows by the left null space of the sketch
+// matrix: rows i, j fall in the same G−F component exactly when every null
+// vector assigns them the same coefficient (whp).
+func nullspacePartition(rows [][]uint64) []int {
+	q := len(rows)
+	words := 0
+	if q > 0 {
+		words = len(rows[0])
+	}
+	// Working rows: payload ++ identity augment.
+	augWords := (q + 63) / 64
+	work := make([][]uint64, q)
+	for i := range work {
+		work[i] = make([]uint64, words+augWords)
+		copy(work[i], rows[i])
+		work[i][words+i/64] |= 1 << uint(i%64)
+	}
+	// Gaussian elimination on the payload part.
+	row := 0
+	for col := 0; col < 64*words && row < q; col++ {
+		w, b := col/64, uint(col%64)
+		pivot := -1
+		for r := row; r < q; r++ {
+			if work[r][w]>>b&1 == 1 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			continue
+		}
+		work[row], work[pivot] = work[pivot], work[row]
+		for r := 0; r < q; r++ {
+			if r != row && work[r][w]>>b&1 == 1 {
+				xorInto(work[r], work[row])
+			}
+		}
+		row++
+	}
+	// Null-space basis: augments of the zero-payload rows.
+	var basis [][]uint64
+	for r := row; r < q; r++ {
+		basis = append(basis, work[r][words:])
+	}
+	// Group rows by their bit pattern across the basis.
+	comp := make([]int, q)
+	groups := map[string]int{}
+	for i := 0; i < q; i++ {
+		sig := make([]byte, len(basis))
+		for b := range basis {
+			sig[b] = byte(basis[b][i/64] >> uint(i%64) & 1)
+		}
+		k := string(sig)
+		id, ok := groups[k]
+		if !ok {
+			id = len(groups)
+			groups[k] = id
+		}
+		comp[i] = id
+	}
+	return comp
+}
+
+func xorInto(dst, src []uint64) {
+	for i := range src {
+		dst[i] ^= src[i]
+	}
+}
+
+func maskTo(v []uint64, bits int) {
+	rem := bits % 64
+	if rem == 0 {
+		return
+	}
+	v[len(v)-1] &= (1 << uint(rem)) - 1
+}
+
+func token(g *graph.Graph, p Params, bits int) uint64 {
+	h := uint64(1469598103934665603) // FNV offset
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(g.N()))
+	mix(uint64(g.M()))
+	for _, e := range g.Edges {
+		mix(uint64(e.U)<<32 | uint64(e.V))
+	}
+	mix(uint64(p.MaxFaults))
+	mix(uint64(p.Seed))
+	mix(uint64(bits))
+	return h
+}

@@ -1,0 +1,221 @@
+package ptsketch
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func mustBuild(t testing.TB, g *graph.Graph, p Params) *Scheme {
+	t.Helper()
+	s, err := Build(g, p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return s
+}
+
+func query(s *Scheme, sv, tv int, faults []int) (bool, error) {
+	fl := make([]EdgeLabel, len(faults))
+	for i, e := range faults {
+		fl[i] = s.EdgeLabel(e)
+	}
+	return Connected(s.VertexLabel(sv), s.VertexLabel(tv), fl)
+}
+
+// TestExhaustiveSmallGraphs: with generous sketch width the whp scheme
+// should answer every query on small graphs correctly (the failure
+// probability at b ≈ 40 bits is ~2^-30 per query).
+func TestExhaustiveSmallGraphs(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"k4":      workload.Complete(4),
+		"cycle6":  workload.Cycle(6),
+		"grid3x3": workload.Grid(3, 3),
+	} {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			s := mustBuild(t, g, Params{MaxFaults: 2, Seed: 3})
+			var faults []int
+			var rec func(start int)
+			rec = func(start int) {
+				set := workload.FaultSet(faults)
+				for sv := 0; sv < g.N(); sv++ {
+					for tv := sv + 1; tv < g.N(); tv++ {
+						want := graph.ConnectedUnder(g, set, sv, tv)
+						got, err := query(s, sv, tv, faults)
+						if err != nil {
+							t.Fatalf("query(%d,%d,%v): %v", sv, tv, faults, err)
+						}
+						if got != want {
+							t.Fatalf("query(%d,%d,%v) = %v, want %v", sv, tv, faults, got, want)
+						}
+					}
+				}
+				if len(faults) == 2 {
+					return
+				}
+				for e := start; e < g.M(); e++ {
+					faults = append(faults, e)
+					rec(e + 1)
+					faults = faults[:len(faults)-1]
+				}
+			}
+			rec(0)
+		})
+	}
+}
+
+func TestStressVsGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	wrong, total := 0, 0
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(50)
+		g := workload.ErdosRenyi(n, 0.1, true, rng)
+		f := 1 + rng.Intn(4)
+		s := mustBuild(t, g, Params{MaxFaults: f, Seed: int64(trial), Full: trial%2 == 0})
+		forest := graph.SpanningForest(g)
+		for qn := 0; qn < 100; qn++ {
+			var faults []int
+			if qn%2 == 0 {
+				faults = workload.TreeEdgeFaults(g, forest, rng.Intn(f+1), rng)
+			} else {
+				faults = workload.RandomFaults(g, rng.Intn(f+1), rng)
+			}
+			sv, tv := rng.Intn(n), rng.Intn(n)
+			want := graph.ConnectedUnder(g, workload.FaultSet(faults), sv, tv)
+			got, err := query(s, sv, tv, faults)
+			if err != nil {
+				t.Fatalf("query: %v", err)
+			}
+			total++
+			if got != want {
+				wrong++
+			}
+		}
+	}
+	// whp semantics: allow a sliver of silent failures, though with the
+	// default widths none are expected.
+	if wrong > total/200 {
+		t.Fatalf("error rate too high: %d/%d", wrong, total)
+	}
+}
+
+// TestNarrowSketchFailsSometimes demonstrates the whp-vs-deterministic gap
+// the paper closes: with a deliberately tiny sketch width the scheme
+// produces wrong answers at a visible rate.
+func TestNarrowSketchFailsSometimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	wrong, total := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		g := workload.ErdosRenyi(24, 0.15, true, rng)
+		forest := graph.SpanningForest(g)
+		s := mustBuild(t, g, Params{MaxFaults: 4, Bits: 2, Seed: int64(trial)})
+		for qn := 0; qn < 50; qn++ {
+			faults := workload.TreeEdgeFaults(g, forest, 1+rng.Intn(4), rng)
+			sv, tv := rng.Intn(g.N()), rng.Intn(g.N())
+			want := graph.ConnectedUnder(g, workload.FaultSet(faults), sv, tv)
+			got, err := query(s, sv, tv, faults)
+			if err != nil {
+				continue
+			}
+			total++
+			if got != want {
+				wrong++
+			}
+		}
+	}
+	if wrong == 0 {
+		t.Fatalf("2-bit sketches answered all %d queries correctly — failure injection broken", total)
+	}
+	t.Logf("narrow sketch error rate: %d/%d", wrong, total)
+}
+
+func TestNonTreeFaultsOnly(t *testing.T) {
+	// Removing only non-tree edges never disconnects a component.
+	rng := rand.New(rand.NewSource(9))
+	g := workload.ErdosRenyi(30, 0.3, true, rng)
+	forest := graph.SpanningForest(g)
+	s := mustBuild(t, g, Params{MaxFaults: 5, Seed: 1})
+	var nonTree []int
+	for e := range g.Edges {
+		if !forest.IsTreeEdge[e] {
+			nonTree = append(nonTree, e)
+		}
+	}
+	if len(nonTree) < 3 {
+		t.Skip("not enough non-tree edges")
+	}
+	got, err := query(s, 0, g.N()-1, nonTree[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("non-tree faults cannot disconnect, but query said they did")
+	}
+}
+
+func TestCrossComponentAndErrors(t *testing.T) {
+	g := graph.New(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 5}} {
+		if _, err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := mustBuild(t, g, Params{MaxFaults: 2, Seed: 1})
+	got, err := query(s, 0, 4, nil)
+	if err != nil || got {
+		t.Fatalf("cross-component: got=%v err=%v", got, err)
+	}
+	// Token mismatch.
+	other := mustBuild(t, workload.Cycle(5), Params{MaxFaults: 2, Seed: 1})
+	if _, err := Connected(s.VertexLabel(0), other.VertexLabel(1), nil); !errors.Is(err, ErrLabelMismatch) {
+		t.Fatalf("err = %v, want ErrLabelMismatch", err)
+	}
+	// Budget exceeded (faults must be in the queried component to count).
+	tight := mustBuild(t, workload.Cycle(6), Params{MaxFaults: 1, Seed: 2})
+	if _, err := query(tight, 0, 3, []int{0, 2}); !errors.Is(err, ErrTooManyFaults) {
+		t.Fatalf("err = %v, want ErrTooManyFaults", err)
+	}
+}
+
+func TestNullspacePartition(t *testing.T) {
+	// Hand-built instance: fragments {0,1} share a component (their
+	// sketches are equal, so r0+r1 = 0), fragment 2 is alone (nonzero,
+	// independent).
+	rows := [][]uint64{{0b1010}, {0b1010}, {0b0110}}
+	comp := nullspacePartition(rows)
+	if comp[0] != comp[1] {
+		t.Fatalf("fragments 0,1 should merge: %v", comp)
+	}
+	if comp[2] == comp[0] {
+		t.Fatalf("fragment 2 should be separate: %v", comp)
+	}
+	// All zero: each fragment has no crossing edges, i.e. every fragment
+	// is its own component — all distinct.
+	comp = nullspacePartition([][]uint64{{0}, {0}, {0}})
+	if comp[0] == comp[1] || comp[1] == comp[2] || comp[0] == comp[2] {
+		t.Fatalf("all-zero rows are isolated components, got %v", comp)
+	}
+}
+
+func TestLabelBitsAccounting(t *testing.T) {
+	g := workload.Grid(5, 5)
+	whp := mustBuild(t, g, Params{MaxFaults: 3, Seed: 1})
+	full := mustBuild(t, g, Params{MaxFaults: 3, Seed: 1, Full: true})
+	if whp.LabelBits() >= full.LabelBits() {
+		t.Fatalf("full-support labels (%d bits) should exceed whp labels (%d bits)",
+			full.LabelBits(), whp.LabelBits())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Params{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := Build(workload.Cycle(3), Params{MaxFaults: -1}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}

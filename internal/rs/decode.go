@@ -1,0 +1,264 @@
+// Package rs implements the paper's first key technique (§4.2, §7.4,
+// Appendix B): a deterministic k-threshold outdetect labeling scheme derived
+// from the parity-check matrix of a Reed–Solomon code over GF(2^64).
+//
+// Every edge e carries a nonzero field element α_e (its edge ID). The sketch
+// of e is the vector of its first 2k powers (α_e, α_e², …, α_e^2k) — the
+// row of the parity-check matrix C_2k indexed by e. The sketch of a vertex
+// is the XOR (field sum) of its incident edges' sketches, so the sketch of a
+// vertex set S telescopes to the power sums S_j = Σ_{e∈∂(S)} α_e^j of the
+// outgoing edges. Recovering ∂(S) from those power sums is exactly syndrome
+// decoding of a weight-≤k binary error vector: Berlekamp–Massey produces the
+// error-locator polynomial and the Berlekamp trace algorithm finds its roots
+// in time polynomial in k and the field degree — never in the (astronomical)
+// codeword length, which is the property Proposition 2 requires.
+//
+// The prefix property of Proposition 6 (Appendix B) holds by construction:
+// the first 2k′ coordinates of a 2k-sketch are precisely the 2k′-sketch, so
+// decoding can adapt its budget to the actual cut size.
+package rs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/gf"
+)
+
+// ErrOverload is returned when the syndrome does not correspond to any edge
+// set of size at most the decoding budget. Per Proposition 2 the decoder's
+// output is unspecified when |∂(S)| exceeds the threshold; this
+// implementation detects (rather than silently mis-reports) that case by
+// re-encoding verification.
+var ErrOverload = errors.New("rs: syndrome is not a consistent ≤k-edge sketch")
+
+// Sketch is the power-sum syndrome vector of an edge set. Sketch[j] holds
+// S_{j+1} = Σ_e α_e^{j+1}. The zero value (or any all-zero vector) encodes
+// the empty edge set. Sketches of equal length form a GF(2)-linear space
+// under XOR, which is what lets vertex labels aggregate over any vertex set.
+type Sketch []uint64
+
+// NewSketch returns an all-zero sketch with threshold k (length 2k).
+func NewSketch(k int) Sketch { return make(Sketch, 2*k) }
+
+// K returns the threshold the sketch was sized for.
+func (s Sketch) K() int { return len(s) / 2 }
+
+// AddEdge folds edge ID alpha into the sketch. alpha must be nonzero; a zero
+// ID would be indistinguishable from absence.
+func (s Sketch) AddEdge(alpha uint64) {
+	pow := alpha
+	for j := range s {
+		s[j] ^= pow
+		pow = gf.Mul(pow, alpha)
+	}
+}
+
+// Xor folds another sketch of the same length into s. Adding a sketch twice
+// cancels it — that cancellation is the telescoping at the heart of the
+// scheme.
+func (s Sketch) Xor(o Sketch) {
+	if len(o) != len(s) {
+		panic(fmt.Sprintf("rs: sketch length mismatch %d vs %d", len(s), len(o)))
+	}
+	for i, v := range o {
+		s[i] ^= v
+	}
+}
+
+// Clone returns an independent copy.
+func (s Sketch) Clone() Sketch {
+	c := make(Sketch, len(s))
+	copy(c, s)
+	return c
+}
+
+// IsZero reports whether every syndrome is zero (the sketch of the empty
+// set; also the sketch of any set whose characteristic vector happens to be
+// a codeword, which requires weight ≥ 2k+1 and is therefore impossible under
+// the threshold guarantee).
+func (s Sketch) IsZero() bool {
+	for _, v := range s {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Decode recovers the edge IDs whose sketch equals s, assuming at most
+// budget of them. budget ≤ K(); budget < K() performs adaptive prefix
+// decoding (Appendix B): only the first 2·budget syndromes drive the
+// decoder, but the full vector is still used for verification. Returns the
+// sorted edge IDs, a nil slice for the empty set, or ErrOverload.
+func (s Sketch) Decode(budget int) ([]uint64, error) {
+	if budget > s.K() {
+		budget = s.K()
+	}
+	if budget <= 0 {
+		if s.IsZero() {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("%w: zero budget with nonzero syndrome", ErrOverload)
+	}
+	if s.IsZero() {
+		return nil, nil
+	}
+	locator := berlekampMassey(s[:2*budget])
+	t := locator.Deg()
+	if t == 0 || t > budget {
+		return nil, fmt.Errorf("%w: locator degree %d outside (0,%d]", ErrOverload, t, budget)
+	}
+	roots, ok := findRoots(locator)
+	if !ok || len(roots) != t {
+		return nil, fmt.Errorf("%w: locator does not split into %d distinct nonzero roots", ErrOverload, t)
+	}
+	ids := make([]uint64, 0, t)
+	for _, r := range roots {
+		// Roots of the locator are the inverses of the edge IDs.
+		ids = append(ids, gf.Inv(r))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// Re-encoding verification against the FULL syndrome vector: the
+	// decoded set must reproduce every stored power sum, not just the
+	// prefix that drove Berlekamp–Massey.
+	if !s.consistentWith(ids) {
+		return nil, fmt.Errorf("%w: re-encoding check failed for %d candidates", ErrOverload, len(ids))
+	}
+	return ids, nil
+}
+
+// consistentWith checks that ids re-encode exactly to s.
+func (s Sketch) consistentWith(ids []uint64) bool {
+	check := make(Sketch, len(s))
+	for _, id := range ids {
+		if id == 0 {
+			return false
+		}
+		check.AddEdge(id)
+	}
+	for i := range s {
+		if check[i] != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// berlekampMassey returns the minimal connection polynomial
+// Λ(x) = 1 + λ₁x + … + λ_t x^t of the syndrome sequence: the unique monic
+// (constant term 1) polynomial of minimal degree with
+// Σ_i Λ_i · S_{j-i} = 0 for all j > t. For syndromes that are power sums of
+// t ≤ len(syn)/2 distinct points, Λ's roots are the points' inverses.
+func berlekampMassey(syn []uint64) gf.Poly {
+	c := gf.Poly{1} // current connection polynomial
+	b := gf.Poly{1} // previous connection polynomial
+	var l int       // current LFSR length
+	var m = 1       // steps since last length change
+	var bDelta uint64 = 1
+	for n := 0; n < len(syn); n++ {
+		// Discrepancy d = S_n + Σ_{i=1..l} c_i S_{n-i}.
+		d := syn[n]
+		for i := 1; i <= l && i < len(c); i++ {
+			d ^= gf.Mul(c[i], syn[n-i])
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		coef := gf.Mul(d, gf.Inv(bDelta))
+		// c' = c - coef · x^m · b
+		shifted := make(gf.Poly, len(b)+m)
+		for i, bc := range b {
+			shifted[i+m] = gf.Mul(coef, bc)
+		}
+		next := gf.PolyAdd(c, shifted)
+		if 2*l <= n {
+			b = c
+			bDelta = d
+			l = n + 1 - l
+			m = 1
+		} else {
+			m++
+		}
+		c = next
+	}
+	return gf.PolyTrim(c)
+}
+
+// findRoots returns all distinct roots of p in GF(2^64) via the Berlekamp
+// trace algorithm, reporting ok=false if p does not split into distinct
+// nonzero linear factors (which signals an inconsistent syndrome).
+func findRoots(p gf.Poly) ([]uint64, bool) {
+	p = gf.PolyMonic(p)
+	if p.Deg() < 1 {
+		return nil, false
+	}
+	// A locator with constant term 0 has root 0 ⇒ some edge ID would be
+	// "infinite"; invalid.
+	if p[0] == 0 {
+		return nil, false
+	}
+	var roots []uint64
+	pending := []gf.Poly{p}
+	for basis := 0; basis < 64 && len(pending) > 0; basis++ {
+		beta := uint64(1) << uint(basis)
+		var next []gf.Poly
+		for _, q := range pending {
+			if q.Deg() == 1 {
+				roots = append(roots, rootOfLinear(q))
+				continue
+			}
+			tr := traceMap(beta, q)
+			d := gf.PolyGCD(q, tr)
+			if d.Deg() <= 0 || d.Deg() >= q.Deg() {
+				// This basis element does not split q; try the next.
+				next = append(next, q)
+				continue
+			}
+			rest := gf.PolyMonic(gf.PolyDivExact(q, d))
+			next = append(next, d, rest)
+		}
+		pending = next
+	}
+	for _, q := range pending {
+		if q.Deg() == 1 {
+			roots = append(roots, rootOfLinear(q))
+		} else {
+			// Irreducible factor of degree ≥ 2 survived all 64 basis
+			// elements: p has roots outside GF(2^64) ⇒ not a valid
+			// locator of field elements.
+			return nil, false
+		}
+	}
+	// Distinctness: a repeated root would mean a repeated edge ID, which
+	// cannot arise from a set.
+	seen := make(map[uint64]bool, len(roots))
+	for _, r := range roots {
+		if r == 0 || seen[r] {
+			return nil, false
+		}
+		seen[r] = true
+	}
+	return roots, true
+}
+
+// rootOfLinear returns the root of the monic linear polynomial x + c.
+func rootOfLinear(q gf.Poly) uint64 {
+	q = gf.PolyMonic(q)
+	return q[0] // x + c has root c in characteristic two
+}
+
+// traceMap computes Tr(βx) mod q = Σ_{i=0}^{63} (βx)^{2^i} mod q. Its roots
+// within a factor separate elements by their GF(2)-trace along direction β.
+func traceMap(beta uint64, q gf.Poly) gf.Poly {
+	// term starts as βx mod q.
+	term := gf.PolyMod(gf.Poly{0, beta}, q)
+	acc := term.Clone()
+	for i := 1; i < 64; i++ {
+		term = gf.PolySqrMod(term, q)
+		acc = gf.PolyAdd(acc, term)
+	}
+	return acc
+}

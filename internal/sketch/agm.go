@@ -1,0 +1,145 @@
+// Package sketch implements the randomized AGM-style graph sketch
+// (Ahn–Guha–McGregor ℓ₀-sampling) that underlies the second Dory–Parter
+// scheme, which this paper de-randomizes (§1.2, §4.1). It serves two roles
+// in the reproduction:
+//
+//  1. the DP21 baseline rows of Table 1 (whp and full query support,
+//     depending on the repetition count), and
+//  2. a drop-in demonstration of the framework's modularity claim: the
+//     deterministic Reed–Solomon outdetect and this sketch plug into the
+//     identical tree-edge machinery.
+//
+// A sketch is a grid of Reps × Buckets cells. Each cell holds the XOR of
+// (edge ID, checksum) over the boundary edges that a seed-derived hash
+// subsamples at rate 2^-bucket. Cells are GF(2)-linear, so vertex sketches
+// aggregate over vertex sets exactly like the deterministic ones. A cell
+// that ends up holding exactly one edge is detected by its checksum; with
+// high probability some cell isolates an edge whenever the boundary is
+// nonempty — but only with high probability, which is precisely the
+// whp-vs-deterministic gap the paper closes.
+package sketch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// ErrDecode is returned when a nonzero sketch contains no verifiable
+// singleton cell — the low-probability failure mode of the randomized
+// scheme. Callers surface this as a query failure and the benchmark harness
+// reports the measured failure rate.
+var ErrDecode = errors.New("sketch: no cell isolates a single edge")
+
+// Spec fixes the shape and seed of a sketch. It is embedded in edge labels
+// so that the universal decoder needs no access to the construction.
+type Spec struct {
+	Reps    int
+	Buckets int
+	Seed    int64
+}
+
+// Words returns the []uint64 length of one sketch: two words per cell.
+func (s Spec) Words() int { return 2 * s.Reps * s.Buckets }
+
+// DefaultBuckets returns the sampling-level count for graphs with up to m
+// edges: ⌈log₂ m⌉ + 2 so even the full edge set can be downsampled to a
+// singleton.
+func DefaultBuckets(m int) int {
+	if m < 2 {
+		m = 2
+	}
+	return int(math.Ceil(math.Log2(float64(m)))) + 2
+}
+
+// splitmix64 is the standard 64-bit finalizer — a fast nonlinear (over
+// GF(2)) mixer. Nonlinearity matters: the checksum of an XOR of two edges
+// must not equal the XOR of their checksums.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func (s Spec) repSalt(rep int) uint64 {
+	return splitmix64(uint64(s.Seed) ^ (0xA5A5A5A5<<16 + uint64(rep)))
+}
+
+func (s Spec) checkSalt() uint64 {
+	return splitmix64(uint64(s.Seed) ^ 0xC3C3C3C3C3C3)
+}
+
+// sampledDepth returns how many buckets edge id participates in for the
+// given repetition: buckets 0..depth (bucket b subsamples at rate 2^-b).
+func (s Spec) sampledDepth(id uint64, rep int) int {
+	h := splitmix64(id ^ s.repSalt(rep))
+	d := bits.TrailingZeros64(h)
+	if d >= s.Buckets {
+		d = s.Buckets - 1
+	}
+	return d
+}
+
+func (s Spec) checksum(id uint64) uint64 { return splitmix64(id ^ s.checkSalt()) }
+
+// cell returns the word offset of (rep, bucket).
+func (s Spec) cell(rep, bucket int) int { return 2 * (rep*s.Buckets + bucket) }
+
+// AddEdge folds edge id into the sketch cells (in place). cells must have
+// length Words().
+func (s Spec) AddEdge(cells []uint64, id uint64) {
+	chk := s.checksum(id)
+	for r := 0; r < s.Reps; r++ {
+		depth := s.sampledDepth(id, r)
+		for b := 0; b <= depth; b++ {
+			off := s.cell(r, b)
+			cells[off] ^= id
+			cells[off+1] ^= chk
+		}
+	}
+}
+
+// Decode attempts to extract one or more boundary edge IDs from an
+// aggregated sketch. A nil result with nil error means the boundary is
+// empty. The returned IDs are verified singletons (checksum match plus
+// membership re-check), deduplicated.
+func (s Spec) Decode(cells []uint64) ([]uint64, error) {
+	if len(cells) != s.Words() {
+		return nil, fmt.Errorf("sketch: cell vector has %d words, spec wants %d", len(cells), s.Words())
+	}
+	allZero := true
+	seen := map[uint64]bool{}
+	var out []uint64
+	for r := 0; r < s.Reps; r++ {
+		for b := 0; b < s.Buckets; b++ {
+			off := s.cell(r, b)
+			id, chk := cells[off], cells[off+1]
+			if id == 0 && chk == 0 {
+				continue
+			}
+			allZero = false
+			if id == 0 || s.checksum(id) != chk {
+				continue
+			}
+			// A genuine singleton must actually be sampled in this
+			// cell under its own hash — a strong extra filter against
+			// collisions masquerading as singletons.
+			if s.sampledDepth(id, r) < b {
+				continue
+			}
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	if allZero {
+		return nil, nil
+	}
+	if len(out) == 0 {
+		return nil, ErrDecode
+	}
+	return out, nil
+}

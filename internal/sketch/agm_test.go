@@ -1,0 +1,154 @@
+package sketch
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func spec(reps int) Spec { return Spec{Reps: reps, Buckets: DefaultBuckets(1 << 12), Seed: 42} }
+
+func TestEmpty(t *testing.T) {
+	s := spec(4)
+	cells := make([]uint64, s.Words())
+	ids, err := s.Decode(cells)
+	if ids != nil || err != nil {
+		t.Fatalf("empty: ids=%v err=%v", ids, err)
+	}
+}
+
+func TestSingleEdge(t *testing.T) {
+	s := spec(4)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		id := rng.Uint64() | 1
+		cells := make([]uint64, s.Words())
+		s.AddEdge(cells, id)
+		ids, err := s.Decode(cells)
+		if err != nil {
+			t.Fatalf("single edge decode failed: %v", err)
+		}
+		found := false
+		for _, got := range ids {
+			if got == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("edge %#x not recovered, got %v", id, ids)
+		}
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	s := spec(4)
+	cells := make([]uint64, s.Words())
+	s.AddEdge(cells, 12345)
+	s.AddEdge(cells, 12345)
+	for _, w := range cells {
+		if w != 0 {
+			t.Fatal("double insertion must cancel to zero")
+		}
+	}
+}
+
+// TestManyEdgesWhpRecovery measures that decoding succeeds on large boundary
+// sets nearly always and that every returned ID is a true member — the
+// "whp query support" semantics of the DP21 baseline.
+func TestManyEdgesWhpRecovery(t *testing.T) {
+	s := spec(8)
+	rng := rand.New(rand.NewSource(2))
+	failures := 0
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		truth := map[uint64]bool{}
+		cells := make([]uint64, s.Words())
+		count := 1 + rng.Intn(200)
+		for len(truth) < count {
+			id := rng.Uint64() | 1
+			if truth[id] {
+				continue
+			}
+			truth[id] = true
+			s.AddEdge(cells, id)
+		}
+		ids, err := s.Decode(cells)
+		if err != nil {
+			if !errors.Is(err, ErrDecode) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			failures++
+			continue
+		}
+		if len(ids) == 0 {
+			t.Fatal("non-error decode returned no ids")
+		}
+		for _, id := range ids {
+			if !truth[id] {
+				t.Fatalf("decode fabricated edge %#x", id)
+			}
+		}
+	}
+	if failures > trials/20 {
+		t.Fatalf("failure rate too high: %d/%d", failures, trials)
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	// sketch(A) xor sketch(B) must equal sketch(A △ B).
+	s := spec(3)
+	rng := rand.New(rand.NewSource(3))
+	a := []uint64{rng.Uint64() | 1, rng.Uint64() | 1, rng.Uint64() | 1}
+	b := []uint64{a[0], rng.Uint64() | 1} // shares a[0]
+	ca := make([]uint64, s.Words())
+	cb := make([]uint64, s.Words())
+	cd := make([]uint64, s.Words())
+	for _, id := range a {
+		s.AddEdge(ca, id)
+	}
+	for _, id := range b {
+		s.AddEdge(cb, id)
+	}
+	for _, id := range []uint64{a[1], a[2], b[1]} {
+		s.AddEdge(cd, id)
+	}
+	for i := range ca {
+		if ca[i]^cb[i] != cd[i] {
+			t.Fatal("sketch is not XOR-linear")
+		}
+	}
+}
+
+func TestDecodeWrongLength(t *testing.T) {
+	s := spec(2)
+	if _, err := s.Decode(make([]uint64, 3)); err == nil {
+		t.Fatal("wrong-length cells accepted")
+	}
+}
+
+func TestSeedChangesSketch(t *testing.T) {
+	a := Spec{Reps: 3, Buckets: 10, Seed: 1}
+	b := Spec{Reps: 3, Buckets: 10, Seed: 2}
+	ca := make([]uint64, a.Words())
+	cb := make([]uint64, b.Words())
+	a.AddEdge(ca, 777)
+	b.AddEdge(cb, 777)
+	same := true
+	for i := range ca {
+		if ca[i] != cb[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sketches")
+	}
+}
+
+func TestDefaultBuckets(t *testing.T) {
+	if DefaultBuckets(1024) != 12 {
+		t.Fatalf("DefaultBuckets(1024) = %d, want 12", DefaultBuckets(1024))
+	}
+	if DefaultBuckets(0) < 3 {
+		t.Fatal("tiny m must still give a sane bucket count")
+	}
+}

@@ -1,0 +1,167 @@
+// Package spanner builds f-fault-tolerant bottleneck spanners: sparse
+// subgraphs H ⊆ G such that for every fault set F with |F| ≤ f and every
+// vertex pair, the bottleneck (minimax edge weight) distance in H − F is at
+// most (2κ−1) times the bottleneck distance in G − F.
+//
+// This is the substrate for the Corollary 1 distance-labeling reduction (see
+// DESIGN.md §3.5): the paper defers the reduction's formalism to Dory–Parter
+// and consumes the FTC scheme as a black box; our reduction runs the FTC
+// scheme over weight-threshold subgraphs of this spanner.
+//
+// The construction is the fault-tolerant greedy: scan edges by increasing
+// weight and add (u, v, w) unless H already contains f+1 edge-disjoint u–v
+// paths using only edges of weight ≤ (2κ−1)·w. Skipped edges therefore
+// survive any f faults via a detour of bottleneck ≤ (2κ−1)·w, and the
+// guarantee composes edge by edge along any G − F path.
+package spanner
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Spanner is the result of BuildFT.
+type Spanner struct {
+	// H is the spanner subgraph. Vertex ids match g; H's edge indices are
+	// its own — use OrigEdge / InSpanner to translate.
+	H *graph.Graph
+	// InSpanner[e] reports whether g's edge e was kept.
+	InSpanner []bool
+	// OrigEdge[i] is the g edge index of H's edge i.
+	OrigEdge []int
+	// SpannerEdge[e] is the H edge index of g's edge e, or -1.
+	SpannerEdge []int
+	// Kappa and MaxFaults echo the construction parameters.
+	Kappa, MaxFaults int
+}
+
+// BuildFT constructs an f-fault-tolerant (2κ−1)-bottleneck spanner of g.
+// κ ≥ 1; κ = 1 keeps every edge that is not (f+1)-redundant at its own
+// weight level. Runs in O(m·(f+1)·(n+m)) time.
+func BuildFT(g *graph.Graph, f, kappa int) (*Spanner, error) {
+	if g == nil {
+		return nil, fmt.Errorf("spanner: nil graph")
+	}
+	if f < 0 || kappa < 1 {
+		return nil, fmt.Errorf("spanner: invalid parameters f=%d kappa=%d", f, kappa)
+	}
+	order := make([]int, g.M())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		wa, wb := g.Weight(order[a]), g.Weight(order[b])
+		if wa != wb {
+			return wa < wb
+		}
+		return order[a] < order[b]
+	})
+
+	sp := &Spanner{
+		H:           graph.New(g.N()),
+		InSpanner:   make([]bool, g.M()),
+		SpannerEdge: make([]int, g.M()),
+		Kappa:       kappa,
+		MaxFaults:   f,
+	}
+	for i := range sp.SpannerEdge {
+		sp.SpannerEdge[i] = -1
+	}
+	stretch := int64(2*kappa - 1)
+	// kept edges in weight order, as (u, v, w) with H edge index.
+	for _, e := range order {
+		edge := g.Edges[e]
+		w := g.Weight(e)
+		limit := w * stretch
+		if edgeDisjointPaths(sp.H, edge.U, edge.V, limit, f+1) >= f+1 {
+			continue
+		}
+		hIdx, err := sp.H.AddWeightedEdge(edge.U, edge.V, w)
+		if err != nil {
+			return nil, fmt.Errorf("spanner: adding kept edge: %w", err)
+		}
+		sp.InSpanner[e] = true
+		sp.SpannerEdge[e] = hIdx
+		sp.OrigEdge = append(sp.OrigEdge, e)
+	}
+	return sp, nil
+}
+
+// edgeDisjointPaths returns min(maxPaths, max edge-disjoint u–v paths) in
+// the subgraph of h restricted to edges of weight ≤ limit, via unit-capacity
+// augmenting BFS.
+func edgeDisjointPaths(h *graph.Graph, u, v int, limit int64, maxPaths int) int {
+	if u == v {
+		return maxPaths
+	}
+	m := h.M()
+	// Residual state per undirected edge: 0 = unused, +1 = used u→v
+	// direction (as stored), -1 = used reverse.
+	used := make([]int8, m)
+	flow := 0
+	prevEdge := make([]int32, h.N())
+	prevDir := make([]int8, h.N())
+	for flow < maxPaths {
+		for i := range prevEdge {
+			prevEdge[i] = -1
+		}
+		prevEdge[u] = -2 // source marker
+		queue := []int{u}
+		found := false
+	bfs:
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, half := range h.Adj(x) {
+				if h.Weight(half.Edge) > limit {
+					continue
+				}
+				e := h.Edges[half.Edge]
+				// Direction +1 means traversing from e.U to e.V.
+				dir := int8(1)
+				if x == e.V {
+					dir = -1
+				}
+				// Residual capacity: can traverse if the edge is not
+				// already used in this direction.
+				if used[half.Edge] == dir {
+					continue
+				}
+				y := half.To
+				if prevEdge[y] != -1 {
+					continue
+				}
+				prevEdge[y] = int32(half.Edge)
+				prevDir[y] = dir
+				if y == v {
+					found = true
+					break bfs
+				}
+				queue = append(queue, y)
+			}
+		}
+		if !found {
+			break
+		}
+		// Augment along the path.
+		x := v
+		for x != u {
+			e := int(prevEdge[x])
+			dir := prevDir[x]
+			if used[e] == -dir {
+				used[e] = 0 // cancel a reverse traversal
+			} else {
+				used[e] = dir
+			}
+			if dir == 1 {
+				x = h.Edges[e].U
+			} else {
+				x = h.Edges[e].V
+			}
+		}
+		flow++
+	}
+	return flow
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// RandomRegular returns a (near-)d-regular graph on n vertices via the
+// permutation-union model: d/2 random perfect matchings over 2·⌈n/2⌉ stubs,
+// discarding collisions. Expander-like for d ≥ 4 — the low-diameter,
+// no-small-cuts regime that stresses the sparsification hierarchy least and
+// the fragment merging most.
+func RandomRegular(n, d int, rng *rand.Rand) *graph.Graph {
+	g := graph.New(n)
+	if n < 2 || d < 1 {
+		return g
+	}
+	target := n * d / 2
+	attempts := 0
+	for g.M() < target && attempts < 50*target {
+		attempts++
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) || g.Degree(u) >= d || g.Degree(v) >= d {
+			continue
+		}
+		mustAdd(g, u, v)
+	}
+	// Stitch any isolated vertices to keep the instance usable.
+	for v := 0; v < n; v++ {
+		if g.Degree(v) == 0 {
+			u := (v + 1) % n
+			if !g.HasEdge(u, v) && u != v {
+				mustAdd(g, u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Barbell returns two k-cliques joined by a path of pathLen edges — the
+// classic worst case for fault-tolerant connectivity: every path edge is a
+// bridge, and clique-internal faults never disconnect anything.
+func Barbell(k, pathLen int) *graph.Graph {
+	n := 2*k + pathLen - 1
+	if pathLen < 1 {
+		pathLen = 1
+		n = 2 * k
+	}
+	g := graph.New(n)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			mustAdd(g, u, v)
+		}
+	}
+	right := k + pathLen - 1
+	for u := right; u < right+k; u++ {
+		for v := u + 1; v < right+k; v++ {
+			mustAdd(g, u, v)
+		}
+	}
+	// Path from clique A's vertex k-1 through the middle to clique B's
+	// vertex `right`.
+	prev := k - 1
+	for i := 0; i < pathLen; i++ {
+		var next int
+		if i == pathLen-1 {
+			next = right
+		} else {
+			next = k + i
+		}
+		mustAdd(g, prev, next)
+		prev = next
+	}
+	return g
+}
+
+// Caterpillar returns a path of spine vertices each carrying `legs` pendant
+// leaves — a deep-tree workload where every edge is a tree edge and the
+// fragment structure is maximally nested.
+func Caterpillar(spine, legs int) *graph.Graph {
+	n := spine * (legs + 1)
+	g := graph.New(n)
+	for i := 0; i < spine; i++ {
+		v := i * (legs + 1)
+		if i > 0 {
+			mustAdd(g, (i-1)*(legs+1), v)
+		}
+		for l := 1; l <= legs; l++ {
+			mustAdd(g, v, v+l)
+		}
+	}
+	return g
+}
+
+// Wheel returns the wheel graph: a cycle of n−1 vertices plus a hub adjacent
+// to all of them. Hub faults are the vertex-fault worst case the paper's
+// §1.4 reduction pays Δ for.
+func Wheel(n int) *graph.Graph {
+	g := graph.New(n)
+	if n < 4 {
+		return g
+	}
+	for v := 1; v < n; v++ {
+		mustAdd(g, 0, v)
+		next := v + 1
+		if next == n {
+			next = 1
+		}
+		mustAdd(g, v, next)
+	}
+	return g
+}

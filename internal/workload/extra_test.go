@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := RandomRegular(60, 4, rng)
+	if g.N() != 60 {
+		t.Fatalf("n = %d", g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d < 1 || d > 5 {
+			t.Fatalf("degree(%d) = %d outside [1,5]", v, d)
+		}
+	}
+	if g.M() < 100 {
+		t.Fatalf("too few edges: %d", g.M())
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := Barbell(5, 3)
+	if g.N() != 12 {
+		t.Fatalf("n = %d, want 12", g.N())
+	}
+	// 2·C(5,2) clique edges + 3 path edges.
+	if g.M() != 23 {
+		t.Fatalf("m = %d, want 23", g.M())
+	}
+	if _, cnt := graph.Components(g, nil); cnt != 1 {
+		t.Fatal("barbell should be connected")
+	}
+	// Cutting any path edge disconnects the cliques.
+	f := graph.SpanningForest(g)
+	_ = f
+	pathEdge := g.EdgeIndex(4, 5)
+	if pathEdge < 0 {
+		t.Fatal("missing path edge")
+	}
+	if graph.ConnectedUnder(g, map[int]bool{pathEdge: true}, 0, g.N()-1) {
+		t.Fatal("path edge should be a bridge")
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(5, 3)
+	if g.N() != 20 || g.M() != 19 {
+		t.Fatalf("n=%d m=%d, want tree with 20 vertices", g.N(), g.M())
+	}
+	if _, cnt := graph.Components(g, nil); cnt != 1 {
+		t.Fatal("caterpillar should be connected")
+	}
+}
+
+func TestWheel(t *testing.T) {
+	g := Wheel(8)
+	if g.N() != 8 || g.M() != 14 {
+		t.Fatalf("n=%d m=%d, want 8, 14", g.N(), g.M())
+	}
+	if g.Degree(0) != 7 {
+		t.Fatalf("hub degree = %d, want 7", g.Degree(0))
+	}
+	for v := 1; v < 8; v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("rim degree(%d) = %d, want 3", v, g.Degree(v))
+		}
+	}
+}

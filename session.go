@@ -1,0 +1,16 @@
+package ftc
+
+import "repro/internal/core"
+
+// Session amortizes many connectivity probes that share one fault set — the
+// common deployment pattern (one failure event, many "can I reach X?"
+// probes). Building the session runs the fragment-merging query once to
+// completion; each probe is then a constant-size lookup. Sessions are built
+// from labels only, like every decoder-side object in this package.
+type Session = core.Session
+
+// NewSession prepares a session for the component containing anchor under
+// the given fault set.
+func NewSession(anchor VertexLabel, faults []EdgeLabel) (*Session, error) {
+	return core.NewSession(anchor, faults)
+}

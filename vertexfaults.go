@@ -1,0 +1,59 @@
+package ftc
+
+import "fmt"
+
+// Vertex-fault tolerance via the trivial reduction the paper describes in
+// §1.4: the failure of a vertex v is the failure of all edges incident to v,
+// giving Õ(Δ·f)-bit "vertex fault labels" (Δ = max degree). The paper notes
+// this is the best generic bound known without the specialized machinery of
+// Parter–Petruschka; it is exposed here because it falls out of the edge
+// scheme for free and is frequently what deployments actually need (a dead
+// router, not a dead link).
+
+// VertexFaultLabel bundles the edge labels incident to one vertex.
+type VertexFaultLabel struct {
+	// Vertex is the failed vertex's own label (used to reject queries
+	// whose endpoints are themselves failed).
+	Vertex VertexLabel
+	// Incident holds the labels of every incident edge.
+	Incident []EdgeLabel
+}
+
+// VertexFaultLabel returns the fault label of vertex v.
+func (s *Scheme) VertexFaultLabel(v int) VertexFaultLabel {
+	adj := s.g.Adj(v)
+	out := VertexFaultLabel{Vertex: s.VertexLabel(v)}
+	out.Incident = make([]EdgeLabel, len(adj))
+	for i, h := range adj {
+		out.Incident[i] = s.EdgeLabelByIndex(h.Edge)
+	}
+	return out
+}
+
+// Bits returns the wire size of the fault label — the Õ(Δ·f) cost of the
+// trivial reduction.
+func (l VertexFaultLabel) Bits() int {
+	bits := 8 * len(MarshalVertexLabel(l.Vertex))
+	for _, e := range l.Incident {
+		bits += 8 * len(MarshalEdgeLabel(e))
+	}
+	return bits
+}
+
+// ConnectedVertexFaults decides s–t connectivity in G − V(F) where V(F) is a
+// set of failed vertices. Querying a failed endpoint returns false (a dead
+// vertex reaches nothing). The underlying edge budget must cover the total
+// incident edge count: budget errors surface as ErrTooManyFaults.
+func ConnectedVertexFaults(s, t VertexLabel, faults []VertexFaultLabel) (bool, error) {
+	var edges []EdgeLabel
+	for i := range faults {
+		if faults[i].Vertex.Token != s.Token {
+			return false, fmt.Errorf("ftc: vertex fault %d: %w", i, ErrLabelMismatch)
+		}
+		if faults[i].Vertex.Anc == s.Anc || faults[i].Vertex.Anc == t.Anc {
+			return false, nil
+		}
+		edges = append(edges, faults[i].Incident...)
+	}
+	return Connected(s, t, edges)
+}
