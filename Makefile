@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet bench bench-build clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark sweep (one iteration each; see DESIGN.md §4 for E-numbers).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Construction hot-path grid + BENCH_build.json (E14).
+bench-build:
+	$(GO) run ./cmd/ftcbench build -json
+
+clean:
+	$(GO) clean ./...

@@ -11,13 +11,19 @@
 //	ftcbench routing    — E9: Corollary 2 delivery, stretch, table sizes
 //	ftcbench congest    — E10: Theorem 3 round counts vs √m·D + f²
 //	ftcbench hierarchy  — E11/E12: ε-net and hierarchy quality
+//	ftcbench build      — E14: construction hot-path grid (kind × n × f)
 //	ftcbench all        — everything above
+//
+// The -json flag makes the build section additionally write BENCH_build.json
+// (one record per grid cell, plus the recorded pre-overhaul baselines), the
+// machine-readable construction-perf trajectory tracked PR over PR.
 //
 // All randomness is seeded; output is deterministic modulo wall-clock
 // timings.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
@@ -38,8 +44,12 @@ import (
 
 func main() {
 	which := "all"
-	if len(os.Args) > 1 {
-		which = os.Args[1]
+	for _, arg := range os.Args[1:] {
+		if arg == "-json" || arg == "--json" {
+			jsonOut = true
+			continue
+		}
+		which = arg
 	}
 	sections := map[string]func(){
 		"table1":    table1,
@@ -52,9 +62,10 @@ func main() {
 		"congest":   congestBench,
 		"hierarchy": hierarchyBench,
 		"ablation":  ablation,
+		"build":     buildGrid,
 	}
 	if which == "all" {
-		for _, name := range []string{"table1", "labelsize", "query", "construct", "support", "distance", "routing", "congest", "hierarchy", "ablation"} {
+		for _, name := range []string{"table1", "labelsize", "query", "construct", "support", "distance", "routing", "congest", "hierarchy", "ablation", "build"} {
 			sections[name]()
 			fmt.Println()
 		}
@@ -62,11 +73,14 @@ func main() {
 	}
 	fn, ok := sections[which]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "usage: ftcbench [table1|labelsize|query|construct|support|distance|routing|congest|hierarchy|all]\n")
+		fmt.Fprintf(os.Stderr, "usage: ftcbench [-json] [table1|labelsize|query|construct|support|distance|routing|congest|hierarchy|build|all]\n")
 		os.Exit(2)
 	}
 	fn()
 }
+
+// jsonOut makes the build section write BENCH_build.json.
+var jsonOut bool
 
 // ---------------------------------------------------------------- table1
 
@@ -582,6 +596,136 @@ func ablation() {
 		fmt.Printf("   %8d %12d %7d/500 %7d/500\n",
 			reps, s.MaxEdgeLabelBits(), failures, wrong)
 	}
+}
+
+// ------------------------------------------------------------------ build
+
+// buildRecord is one cell of the construction-perf grid (E14).
+type buildRecord struct {
+	Scheme   string `json:"scheme"`
+	N        int    `json:"n"`
+	M        int    `json:"m"`
+	F        int    `json:"f"`
+	K        int    `json:"k,omitempty"`
+	Levels   int    `json:"levels,omitempty"`
+	EdgeBits int    `json:"edge_bits"`
+	NsPerOp  int64  `json:"ns_per_op"`
+}
+
+// baselineRecord is a pre-overhaul measurement kept for trajectory tracking.
+type baselineRecord struct {
+	Scheme  string `json:"scheme"`
+	N       int    `json:"n"`
+	F       int    `json:"f"`
+	NsPerOp int64  `json:"ns_per_op"`
+}
+
+// buildBaselines are the BenchmarkBuild figures measured on the seed
+// construction pipeline (per-call gf.Mul window tables, per-level power
+// recomputation, map-based slot lookup, dense sequential folding)
+// immediately before the hot-path overhaul landed. An interleaved A/B run
+// on the same machine put det-netfind n=1024 f=3 at ~166ms pre-overhaul vs
+// ~41ms post-overhaul (≈4×).
+var buildBaselines = []baselineRecord{
+	{Scheme: "det-netfind", N: 256, F: 3, NsPerOp: 33262180},
+	{Scheme: "det-netfind", N: 1024, F: 2, NsPerOp: 179000660},
+	{Scheme: "det-netfind", N: 1024, F: 3, NsPerOp: 185327198},
+	{Scheme: "det-netfind", N: 1024, F: 4, NsPerOp: 262494395},
+	{Scheme: "det-netfind", N: 4096, F: 3, NsPerOp: 1005498628},
+	{Scheme: "rand-rs", N: 1024, F: 3, NsPerOp: 193113442},
+	{Scheme: "agm", N: 1024, F: 3, NsPerOp: 13847690},
+}
+
+// buildGrid measures core.Build across the scheme × n × f grid (E14) and,
+// with -json, writes BENCH_build.json for PR-over-PR tracking.
+func buildGrid() {
+	fmt.Println("E14 — construction hot path (best of reps, seeded graphs p=8/n)")
+	fmt.Printf("   %-12s %6s %6s %3s %6s %7s %12s %12s\n",
+		"scheme", "n", "m", "f", "k", "levels", "edge-bits", "build")
+	kinds := []struct {
+		name string
+		kind core.Kind
+		// maxN caps the grid per kind: det-greedy's ε-net construction is
+		// polynomial (~3 min per Build already at n=256), so it is tracked
+		// at n=96 where a cell is seconds.
+		maxN int
+	}{
+		{"det-netfind", core.KindDetNetFind, 4096},
+		{"det-greedy", core.KindDetGreedy, 96},
+		{"rand-rs", core.KindRandRS, 4096},
+		{"agm", core.KindAGM, 4096},
+	}
+	var records []buildRecord
+	for _, kr := range kinds {
+		for _, n := range []int{96, 256, 1024, 4096} {
+			if n > kr.maxN || (n == 96 && kr.maxN > 96) {
+				continue
+			}
+			rng := rand.New(rand.NewSource(int64(n)))
+			g := workload.ErdosRenyi(n, 8/float64(n), true, rng)
+			for _, f := range []int{2, 3, 4} {
+				reps := 3
+				if n >= 4096 {
+					reps = 1
+				}
+				var best time.Duration
+				var s *core.Scheme
+				for r := 0; r < reps; r++ {
+					t0 := time.Now()
+					var err error
+					s, err = core.Build(g, core.Params{MaxFaults: f, Kind: kr.kind, Seed: 17})
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "ftcbench: build %s n=%d f=%d: %v\n", kr.name, n, f, err)
+						os.Exit(1)
+					}
+					if d := time.Since(t0); r == 0 || d < best {
+						best = d
+					}
+				}
+				rec := buildRecord{
+					Scheme:   kr.name,
+					N:        n,
+					M:        g.M(),
+					F:        f,
+					K:        s.Spec().K,
+					Levels:   s.Spec().Levels,
+					EdgeBits: s.MaxEdgeLabelBits(),
+					NsPerOp:  best.Nanoseconds(),
+				}
+				records = append(records, rec)
+				fmt.Printf("   %-12s %6d %6d %3d %6d %7d %12d %12s\n",
+					rec.Scheme, rec.N, rec.M, rec.F, rec.K, rec.Levels, rec.EdgeBits, round(best))
+			}
+		}
+	}
+	if !jsonOut {
+		return
+	}
+	doc := struct {
+		Benchmark string           `json:"benchmark"`
+		Note      string           `json:"note"`
+		Baseline  []baselineRecord `json:"baseline_pre_overhaul"`
+		Results   []buildRecord    `json:"results"`
+	}{
+		Benchmark: "core.Build",
+		Note: "baseline_pre_overhaul rows were measured on the seed pipeline before the " +
+			"cached-kernel/power-arena/parallel-folding overhaul; results rows are " +
+			"regenerated by `ftcbench build -json`. Wall times on shared hardware are " +
+			"noisy — compare like-for-like runs.",
+		Baseline: buildBaselines,
+		Results:  records,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: marshal BENCH_build.json: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile("BENCH_build.json", data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: write BENCH_build.json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("   wrote BENCH_build.json")
 }
 
 // ------------------------------------------------------------------ util

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ancestry"
 	"repro/internal/euler"
@@ -266,10 +269,21 @@ func (s *Scheme) computeToken(g *graph.Graph) uint64 {
 	return h.Sum64()
 }
 
+// buildWorkers caps the level-folding worker pool; 0 means GOMAXPROCS.
+// It is a package variable only so the equivalence tests can force a
+// specific pool size (1 = sequential reference, >1 = genuinely concurrent).
+var buildWorkers int
+
 // buildLabels computes every vertex and edge label: ancestry labels for
 // vertices, and for each G edge the endpoint labels of σ(e) plus the
-// outdetect subtree aggregate L^out(V_{T′}(σ(e))) of Proposition 4,
-// accumulated level by level to bound peak memory.
+// outdetect subtree aggregate L^out(V_{T′}(σ(e))) of Proposition 4.
+//
+// The Reed–Solomon kinds run the construction hot path described in
+// DESIGN.md §3.7: each non-tree edge's 2k-power vector is computed exactly
+// once (gf.Table-cached Horner chain) into a shared read-only arena, and the
+// per-level accumulate-and-fold passes — which write to disjoint
+// Out[lvl*stride:] segments — run on a bounded worker pool with reusable
+// per-worker scratch.
 func (s *Scheme) buildLabels(g *graph.Graph, a *aux, levels *hierarchy.Hierarchy) {
 	s.vertexLabels = make([]VertexLabel, g.N())
 	for v := 0; v < g.N(); v++ {
@@ -277,6 +291,11 @@ func (s *Scheme) buildLabels(g *graph.Graph, a *aux, levels *hierarchy.Hierarchy
 	}
 	words := s.spec.Words()
 	s.edgeLabels = make([]EdgeLabel, g.M())
+	// One contiguous slab backs every Out slice: a single large (page-
+	// zeroed) allocation instead of m small ones, and sequential locality
+	// for the per-level emission pass. Labels already share scheme storage
+	// by contract (see EdgeLabel); marshaling copies.
+	slab := make([]uint64, g.M()*words)
 	for e := range g.Edges {
 		child := a.childOf[e]
 		parent := a.tprime.Parent[child]
@@ -286,17 +305,12 @@ func (s *Scheme) buildLabels(g *graph.Graph, a *aux, levels *hierarchy.Hierarchy
 			Spec:      s.spec,
 			Parent:    a.anc.Of(parent),
 			Child:     a.anc.Of(child),
-			Out:       make([]uint64, words),
+			Out:       slab[e*words : (e+1)*words : (e+1)*words],
 		}
 	}
 
-	// slotOf maps a non-tree G edge index to its slot j in a.nonTree.
-	slotOf := make(map[int]int, len(a.nonTree))
-	for j, e := range a.nonTree {
-		slotOf[e] = j
-	}
 	nPrime := len(a.tprime.Parent)
-	// preOrderVerts[i] = vertex with preorder i+1; reverse iteration gives
+	// preOrder[i] = vertex with preorder i+1; reverse iteration gives
 	// children-before-parents, which makes the in-place subtree XOR work.
 	preOrder := make([]int, nPrime)
 	for v := 0; v < nPrime; v++ {
@@ -305,58 +319,185 @@ func (s *Scheme) buildLabels(g *graph.Graph, a *aux, levels *hierarchy.Hierarchy
 
 	if s.spec.Kind == KindAGM {
 		agm := sketch.Spec{Reps: s.spec.Reps, Buckets: s.spec.Buckets, Seed: s.spec.Seed}
-		acc := make([]uint64, nPrime*words)
+		scr := newLevelScratch(nPrime, words)
 		for j := range a.nonTree {
 			id := a.idOf(j)
-			agm.AddEdge(acc[a.xVertex[j]*words:(a.xVertex[j]+1)*words], id)
-			agm.AddEdge(acc[a.farEnd[j]*words:(a.farEnd[j]+1)*words], id)
+			agm.AddEdge(scr.block(a.xVertex[j]), id)
+			agm.AddEdge(scr.block(a.farEnd[j]), id)
+			scr.dirty[a.xVertex[j]] = true
+			scr.dirty[a.farEnd[j]] = true
 		}
-		s.foldSubtrees(g, a, preOrder, acc, words, 0)
+		s.foldSubtrees(g, a, preOrder, scr, nil, 0)
 		return
 	}
 
 	stride := 2 * s.spec.K
-	acc := make([]uint64, nPrime*stride)
-	for lvl, level := range levels.Levels {
-		for i := range acc {
-			acc[i] = 0
+	// slotOf[e] is the a.nonTree slot of non-tree G edge e (dense — the
+	// map it replaces dominated the accumulate loop's cache profile).
+	slotOf := make([]int, g.M())
+	for j, e := range a.nonTree {
+		slotOf[e] = j
+	}
+	// Only tree edges need the fold-based emission; non-tree labels are
+	// written directly from the arena in runLevel.
+	treeEdges := make([]int, 0, g.M()-len(a.nonTree))
+	for e := range g.Edges {
+		if s.Forest.IsTreeEdge[e] {
+			treeEdges = append(treeEdges, e)
 		}
-		for _, e := range level {
-			j := slotOf[e]
-			id := a.idOf(j)
-			addPowers(acc[a.xVertex[j]*stride:(a.xVertex[j]+1)*stride], id)
-			addPowers(acc[a.farEnd[j]*stride:(a.farEnd[j]+1)*stride], id)
+	}
+	// The power arena: powers[j*stride:(j+1)*stride] is the full
+	// Reed–Solomon row (α_j, α_j², …, α_j^2k) of non-tree slot j. A
+	// non-tree edge occupies every hierarchy level up to its drop-out
+	// depth, so computing the row once here and XOR-folding it per level
+	// replaces depth× redundant Horner chains with cheap vector XORs.
+	powers := make([]uint64, len(a.nonTree)*stride)
+	for j := range a.nonTree {
+		rs.PowerRow(powers[j*stride:(j+1)*stride], a.idOf(j))
+	}
+
+	workers := buildWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(levels.Levels) {
+		workers = len(levels.Levels)
+	}
+	if workers <= 1 {
+		scr := newLevelScratch(nPrime, stride)
+		for lvl, level := range levels.Levels {
+			s.runLevel(g, a, preOrder, slotOf, treeEdges, powers, level, scr, lvl*stride)
 		}
-		s.foldSubtrees(g, a, preOrder, acc, stride, lvl*stride)
+		return
+	}
+	// Levels are independent: level lvl reads the shared arena and writes
+	// only the disjoint Out[lvl*stride:(lvl+1)*stride] segment of each
+	// edge label, so a simple atomic work counter suffices.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scr := newLevelScratch(nPrime, stride)
+			for {
+				lvl := int(next.Add(1)) - 1
+				if lvl >= len(levels.Levels) {
+					return
+				}
+				s.runLevel(g, a, preOrder, slotOf, treeEdges, powers, levels.Levels[lvl], scr, lvl*stride)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// levelScratch is one worker's reusable accumulation state: a per-vertex
+// payload buffer plus a dirty set so that folding, emission, and re-zeroing
+// touch only the vertices a level actually reached — not all of O(n′·stride)
+// per level, which is what the previous shared-buffer pipeline paid.
+type levelScratch struct {
+	acc    []uint64
+	dirty  []bool
+	stride int
+}
+
+func newLevelScratch(nPrime, stride int) *levelScratch {
+	return &levelScratch{
+		acc:    make([]uint64, nPrime*stride),
+		dirty:  make([]bool, nPrime),
+		stride: stride,
 	}
 }
 
+// block returns vertex v's payload block.
+func (scr *levelScratch) block(v int) []uint64 {
+	return scr.acc[v*scr.stride : (v+1)*scr.stride]
+}
+
+// runLevel accumulates one hierarchy level's edge rows from the power arena
+// and folds them into the dstOff segment of every edge label.
+//
+// The subdivision vertex x_e is a leaf touched only by its own edge e, so
+// its subtree aggregate at this level is exactly e's row: it is copied
+// straight into e's label segment and XORed into its T′ parent (what the
+// fold would have done), and x_e's scratch block is never materialized.
+func (s *Scheme) runLevel(g *graph.Graph, a *aux, preOrder, slotOf, treeEdges []int, powers []uint64, level []int, scr *levelScratch, dstOff int) {
+	stride := scr.stride
+	for _, e := range level {
+		j := slotOf[e]
+		row := powers[j*stride : (j+1)*stride]
+		copy(s.edgeLabels[e].Out[dstOff:dstOff+stride], row)
+		xorInto(scr.block(a.attachAt[j]), row)
+		xorInto(scr.block(a.farEnd[j]), row)
+		scr.dirty[a.attachAt[j]] = true
+		scr.dirty[a.farEnd[j]] = true
+	}
+	s.foldSubtrees(g, a, preOrder, scr, treeEdges, dstOff)
+}
+
 // foldSubtrees turns per-vertex payload blocks into subtree aggregates in
-// place (reverse preorder pushes each vertex's block into its parent), then
-// copies each G edge's child-subtree block into the edge label at dstOff.
-func (s *Scheme) foldSubtrees(g *graph.Graph, a *aux, preOrder []int, acc []uint64, stride, dstOff int) {
+// place (reverse preorder pushes each dirty vertex's block into its parent),
+// copies each G edge's child-subtree block into the edge label at dstOff,
+// then re-zeroes exactly the dirty blocks so the scratch is ready for the
+// worker's next level. Vertices never marked dirty hold all-zero blocks, so
+// skipping them leaves the (pre-zeroed) label segments untouched — the
+// output is byte-identical to the dense pass.
+//
+// emit selects which G edges to copy out: the Reed–Solomon levels pass only
+// tree edges (runLevel emits non-tree labels directly from the arena), the
+// AGM path passes nil meaning all edges.
+func (s *Scheme) foldSubtrees(g *graph.Graph, a *aux, preOrder []int, scr *levelScratch, emit []int, dstOff int) {
+	stride := scr.stride
 	for i := len(preOrder) - 1; i >= 0; i-- {
 		v := preOrder[i]
+		if !scr.dirty[v] {
+			continue
+		}
 		p := a.tprime.Parent[v]
 		if p < 0 {
 			continue
 		}
-		src := acc[v*stride : (v+1)*stride]
-		dst := acc[p*stride : (p+1)*stride]
-		for w := range src {
-			dst[w] ^= src[w]
+		xorInto(scr.block(p), scr.block(v))
+		scr.dirty[p] = true
+	}
+	if emit == nil {
+		for e := range g.Edges {
+			child := a.childOf[e]
+			if scr.dirty[child] {
+				copy(s.edgeLabels[e].Out[dstOff:dstOff+stride], scr.block(child))
+			}
+		}
+	} else {
+		for _, e := range emit {
+			child := a.childOf[e]
+			if scr.dirty[child] {
+				copy(s.edgeLabels[e].Out[dstOff:dstOff+stride], scr.block(child))
+			}
 		}
 	}
-	for e := range g.Edges {
-		child := a.childOf[e]
-		copy(s.edgeLabels[e].Out[dstOff:dstOff+stride], acc[child*stride:(child+1)*stride])
+	for v, d := range scr.dirty {
+		if d {
+			clear(scr.block(v))
+			scr.dirty[v] = false
+		}
 	}
 }
 
-// addPowers folds edge ID alpha's first len(dst) power sums into dst (the
-// Reed–Solomon row of the parity-check matrix, Proposition 2).
-func addPowers(dst []uint64, alpha uint64) {
-	rs.Sketch(dst).AddEdge(alpha)
+// xorInto folds src into dst elementwise (GF(2) vector addition), unrolled
+// four-wide so the payload strides (always ≥ 2k words) stream without
+// per-element bounds checks.
+func xorInto(dst, src []uint64) {
+	for len(src) >= 4 && len(dst) >= 4 {
+		dst[0] ^= src[0]
+		dst[1] ^= src[1]
+		dst[2] ^= src[2]
+		dst[3] ^= src[3]
+		dst, src = dst[4:], src[4:]
+	}
+	for w, x := range src {
+		dst[w] ^= x
+	}
 }
 
 // N returns the vertex count of the labeled graph.

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rs"
+	"repro/internal/workload"
+)
+
+// parityParams is one Build configuration per scheme kind, sized so that
+// even the polynomial-time greedy hierarchy finishes quickly.
+func parityParams() []Params {
+	return []Params{
+		{MaxFaults: 3, Kind: KindDetNetFind},
+		{MaxFaults: 2, Kind: KindDetGreedy},
+		{MaxFaults: 3, Kind: KindRandRS, Seed: 5},
+		{MaxFaults: 3, Kind: KindAGM, Seed: 6},
+	}
+}
+
+// TestParallelSequentialLabelParity is the acceptance gate of the parallel
+// construction pipeline: for every scheme kind, a Build run on a forced
+// multi-worker pool must produce byte-identical marshaled labels to a Build
+// run on the sequential (single-worker) path.
+func TestParallelSequentialLabelParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	g := workload.ErdosRenyi(96, 0.09, true, rng)
+	for _, p := range parityParams() {
+		p := p
+		t.Run(p.Kind.String(), func(t *testing.T) {
+			defer func(old int) { buildWorkers = old }(buildWorkers)
+			buildWorkers = 1
+			seq := mustBuild(t, g, p)
+			buildWorkers = 4
+			par := mustBuild(t, g, p)
+
+			for v := 0; v < g.N(); v++ {
+				sb := MarshalVertexLabel(seq.VertexLabel(v))
+				pb := MarshalVertexLabel(par.VertexLabel(v))
+				if !bytes.Equal(sb, pb) {
+					t.Fatalf("vertex %d: parallel label differs from sequential", v)
+				}
+			}
+			for e := 0; e < g.M(); e++ {
+				sb := MarshalEdgeLabel(seq.EdgeLabel(e))
+				pb := MarshalEdgeLabel(par.EdgeLabel(e))
+				if !bytes.Equal(sb, pb) {
+					t.Fatalf("edge %d: parallel label differs from sequential", e)
+				}
+			}
+		})
+	}
+}
+
+// TestBuildMatchesDefinitionalReference re-derives every Reed–Solomon
+// outdetect payload with the pre-overhaul algorithm — per level, XOR each
+// level edge's power sums into both endpoint blocks with rs.Sketch.AddEdge,
+// densely fold child blocks into parents in reverse preorder, copy every
+// child-subtree block — and checks the optimized pipeline (power arena,
+// dirty folding, leaf shortcut) reproduces it word for word.
+func TestBuildMatchesDefinitionalReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	g := workload.ErdosRenyi(80, 0.1, true, rng)
+	for _, p := range []Params{
+		{MaxFaults: 2, Kind: KindDetNetFind},
+		{MaxFaults: 2, Kind: KindRandRS, Seed: 7},
+	} {
+		p := p
+		t.Run(p.Kind.String(), func(t *testing.T) {
+			s := mustBuild(t, g, p)
+			a := buildAux(g, s.Forest)
+			spec := s.Spec()
+			stride := 2 * spec.K
+			nPrime := len(a.tprime.Parent)
+			preOrder := make([]int, nPrime)
+			for v := 0; v < nPrime; v++ {
+				preOrder[a.anc.Of(v).Pre-1] = v
+			}
+			slotOf := map[int]int{}
+			for j, e := range a.nonTree {
+				slotOf[e] = j
+			}
+			want := make([][]uint64, g.M())
+			for e := range want {
+				want[e] = make([]uint64, spec.Words())
+			}
+			acc := make([]uint64, nPrime*stride)
+			for lvl, level := range s.Hierarchy.Levels {
+				for i := range acc {
+					acc[i] = 0
+				}
+				for _, e := range level {
+					j := slotOf[e]
+					id := a.idOf(j)
+					rs.Sketch(acc[a.xVertex[j]*stride : (a.xVertex[j]+1)*stride]).AddEdge(id)
+					rs.Sketch(acc[a.farEnd[j]*stride : (a.farEnd[j]+1)*stride]).AddEdge(id)
+				}
+				for i := nPrime - 1; i >= 0; i-- {
+					v := preOrder[i]
+					par := a.tprime.Parent[v]
+					if par < 0 {
+						continue
+					}
+					for w := 0; w < stride; w++ {
+						acc[par*stride+w] ^= acc[v*stride+w]
+					}
+				}
+				for e := range g.Edges {
+					child := a.childOf[e]
+					copy(want[e][lvl*stride:(lvl+1)*stride], acc[child*stride:(child+1)*stride])
+				}
+			}
+			for e := range g.Edges {
+				got := s.EdgeLabel(e).Out
+				for w := range want[e] {
+					if got[w] != want[e][w] {
+						t.Fatalf("%s: edge %d word %d: got %#x, reference %#x", p.Kind, e, w, got[w], want[e][w])
+					}
+				}
+			}
+		})
+	}
+}

@@ -114,12 +114,16 @@ func newQueryState(s, t VertexLabel, faults []EdgeLabel) (*queryState, error) {
 	if len(relevant) == 0 {
 		return nil, nil
 	}
-	for _, fl := range relevant {
-		ft, err := fragments.Normalize(fl.Parent, fl.Child)
+	// One Normalize per fault feeds both the fragment set and the
+	// label re-association map (deduplicated faults keyed by child pre).
+	labelByChild := make(map[uint32]*EdgeLabel, len(relevant))
+	for i := range relevant {
+		ft, err := fragments.Normalize(relevant[i].Parent, relevant[i].Child)
 		if err != nil {
 			return nil, err
 		}
 		fs = append(fs, ft)
+		labelByChild[ft.Child.Pre] = &relevant[i]
 	}
 	set, err := fragments.Build(fs)
 	if err != nil {
@@ -127,15 +131,6 @@ func newQueryState(s, t VertexLabel, faults []EdgeLabel) (*queryState, error) {
 	}
 	if len(set.Faults) > maxFaults {
 		return nil, fmt.Errorf("%w: %d faults, budget %d", ErrTooManyFaults, len(set.Faults), maxFaults)
-	}
-	// Re-associate deduplicated faults with their labels (by child pre).
-	labelByChild := make(map[uint32]*EdgeLabel, len(relevant))
-	for i := range relevant {
-		ft, err := fragments.Normalize(relevant[i].Parent, relevant[i].Child)
-		if err != nil {
-			return nil, err
-		}
-		labelByChild[ft.Child.Pre] = &relevant[i]
 	}
 	words := spec.Words()
 	q := &queryState{

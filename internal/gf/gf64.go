@@ -10,8 +10,6 @@
 // this field.
 package gf
 
-import "math/bits"
-
 // reduction is the low part of the irreducible modulus
 // z^64 + z^4 + z^3 + z + 1: when a product overflows past z^63, z^64 is
 // replaced by z^4 + z^3 + z + 1 = 0x1B.
@@ -26,7 +24,9 @@ func Add(a, b uint64) uint64 { return a ^ b }
 // The implementation is a 4-bit windowed carry-less multiplication followed
 // by modular reduction; it is branch-light and constant-bounded (16 window
 // steps plus reduction) so that decoding costs measured in field
-// multiplications are stable across inputs.
+// multiplications are stable across inputs. The window table of a is built
+// per call; when one multiplicand is fixed across many products, build a
+// gf.Table once instead.
 func Mul(a, b uint64) uint64 {
 	if a == 0 || b == 0 {
 		return 0
@@ -58,28 +58,13 @@ func Mul(a, b uint64) uint64 {
 }
 
 // reduce128 reduces a 128-bit carry-less product (hi·2^64 + lo) modulo the
-// field polynomial.
+// field polynomial. z^64 ≡ z^4 + z^3 + z + 1, so hi folds in as four
+// shift-XORs; the ≤4 bits that spill past z^63 (from the z^4/z^3/z shifts)
+// fold once more, branchlessly — this sits on every product and squaring.
 func reduce128(hi, lo uint64) uint64 {
-	// z^64 ≡ 0x1B, and 0x1B is a degree-4 polynomial, so folding hi once
-	// produces at most a 68-bit intermediate; fold the 4 spill bits again.
-	h1, l1 := clmul64(hi, reduction)
-	lo ^= l1
-	// h1 has at most 4 significant bits (deg(hi) ≤ 63, deg(0x1B) = 4).
-	_, l2 := clmul64(h1, reduction)
-	return lo ^ l2
-}
-
-// clmul64 returns the 128-bit carry-less product of a and b as (hi, lo).
-func clmul64(a, b uint64) (hi, lo uint64) {
-	for b != 0 {
-		i := bits.TrailingZeros64(b)
-		b &^= 1 << uint(i)
-		lo ^= a << uint(i)
-		if i != 0 {
-			hi ^= a >> uint(64-i)
-		}
-	}
-	return hi, lo
+	lo ^= hi<<4 ^ hi<<3 ^ hi<<1 ^ hi
+	spill := hi>>60 ^ hi>>61 ^ hi>>63
+	return lo ^ spill<<4 ^ spill<<3 ^ spill<<1 ^ spill
 }
 
 // Sqr returns a² in GF(2^64). Squaring is GF(2)-linear (the Frobenius

@@ -48,10 +48,55 @@ func (s Sketch) K() int { return len(s) / 2 }
 // AddEdge folds edge ID alpha into the sketch. alpha must be nonzero; a zero
 // ID would be indistinguishable from absence.
 func (s Sketch) AddEdge(alpha uint64) {
+	PowerSums(s, alpha)
+}
+
+// PowerSums XORs the first len(dst) power sums of alpha — the Reed–Solomon
+// parity-check row (α, α², …, α^len(dst)) — into dst. This is the batched
+// accumulation kernel: the window table of α is built once (gf.Table) and
+// reused across the whole Horner chain, instead of once per gf.Mul. A zero
+// alpha is a no-op, matching the AddEdge contract that IDs are nonzero.
+func PowerSums(dst []uint64, alpha uint64) {
+	if alpha == 0 {
+		return
+	}
+	tab := gf.NewTable(alpha)
 	pow := alpha
-	for j := range s {
-		s[j] ^= pow
-		pow = gf.Mul(pow, alpha)
+	for j := range dst {
+		dst[j] ^= pow
+		pow = tab.Mul(pow)
+	}
+}
+
+// PowerRow overwrites dst with the full parity-check row: dst[j] = α^(j+1).
+// Unlike PowerSums it owns dst, which lets it use the Frobenius shortcut:
+// odd exponents come from a Horner chain in α² (one cached-table product
+// each) and even exponents are squares of already-computed entries (Sqr is
+// several times cheaper than a product). This is the construction-arena
+// kernel of core.Build — len(dst)/2 products + len(dst)/2 squarings instead
+// of len(dst) products.
+func PowerRow(dst []uint64, alpha uint64) {
+	if len(dst) == 0 {
+		return
+	}
+	if alpha == 0 {
+		clear(dst)
+		return
+	}
+	dst[0] = alpha
+	if len(dst) == 1 {
+		return
+	}
+	a2 := gf.Sqr(alpha)
+	dst[1] = a2
+	tab := gf.NewTable(a2)
+	pow := alpha
+	for j := 2; j < len(dst); j += 2 {
+		pow = tab.Mul(pow) // α^(j+1) = α^(j-1)·α², odd exponents
+		dst[j] = pow
+	}
+	for j := 3; j < len(dst); j += 2 {
+		dst[j] = gf.Sqr(dst[(j-1)/2]) // α^(j+1) = (α^((j+1)/2))², even exponents
 	}
 }
 

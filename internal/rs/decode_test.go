@@ -296,3 +296,52 @@ func itoa(v int) string {
 	}
 	return string(buf[i:])
 }
+
+// TestPowerKernels cross-checks the two construction kernels against the
+// definitional per-step gf.Mul chain: PowerSums must XOR the row into
+// existing content, PowerRow must overwrite with the exact row.
+func TestPowerKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(65)
+		alpha := rng.Uint64()
+		if trial%10 == 0 {
+			alpha = 0
+		}
+		want := make([]uint64, n)
+		pow := alpha
+		for j := range want {
+			want[j] = pow
+			pow = gf.Mul(pow, alpha)
+		}
+		if alpha == 0 {
+			for j := range want {
+				want[j] = 0
+			}
+		}
+
+		row := make([]uint64, n)
+		for j := range row {
+			row[j] = rng.Uint64() // PowerRow must overwrite stale content
+		}
+		PowerRow(row, alpha)
+		for j := range row {
+			if row[j] != want[j] {
+				t.Fatalf("PowerRow(α=%#x)[%d] = %#x, want %#x", alpha, j, row[j], want[j])
+			}
+		}
+
+		base := make([]uint64, n)
+		sum := make([]uint64, n)
+		for j := range base {
+			base[j] = rng.Uint64()
+			sum[j] = base[j]
+		}
+		PowerSums(sum, alpha)
+		for j := range sum {
+			if sum[j] != base[j]^want[j] {
+				t.Fatalf("PowerSums(α=%#x)[%d] = %#x, want %#x", alpha, j, sum[j], base[j]^want[j])
+			}
+		}
+	}
+}
