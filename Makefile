@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench bench-build clean
+.PHONY: build test vet bench bench-build bench-query clean
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,10 @@ bench:
 # Construction hot-path grid + BENCH_build.json (E14).
 bench-build:
 	$(GO) run ./cmd/ftcbench build -json
+
+# Probe-path grid (per-call vs compiled FaultSet) + BENCH_query.json (E15).
+bench-query:
+	$(GO) run ./cmd/ftcbench query -json
 
 clean:
 	$(GO) clean ./...

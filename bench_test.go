@@ -152,6 +152,100 @@ func BenchmarkBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkProbe is the probe-path series (E15): the serving pattern of one
+// failure event probed many times, per scheme kind × n × f. "per-call" pays
+// the full per-query compile (the historical ftc.Connected path), "faultset"
+// probes a FaultSet compiled once (lazy closure, pooled scratch, zero allocs
+// in the steady state), "session" the eagerly closed view. This is the
+// benchmark behind BENCH_query.json (cmd/ftcbench query -json) and the ≥5×
+// amortized-speedup acceptance gate of the decoder-side API redesign.
+func BenchmarkProbe(b *testing.B) {
+	kinds := []struct {
+		name   string
+		params func(f int) core.Params
+	}{
+		{"det-netfind", func(f int) core.Params {
+			return core.Params{MaxFaults: f, Kind: core.KindDetNetFind}
+		}},
+		{"rand-rs", func(f int) core.Params {
+			return core.Params{MaxFaults: f, Kind: core.KindRandRS, Seed: 17}
+		}},
+		// Full-support repetitions so whp decode failures cannot abort
+		// the measurement loop.
+		{"agm-full", func(f int) core.Params {
+			return core.Params{MaxFaults: f, Kind: core.KindAGM, Seed: 17, AGMReps: 4 * f * 8}
+		}},
+	}
+	for _, kr := range kinds {
+		kr := kr
+		for _, n := range []int{256, 1024} {
+			n := n
+			g := benchGraph(n, int64(n))
+			for _, f := range []int{2, 3, 4} {
+				f := f
+				// The cell's scheme is built inside the named b.Run so
+				// that -bench filters skip the construction cost of
+				// non-matching cells.
+				b.Run(kr.name+"/n="+itoa(n)+"/f="+itoa(f), func(b *testing.B) {
+					s, err := core.Build(g, kr.params(f))
+					if err != nil {
+						b.Fatal(err)
+					}
+					rng := rand.New(rand.NewSource(23))
+					faults := workload.TreeEdgeFaults(g, s.Forest, f, rng)
+					fl := make([]core.EdgeLabel, len(faults))
+					for i, e := range faults {
+						fl[i] = s.EdgeLabel(e)
+					}
+					b.Run("per-call", func(b *testing.B) {
+						b.ReportAllocs()
+						for i := 0; i < b.N; i++ {
+							if _, err := core.Connected(s.VertexLabel(i%g.N()), s.VertexLabel((i*7)%g.N()), fl); err != nil {
+								b.Fatal(err)
+							}
+						}
+					})
+					b.Run("faultset", func(b *testing.B) {
+						fs, err := core.CompileFaults(fl)
+						if err != nil {
+							b.Fatal(err)
+						}
+						// Warm the component closure so the loop measures
+						// the steady state the acceptance gate is about.
+						if _, err := fs.Connected(s.VertexLabel(0), s.VertexLabel(1)); err != nil {
+							b.Fatal(err)
+						}
+						b.ReportAllocs()
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							if _, err := fs.Connected(s.VertexLabel(i%g.N()), s.VertexLabel((i*7)%g.N())); err != nil {
+								b.Fatal(err)
+							}
+						}
+					})
+					b.Run("session", func(b *testing.B) {
+						fs, err := core.CompileFaults(fl)
+						if err != nil {
+							b.Fatal(err)
+						}
+						sess, err := fs.Session()
+						if err != nil {
+							b.Fatal(err)
+						}
+						b.ReportAllocs()
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							if _, err := sess.Connected(s.VertexLabel(i%g.N()), s.VertexLabel((i*7)%g.N())); err != nil {
+								b.Fatal(err)
+							}
+						}
+					})
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkFig1AuxTransform measures the §3.2 auxiliary-graph transform
 // (the Figure 1 construction) at scale.
 func BenchmarkFig1AuxTransform(b *testing.B) {

@@ -5,6 +5,7 @@
 //	                      query time, correctness regime, construction time)
 //	ftcbench labelsize  — E4: label-size scaling vs n and vs f
 //	ftcbench query      — E5: query time vs |F| (fast vs basic, adaptive)
+//	                      + E15: the probe-path grid (per-call vs FaultSet)
 //	ftcbench construct  — E6: construction time vs m and f
 //	ftcbench support    — E7: full-query-support stress (error counts)
 //	ftcbench distance   — E8: Corollary 1 bounds quality and stretch
@@ -15,8 +16,9 @@
 //	ftcbench all        — everything above
 //
 // The -json flag makes the build section additionally write BENCH_build.json
-// (one record per grid cell, plus the recorded pre-overhaul baselines), the
-// machine-readable construction-perf trajectory tracked PR over PR.
+// (one record per grid cell, plus the recorded pre-overhaul baselines) and
+// the query section write BENCH_query.json (the probe-path grid): the
+// machine-readable perf trajectories tracked PR over PR.
 //
 // All randomness is seeded; output is deterministic modulo wall-clock
 // timings.
@@ -279,6 +281,136 @@ func queryTime() {
 		}
 	}
 	fmt.Println(" (adaptive prefix decoding: per-query cost grows with |F|, not with the f=8 budget)")
+	fmt.Println()
+	probeGrid()
+}
+
+// queryRecord is one cell of the probe-path grid (E15). per_call_ns_per_op
+// is the historical serving cost (every probe re-validates, re-deduplicates,
+// and re-compiles the fault slice — the only decoder path before the
+// FaultSet redesign); probe_ns_per_op is the steady-state cost against the
+// FaultSet compiled once.
+type queryRecord struct {
+	Scheme    string  `json:"scheme"`
+	N         int     `json:"n"`
+	M         int     `json:"m"`
+	F         int     `json:"f"`
+	PerCallNs int64   `json:"per_call_ns_per_op"`
+	ProbeNs   int64   `json:"probe_ns_per_op"`
+	CompileNs int64   `json:"compile_ns"`
+	Speedup   float64 `json:"amortized_speedup"`
+}
+
+// probeGrid measures the probe path across the scheme × n × f grid (E15)
+// and, with -json, writes BENCH_query.json for PR-over-PR tracking.
+func probeGrid() {
+	fmt.Println("E15 — probe path: per-call decode vs compiled FaultSet (seeded graphs p=8/n)")
+	fmt.Printf("   %-12s %6s %6s %3s %12s %12s %12s %10s\n",
+		"scheme", "n", "m", "f", "per-call", "probe", "compile", "speedup")
+	kinds := []struct {
+		name   string
+		params func(f int) core.Params
+	}{
+		{"det-netfind", func(f int) core.Params {
+			return core.Params{MaxFaults: f, Kind: core.KindDetNetFind}
+		}},
+		{"rand-rs", func(f int) core.Params {
+			return core.Params{MaxFaults: f, Kind: core.KindRandRS, Seed: 17}
+		}},
+		{"agm-full", func(f int) core.Params {
+			return core.Params{MaxFaults: f, Kind: core.KindAGM, Seed: 17, AGMReps: 4 * f * 8}
+		}},
+	}
+	var records []queryRecord
+	for _, kr := range kinds {
+		for _, n := range []int{256, 1024, 4096} {
+			rng := rand.New(rand.NewSource(int64(n)))
+			g := workload.ErdosRenyi(n, 8/float64(n), true, rng)
+			for _, f := range []int{2, 3, 4} {
+				s, err := core.Build(g, kr.params(f))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ftcbench: build %s n=%d f=%d: %v\n", kr.name, n, f, err)
+					os.Exit(1)
+				}
+				faults := workload.TreeEdgeFaults(g, s.Forest, f, rng)
+				fl := make([]core.EdgeLabel, len(faults))
+				for i, e := range faults {
+					fl[i] = s.EdgeLabel(e)
+				}
+				const perCallOps = 2000
+				t0 := time.Now()
+				for i := 0; i < perCallOps; i++ {
+					if _, err := core.Connected(s.VertexLabel(i%n), s.VertexLabel((i*7)%n), fl); err != nil {
+						fmt.Fprintf(os.Stderr, "ftcbench: per-call probe: %v\n", err)
+						os.Exit(1)
+					}
+				}
+				perCall := time.Since(t0) / perCallOps
+				t1 := time.Now()
+				fs, err := core.CompileFaults(fl)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ftcbench: CompileFaults: %v\n", err)
+					os.Exit(1)
+				}
+				if _, err := fs.Connected(s.VertexLabel(0), s.VertexLabel(1)); err != nil {
+					fmt.Fprintf(os.Stderr, "ftcbench: closure: %v\n", err)
+					os.Exit(1)
+				}
+				compile := time.Since(t1)
+				const probeOps = 2_000_000
+				t2 := time.Now()
+				for i := 0; i < probeOps; i++ {
+					if _, err := fs.Connected(s.VertexLabel(i%n), s.VertexLabel((i*7)%n)); err != nil {
+						fmt.Fprintf(os.Stderr, "ftcbench: probe: %v\n", err)
+						os.Exit(1)
+					}
+				}
+				probe := time.Since(t2) / probeOps
+				rec := queryRecord{
+					Scheme:    kr.name,
+					N:         n,
+					M:         g.M(),
+					F:         f,
+					PerCallNs: perCall.Nanoseconds(),
+					ProbeNs:   probe.Nanoseconds(),
+					CompileNs: compile.Nanoseconds(),
+					Speedup:   float64(perCall.Nanoseconds()) / float64(probe.Nanoseconds()),
+				}
+				records = append(records, rec)
+				fmt.Printf("   %-12s %6d %6d %3d %12s %12s %12s %9.0fx\n",
+					rec.Scheme, rec.N, rec.M, rec.F, round(perCall), round(probe), round(compile), rec.Speedup)
+			}
+		}
+	}
+	fmt.Println("   (per-call re-compiles the fault slice every probe; probe is the steady state")
+	fmt.Println("    against a FaultSet compiled once — the \"one failure event, many probes\" pattern)")
+	if !jsonOut {
+		return
+	}
+	doc := struct {
+		Benchmark string        `json:"benchmark"`
+		Note      string        `json:"note"`
+		Results   []queryRecord `json:"results"`
+	}{
+		Benchmark: "FaultSet.Connected",
+		Note: "per_call_ns_per_op is the pre-redesign serving cost (core.Connected compiles a " +
+			"throwaway fault set on every probe); probe_ns_per_op is the amortized steady state " +
+			"against a FaultSet compiled once (compile_ns, including the first-probe closure). " +
+			"Regenerated by `ftcbench query -json`. Wall times on shared hardware are noisy — " +
+			"compare like-for-like runs.",
+		Results: records,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: marshal BENCH_query.json: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile("BENCH_query.json", data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: write BENCH_query.json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("   wrote BENCH_query.json")
 }
 
 // ----------------------------------------------------------- constructTime
@@ -736,8 +868,10 @@ func round(d time.Duration) string {
 		return d.Round(10 * time.Millisecond).String()
 	case d > time.Millisecond:
 		return d.Round(10 * time.Microsecond).String()
-	default:
+	case d > time.Microsecond:
 		return d.Round(100 * time.Nanosecond).String()
+	default:
+		return d.String()
 	}
 }
 

@@ -172,6 +172,41 @@ func query(g *graph.Graph) {
 		want := graph.ConnectedUnder(g, toSet(c.faults), c.s, c.t)
 		fmt.Printf("  connected(v%d, v%d | F=%v) = %-5v (ground truth %v)\n", c.s, c.t, names, got, want)
 	}
+
+	// The serving pattern: compile one failure event into a FaultSet, then
+	// probe every vertex pair against it (each probe is a lookup).
+	fmt.Println()
+	faults := []int{1, 3} // cut e2 and e4 — the only 2-cut of the instance
+	fl := make([]core.EdgeLabel, len(faults))
+	names := make([]string, len(faults))
+	for i, e := range faults {
+		fl[i] = s.EdgeLabel(e)
+		names[i] = paperfig.EdgeName(e)
+	}
+	fs, err := core.CompileFaults(fl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compile: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  FaultSet F=%v compiled once (%d faults, %d component(s)); all-pairs probes:\n",
+		names, fs.Faults(), fs.FaultComponents())
+	for u := 0; u < g.N(); u++ {
+		fmt.Printf("   v%d:", u)
+		for v := 0; v < g.N(); v++ {
+			ok, err := fs.Connected(s.VertexLabel(u), s.VertexLabel(v))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "probe: %v\n", err)
+				os.Exit(1)
+			}
+			mark := "·"
+			if ok {
+				mark = "x"
+			}
+			fmt.Printf(" %s", mark)
+		}
+		fmt.Println()
+	}
+	fmt.Println("  (x = still connected under F; rows/columns in vertex order)")
 }
 
 func toSet(faults []int) map[int]bool {

@@ -37,6 +37,36 @@ func Example() {
 	// both of 2's links down: false
 }
 
+// One failure event, many probes: compile the fault labels into a FaultSet
+// once and probe it repeatedly — the steady-state probe path performs no
+// allocations and is safe from concurrent goroutines.
+func Example_faultSet() {
+	scheme, err := ftc.New(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}},
+		ftc.WithMaxFaults(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs, err := ftc.NewFaultSet([]ftc.EdgeLabel{
+		scheme.MustEdgeLabel(1, 2),
+		scheme.MustEdgeLabel(3, 4),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range []int{1, 2, 3, 4} {
+		ok, err := fs.Connected(scheme.VertexLabel(0), scheme.VertexLabel(v))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("0 reaches %d: %v\n", v, ok)
+	}
+	// Output:
+	// 0 reaches 1: true
+	// 0 reaches 2: false
+	// 0 reaches 3: false
+	// 0 reaches 4: true
+}
+
 // Labels are self-contained byte strings: they can be stored or shipped and
 // decoded elsewhere without the scheme object.
 func Example_marshaling() {

@@ -11,6 +11,7 @@ import (
 	"log"
 	"math/rand"
 
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/routing"
 	"repro/internal/workload"
@@ -29,6 +30,7 @@ func main() {
 		g.N(), g.M(), total, maxLocal)
 
 	rng := rand.New(rand.NewSource(7))
+	scheme := net.Scheme()
 	for scenario := 1; scenario <= 5; scenario++ {
 		faults := workload.RandomFaults(g, 1+rng.Intn(f), rng)
 		s, d := rng.Intn(g.N()), rng.Intn(g.N())
@@ -37,9 +39,28 @@ func main() {
 			fmt.Printf(" (%d-%d)", g.Edges[e].U, g.Edges[e].V)
 		}
 		fmt.Printf("; route %d → %d\n", s, d)
+		// The source pre-checks reachability from labels alone: the
+		// forbidden set is compiled once, so screening any number of
+		// candidate destinations costs a lookup each.
+		fl := make([]core.EdgeLabel, len(faults))
+		for i, e := range faults {
+			fl[i] = scheme.EdgeLabel(e)
+		}
+		fs, err := core.CompileFaults(fl)
+		if err != nil {
+			log.Fatalf("compile forbidden set: %v", err)
+		}
+		reach, err := fs.Connected(scheme.VertexLabel(s), scheme.VertexLabel(d))
+		if err != nil {
+			log.Fatalf("precheck: %v", err)
+		}
+		fmt.Printf("  label-only precheck: reachable=%v\n", reach)
 		path, ok, err := net.Route(s, d, faults)
 		if err != nil {
 			log.Fatalf("routing malfunction: %v", err)
+		}
+		if ok != reach {
+			log.Fatalf("precheck disagrees with routing outcome")
 		}
 		if !ok {
 			fmt.Printf("  destination unreachable (verified: %v)\n\n",

@@ -54,7 +54,13 @@ func main() {
 	}
 	fmt.Println()
 
-	sess, err := core.NewSession(loaded.Vertices[0], advisory)
+	// Compile the failure event once; serve the burst through the eagerly
+	// closed session view (each probe is an allocation-free lookup).
+	fs, err := core.CompileFaults(advisory)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := fs.Session()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -37,11 +37,17 @@ func main() {
 	targets := []int{12, 23, 34, 45, 47}
 
 	for wave := 1; wave <= 4; wave++ {
-		// A failure wave: up to f random links go down at once.
+		// A failure wave: up to f random links go down at once. The NOC
+		// compiles the advisory once per wave — every probe of the wave is
+		// then an allocation-free lookup against the same FaultSet.
 		down := workload.RandomFaults(g, 1+rng.Intn(f), rng)
 		advisory := make([]ftc.EdgeLabel, len(down))
 		for i, e := range down {
 			advisory[i] = scheme.EdgeLabelByIndex(e)
+		}
+		fs, err := ftc.NewFaultSet(advisory)
+		if err != nil {
+			log.Fatalf("advisory: %v", err)
 		}
 		fmt.Printf("wave %d: links down:", wave)
 		for _, e := range down {
@@ -49,7 +55,7 @@ func main() {
 		}
 		fmt.Println()
 		for _, tgt := range targets {
-			ok, err := ftc.Connected(scheme.VertexLabel(monitor), scheme.VertexLabel(tgt), advisory)
+			ok, err := fs.Connected(scheme.VertexLabel(monitor), scheme.VertexLabel(tgt))
 			if err != nil {
 				log.Fatalf("decoder: %v", err)
 			}

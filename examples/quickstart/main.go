@@ -32,11 +32,17 @@ func main() {
 		st.VertexLabelBits, st.MaxEdgeLabelBits, st.Threshold, st.HierarchyDepth)
 
 	// The decoder sees labels only — in a deployment, each node stores its
-	// own label and link labels travel with failure notifications.
+	// own label and link labels travel with failure notifications. Each
+	// failure event is compiled into a FaultSet once; probes against it are
+	// then allocation-free lookups.
 	s, t := scheme.VertexLabel(0), scheme.VertexLabel(3)
 
 	check := func(desc string, faults ...ftc.EdgeLabel) {
-		ok, err := ftc.Connected(s, t, faults)
+		fs, err := ftc.NewFaultSet(faults)
+		if err != nil {
+			log.Fatalf("%s: %v", desc, err)
+		}
+		ok, err := fs.Connected(s, t)
 		if err != nil {
 			log.Fatalf("%s: %v", desc, err)
 		}
@@ -48,4 +54,21 @@ func main() {
 		scheme.MustEdgeLabel(2, 3), scheme.MustEdgeLabel(3, 4))
 	check("links 2-3, 3-4 and 1-3 down (3 isolated):",
 		scheme.MustEdgeLabel(2, 3), scheme.MustEdgeLabel(3, 4), scheme.MustEdgeLabel(1, 3))
+
+	// Batch form: one failure event, many probes.
+	fs, err := ftc.NewFaultSet([]ftc.EdgeLabel{
+		scheme.MustEdgeLabel(2, 3), scheme.MustEdgeLabel(3, 4),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs := make([][2]ftc.VertexLabel, 0, 5)
+	for v := 1; v <= 5; v++ {
+		pairs = append(pairs, [2]ftc.VertexLabel{scheme.VertexLabel(0), scheme.VertexLabel(v)})
+	}
+	oks, err := fs.ConnectedBatch(pairs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbatch probe from node 0 with links 2-3, 3-4 down: %v\n", oks)
 }

@@ -20,6 +20,20 @@
 //	f := []ftc.EdgeLabel{scheme.MustEdgeLabel(1, 2), scheme.MustEdgeLabel(2, 3)}
 //	ok, err := ftc.Connected(s, t, f) // false: 2 is cut off from 0
 //
+// # Serving many probes of one failure event
+//
+// Connected re-validates and re-compiles its fault slice on every call. The
+// deployment pattern is "one failure event, many probes", so compile the
+// fault set once and probe it:
+//
+//	fs, err := ftc.NewFaultSet(f)
+//	if err != nil { ... }
+//	ok, err := fs.Connected(s, t)        // zero-alloc steady state
+//	oks, err := fs.ConnectedBatch(pairs) // many probes in one call
+//	sess, err := fs.Session()            // eager closure, multi-component
+//
+// FaultSet probes are safe from concurrent goroutines.
+//
 // # Scheme variants
 //
 // Four constructions share the same framework and query machinery, matching
@@ -203,9 +217,27 @@ func (s *Scheme) EdgeLabelByIndex(i int) EdgeLabel {
 	return l
 }
 
+// FaultSet is a compiled, immutable fault set: the fault labels are parsed,
+// validated, and deduplicated once (per spanning-forest component), after
+// which Connected/ConnectedBatch/Session probes are cheap, allocation-free
+// in the steady state, and safe from concurrent goroutines. Like every
+// decoder-side object, it is built purely from labels.
+type FaultSet = core.FaultSet
+
+// NewFaultSet compiles fault-edge labels into a reusable FaultSet. It
+// enforces the global fault budget |F| ≤ f (ErrTooManyFaults) and rejects
+// mixed-scheme labels (ErrLabelMismatch). An empty slice yields the trivial
+// FaultSet under which connectivity degenerates to same-component.
+func NewFaultSet(faults []EdgeLabel) (*FaultSet, error) {
+	return core.CompileFaults(faults)
+}
+
 // Connected is the universal decoder: it decides s–t connectivity under the
 // fault set F given only labels. Works for labels produced by any Scheme of
 // this package (the scheme variant is encoded in the labels themselves).
+//
+// Connected compiles a throwaway FaultSet per call; when the same fault set
+// is probed repeatedly, build it once with NewFaultSet and probe that.
 func Connected(s, t VertexLabel, faults []EdgeLabel) (bool, error) {
 	return core.Connected(s, t, faults)
 }

@@ -1,12 +1,10 @@
 package core
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/bits"
-
-	"repro/internal/fragments"
+	"sync"
 )
 
 // ErrLabelMismatch is returned when labels from different graphs or
@@ -20,6 +18,9 @@ var ErrTooManyFaults = errors.New("core: fault set exceeds the labels' budget")
 // Connected is the universal decoder D^con (§7.1): it decides the s–t
 // connectivity of G − F purely from the labels of s, t, and the edges of F,
 // using the fast query algorithm of §7.6. It never accesses the graph.
+//
+// Connected compiles a throwaway FaultSet per call; callers probing one
+// fault set repeatedly should CompileFaults once and probe the FaultSet.
 func Connected(s, t VertexLabel, faults []EdgeLabel) (bool, error) {
 	return connected(s, t, faults, true)
 }
@@ -43,7 +44,7 @@ func connected(s, t VertexLabel, faults []EdgeLabel, fast bool) (bool, error) {
 	if s.Anc.Pre == t.Anc.Pre {
 		return true, nil
 	}
-	q, err := newQueryState(s, t, faults)
+	q, err := oneShotQuery(s, t, faults)
 	if err != nil {
 		return false, err
 	}
@@ -51,6 +52,7 @@ func connected(s, t VertexLabel, faults []EdgeLabel, fast bool) (bool, error) {
 		// No relevant faults: same component ⇒ connected.
 		return true, nil
 	}
+	defer releaseQueryState(q)
 	if q.fragS == q.fragT {
 		return true, nil
 	}
@@ -60,44 +62,11 @@ func connected(s, t VertexLabel, faults []EdgeLabel, fast bool) (bool, error) {
 	return q.runBasic()
 }
 
-// queryState is the per-query working set: the fragment decomposition, one
-// outdetect aggregate per super-fragment, and the boundary bookkeeping of
-// §7.6.
-type queryState struct {
-	spec         OutSpec
-	maxFaults    int
-	frags        *fragments.Set
-	fragS, fragT int
-
-	// Per fragment c (0..q): parent pointer for the union-find over
-	// fragments, and for roots the live super-fragment state.
-	parent []int
-	super  []*superFrag
-
-	// recording, when set (RoutePlan), retains every decoded crossing
-	// with its endpoint fragments for route extraction.
-	recording bool
-	records   []crossRec
-}
-
-// superFrag is τ(S) from §7.6: the aggregated outdetect payload, the
-// boundary fault bitset, and membership flags.
-type superFrag struct {
-	sum      []uint64
-	cut      []uint64 // bitset over fault indices
-	cutSize  int
-	hasS     bool
-	hasT     bool
-	version  int
-	discard  bool
-	closed   bool
-	fragRoot int
-}
-
-func newQueryState(s, t VertexLabel, faults []EdgeLabel) (*queryState, error) {
-	var fs []fragments.Fault
-	var spec OutSpec
-	maxFaults := 0
+// oneShotQuery is the compatibility path behind the per-call decoders
+// (Connected, ConnectedBasic, RoutePlan): it compiles the faults relevant to
+// s's component into a throwaway FaultSet and prepares pooled per-probe
+// state with s and t marked. Returns nil when no fault is relevant.
+func oneShotQuery(s, t VertexLabel, faults []EdgeLabel) (*queryState, error) {
 	var relevant []EdgeLabel
 	for i := range faults {
 		fl := &faults[i]
@@ -108,63 +77,111 @@ func newQueryState(s, t VertexLabel, faults []EdgeLabel) (*queryState, error) {
 			continue // fault in another component: irrelevant
 		}
 		relevant = append(relevant, *fl)
-		maxFaults = fl.MaxFaults
-		spec = fl.Spec
 	}
 	if len(relevant) == 0 {
 		return nil, nil
 	}
-	// One Normalize per fault feeds both the fragment set and the
-	// label re-association map (deduplicated faults keyed by child pre).
-	labelByChild := make(map[uint32]*EdgeLabel, len(relevant))
-	for i := range relevant {
-		ft, err := fragments.Normalize(relevant[i].Parent, relevant[i].Child)
-		if err != nil {
-			return nil, err
-		}
-		fs = append(fs, ft)
-		labelByChild[ft.Child.Pre] = &relevant[i]
-	}
-	set, err := fragments.Build(fs)
+	fs, err := CompileFaults(relevant)
 	if err != nil {
 		return nil, err
 	}
-	if len(set.Faults) > maxFaults {
-		return nil, fmt.Errorf("%w: %d faults, budget %d", ErrTooManyFaults, len(set.Faults), maxFaults)
-	}
-	words := spec.Words()
-	q := &queryState{
-		spec:      spec,
-		maxFaults: maxFaults,
-		frags:     set,
-		parent:    make([]int, set.Count()),
-		super:     make([]*superFrag, set.Count()),
-	}
-	for c := 0; c < set.Count(); c++ {
-		q.parent[c] = c
-		sf := &superFrag{
-			sum:      make([]uint64, words),
-			cut:      make([]uint64, (len(set.Faults)+63)/64),
-			fragRoot: c,
-		}
-		for _, fi := range set.Boundary[c] {
-			fl := labelByChild[set.Faults[fi].Child.Pre]
-			if fl == nil || len(fl.Out) != words {
-				return nil, fmt.Errorf("%w: inconsistent fault payloads", ErrLabelMismatch)
-			}
-			for w := range fl.Out {
-				sf.sum[w] ^= fl.Out[w]
-			}
-			sf.cut[fi/64] ^= 1 << uint(fi%64)
-		}
-		sf.cutSize = popcount(sf.cut)
-		q.super[c] = sf
-	}
-	q.fragS = set.StabLabel(s.Anc)
-	q.fragT = set.StabLabel(t.Anc)
-	q.super[q.fragS].hasS = true
-	q.super[q.fragT].hasT = true
+	comp := fs.comps[0]
+	q := comp.acquire()
+	q.fragS = int32(comp.frags.StabLabel(s.Anc))
+	q.fragT = int32(comp.frags.StabLabel(t.Anc))
+	q.flags[q.fragS] |= flagHasS
+	q.flags[q.fragT] |= flagHasT
 	return q, nil
+}
+
+// Super-fragment state flags (per union-find root).
+const (
+	flagHasS uint8 = 1 << iota // contains s's fragment
+	flagHasT                   // contains t's fragment
+	flagDiscard                // merged away or closed without s/t
+)
+
+// queryState is the per-probe working set of the §7.6 engine: a union-find
+// over fragments plus, per live root, the aggregated outdetect payload, the
+// boundary fault bitset, and the bookkeeping flags — all held in flat,
+// reusable slices so a probe performs no per-call map or slice allocations.
+// States are recycled through a package-level sync.Pool; acquire resets one
+// from a component's immutable initial state.
+type queryState struct {
+	comp         *faultComponent
+	fragS, fragT int32
+
+	parent  []int32  // union-find parent per fragment
+	sums    []uint64 // count×words aggregated payloads
+	cuts    []uint64 // count×cutWords boundary bitsets
+	cutSize []int32
+	version []int32 // bumped on merge for lazy heap deletion
+	flags   []uint8
+	heap    []heapItem
+
+	// recording, when set (RoutePlan), retains every decoded crossing
+	// with its endpoint fragments for route extraction.
+	recording bool
+	records   []crossRec
+}
+
+type heapItem struct {
+	root, version, cutSize int32
+}
+
+var qsPool = sync.Pool{New: func() any { return new(queryState) }}
+
+// grown returns s resized to n elements, reusing capacity when possible.
+func grown[T int32 | uint64 | uint8](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// acquire takes a pooled queryState and resets it to the component's initial
+// super-fragment state. The copies reuse the state's capacity: a warmed pool
+// serves probes without allocating.
+func (c *faultComponent) acquire() *queryState {
+	q := qsPool.Get().(*queryState)
+	q.comp = c
+	n := c.count
+	q.parent = grown(q.parent, n)
+	for i := range q.parent {
+		q.parent[i] = int32(i)
+	}
+	q.sums = grown(q.sums, n*c.words)
+	copy(q.sums, c.initSum)
+	q.cuts = grown(q.cuts, n*c.cutWords)
+	copy(q.cuts, c.initCut)
+	q.cutSize = grown(q.cutSize, n)
+	copy(q.cutSize, c.initCutSize)
+	q.version = grown(q.version, n)
+	clear(q.version)
+	q.flags = grown(q.flags, n)
+	clear(q.flags)
+	q.heap = q.heap[:0]
+	q.records = q.records[:0]
+	q.recording = false
+	q.fragS, q.fragT = -1, -1
+	return q
+}
+
+func releaseQueryState(q *queryState) {
+	q.comp = nil // don't pin the component's label payloads from the pool
+	qsPool.Put(q)
+}
+
+// sum returns fragment c's payload block.
+func (q *queryState) sum(c int32) []uint64 {
+	w := q.comp.words
+	return q.sums[int(c)*w : (int(c)+1)*w]
+}
+
+// cut returns fragment c's boundary bitset block.
+func (q *queryState) cut(c int32) []uint64 {
+	w := q.comp.cutWords
+	return q.cuts[int(c)*w : (int(c)+1)*w]
 }
 
 func popcount(words []uint64) int {
@@ -175,8 +192,8 @@ func popcount(words []uint64) int {
 	return n
 }
 
-// find is the union-find lookup over fragment indices.
-func (q *queryState) find(c int) int {
+// find is the union-find lookup over fragment indices (path halving).
+func (q *queryState) find(c int32) int32 {
 	for q.parent[c] != c {
 		q.parent[c] = q.parent[q.parent[c]]
 		c = q.parent[c]
@@ -190,74 +207,69 @@ func (q *queryState) find(c int) int {
 // so a boundary of b ≤ f faults needs only the correspondingly scaled
 // prefix. DecodeOutgoing retries at the full threshold on failure, so this
 // is purely a speed optimization.
-func (q *queryState) adaptiveBudget(boundary int) int {
-	if q.spec.Kind == KindAGM || q.maxFaults == 0 || boundary >= q.maxFaults {
-		return q.spec.K
+func (q *queryState) adaptiveBudget(boundary int32) int {
+	spec, maxFaults := q.comp.spec, q.comp.maxFaults
+	if spec.Kind == KindAGM || maxFaults == 0 || int(boundary) >= maxFaults {
+		return spec.K
 	}
 	var scaled int
-	switch q.spec.Kind {
+	switch spec.Kind {
 	case KindRandRS:
-		scaled = q.spec.K * boundary / q.maxFaults
+		scaled = spec.K * int(boundary) / maxFaults
 	default:
-		scaled = q.spec.K * boundary * boundary / (q.maxFaults * q.maxFaults)
+		scaled = spec.K * int(boundary) * int(boundary) / (maxFaults * maxFaults)
 	}
 	if scaled < 4 {
 		scaled = 4
 	}
-	if scaled > q.spec.K {
-		scaled = q.spec.K
+	if scaled > spec.K {
+		scaled = spec.K
 	}
 	return scaled
 }
 
 // mergeInto unions the super-fragment rooted at src into the one rooted at
-// dst (both must be distinct union-find roots) and returns the new root's
-// state.
-func (q *queryState) mergeInto(dst, src int) *superFrag {
-	a, b := q.super[dst], q.super[src]
+// dst (both must be distinct union-find roots).
+func (q *queryState) mergeInto(dst, src int32) {
 	q.parent[src] = dst
-	for w := range a.sum {
-		a.sum[w] ^= b.sum[w]
+	xorInto(q.sum(dst), q.sum(src))
+	cd, cs := q.cut(dst), q.cut(src)
+	for w := range cd {
+		cd[w] ^= cs[w]
 	}
-	for w := range a.cut {
-		a.cut[w] ^= b.cut[w]
-	}
-	a.cutSize = popcount(a.cut)
-	a.hasS = a.hasS || b.hasS
-	a.hasT = a.hasT || b.hasT
-	a.version++
-	b.discard = true
-	return a
+	q.cutSize[dst] = int32(popcount(cd))
+	q.flags[dst] |= q.flags[src] & (flagHasS | flagHasT)
+	q.version[dst]++
+	q.flags[src] |= flagDiscard
 }
 
 // growOnce decodes the outgoing edges of the super-fragment rooted at root
 // and merges every discovered neighbor super-fragment into it. It returns
 // (done, answer): done=true when the query is resolved.
-func (q *queryState) growOnce(root int) (bool, bool, error) {
-	sf := q.super[root]
-	ids, err := q.spec.DecodeOutgoing(sf.sum, q.adaptiveBudget(sf.cutSize))
+func (q *queryState) growOnce(root int32) (bool, bool, error) {
+	ids, err := q.comp.spec.DecodeOutgoing(q.sum(root), q.adaptiveBudget(q.cutSize[root]))
 	if err != nil {
 		return false, false, err
 	}
 	if len(ids) == 0 {
 		// Closed: V(S) is a union of G−F components.
-		if sf.hasS || sf.hasT {
+		if q.flags[root]&(flagHasS|flagHasT) != 0 {
 			return true, false, nil
 		}
-		sf.discard = true
+		q.flags[root] |= flagDiscard
 		return false, false, nil
 	}
 	merges := 0
 	for _, id := range ids {
 		p1, p2 := edgeIDParts(id)
-		f1, f2 := q.frags.Stab(p1), q.frags.Stab(p2)
+		f1, f2 := q.comp.frags.Stab(p1), q.comp.frags.Stab(p2)
 		if q.recording {
 			q.records = append(q.records, crossRec{p1: p1, p2: p2, c1: f1, c2: f2})
 		}
-		c1 := q.find(f1)
-		c2 := q.find(f2)
+		c1 := q.find(int32(f1))
+		c2 := q.find(int32(f2))
 		cur := q.find(root)
-		var other int
+		var other int32
 		switch {
 		case c1 == cur && c2 != cur:
 			other = c2
@@ -269,8 +281,8 @@ func (q *queryState) growOnce(root int) (bool, bool, error) {
 			continue
 		}
 		merges++
-		merged := q.mergeInto(cur, other)
-		if merged.hasS && merged.hasT {
+		q.mergeInto(cur, other)
+		if q.flags[cur]&(flagHasS|flagHasT) == flagHasS|flagHasT {
 			return true, true, nil
 		}
 	}
@@ -296,57 +308,76 @@ func (q *queryState) runBasic() (bool, error) {
 		if done {
 			return ans, nil
 		}
-		if q.super[q.find(q.fragS)].discard {
+		if q.flags[q.find(q.fragS)]&flagDiscard != 0 {
 			// s's component closed without touching t.
 			return false, nil
 		}
 	}
 }
 
-// superHeap orders live super-fragments by boundary size (then by fragment
-// root for determinism) — the §7.6 refinement.
-type superHeap struct {
-	q     *queryState
-	items []heapItem
-}
+// Heap over live super-fragments ordered by boundary size (then fragment
+// root for determinism) — the §7.6 refinement. Hand-rolled on the pooled
+// item slice instead of container/heap so pushes don't box through
+// interface{}.
 
-type heapItem struct {
-	root    int
-	version int
-	cutSize int
-}
-
-func (h *superHeap) Len() int { return len(h.items) }
-func (h *superHeap) Less(i, j int) bool {
-	if h.items[i].cutSize != h.items[j].cutSize {
-		return h.items[i].cutSize < h.items[j].cutSize
+func heapLess(a, b heapItem) bool {
+	if a.cutSize != b.cutSize {
+		return a.cutSize < b.cutSize
 	}
-	return h.items[i].root < h.items[j].root
+	return a.root < b.root
 }
-func (h *superHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *superHeap) Push(x interface{}) { h.items = append(h.items, x.(heapItem)) }
-func (h *superHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
+
+func (q *queryState) heapPush(it heapItem) {
+	q.heap = append(q.heap, it)
+	i := len(q.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !heapLess(q.heap[i], q.heap[p]) {
+			break
+		}
+		q.heap[i], q.heap[p] = q.heap[p], q.heap[i]
+		i = p
+	}
+}
+
+func (q *queryState) heapPop() heapItem {
+	h := q.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	q.heap = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && heapLess(h[l], h[small]) {
+			small = l
+		}
+		if r < n && heapLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
 }
 
 // runFast is the heap-driven query of §7.6: always expand the live
-// super-fragment with the smallest tree boundary.
+// super-fragment with the smallest tree boundary. With no s/t fragments
+// marked (fragS = fragT = -1) it drives every super-fragment to closure,
+// which is how FaultSet components compute their cached partition.
 func (q *queryState) runFast() (bool, error) {
-	h := &superHeap{q: q}
-	for c := 0; c < q.frags.Count(); c++ {
-		sf := q.super[c]
-		h.items = append(h.items, heapItem{root: c, version: sf.version, cutSize: sf.cutSize})
+	q.heap = q.heap[:0]
+	for c := int32(0); int(c) < q.comp.count; c++ {
+		q.heapPush(heapItem{root: c, version: 0, cutSize: q.cutSize[c]})
 	}
-	heap.Init(h)
-	for h.Len() > 0 {
-		it := heap.Pop(h).(heapItem)
+	for len(q.heap) > 0 {
+		it := q.heapPop()
 		root := it.root
-		sf := q.super[root]
-		if sf.discard || q.find(root) != root || sf.version != it.version {
+		if q.flags[root]&flagDiscard != 0 || q.find(root) != root || q.version[root] != it.version {
 			continue // stale entry (lazy deletion)
 		}
 		done, ans, err := q.growOnce(root)
@@ -357,9 +388,8 @@ func (q *queryState) runFast() (bool, error) {
 			return ans, nil
 		}
 		cur := q.find(root)
-		csf := q.super[cur]
-		if !csf.discard {
-			heap.Push(h, heapItem{root: cur, version: csf.version, cutSize: csf.cutSize})
+		if q.flags[cur]&flagDiscard == 0 {
+			q.heapPush(heapItem{root: cur, version: q.version[cur], cutSize: q.cutSize[cur]})
 		}
 	}
 	// Every super-fragment closed without uniting s and t.

@@ -35,12 +35,17 @@ func RoutePlan(s, t VertexLabel, faults []EdgeLabel) ([]RouteStep, bool, error) 
 	if s.Anc.Pre == t.Anc.Pre {
 		return []RouteStep{final}, true, nil
 	}
-	q, err := newQueryState(s, t, faults)
+	q, err := oneShotQuery(s, t, faults)
 	if err != nil {
 		return nil, false, err
 	}
-	if q == nil || q.fragS == q.fragT {
-		// No relevant faults (or same fragment): pure tree routing.
+	if q == nil {
+		// No relevant faults: pure tree routing.
+		return []RouteStep{final}, true, nil
+	}
+	defer releaseQueryState(q)
+	if q.fragS == q.fragT {
+		// Same fragment: pure tree routing.
 		return []RouteStep{final}, true, nil
 	}
 	q.recording = true
@@ -52,7 +57,7 @@ func RoutePlan(s, t VertexLabel, faults []EdgeLabel) ([]RouteStep, bool, error) 
 		return nil, false, nil
 	}
 	// BFS over the fragment graph induced by the recorded crossings.
-	count := q.frags.Count()
+	count := q.comp.frags.Count()
 	adj := make([][]int, count) // record indices
 	for ri, r := range q.records {
 		if r.c1 == r.c2 {
@@ -67,7 +72,7 @@ func RoutePlan(s, t VertexLabel, faults []EdgeLabel) ([]RouteStep, bool, error) 
 	}
 	visited := make([]bool, count)
 	visited[q.fragS] = true
-	queue := []int{q.fragS}
+	queue := []int{int(q.fragS)}
 	for len(queue) > 0 && !visited[q.fragT] {
 		c := queue[0]
 		queue = queue[1:]
@@ -89,12 +94,12 @@ func RoutePlan(s, t VertexLabel, faults []EdgeLabel) ([]RouteStep, bool, error) 
 	}
 	// Walk back from t's fragment, emitting crossings in reverse.
 	var rev []RouteStep
-	c := q.fragT
-	for c != q.fragS {
+	c := int(q.fragT)
+	for c != int(q.fragS) {
 		r := q.records[prev[c]]
 		from := r.c1 + r.c2 - c
 		near, far := r.p1, r.p2
-		if q.frags.Stab(near) != from {
+		if q.comp.frags.Stab(near) != from {
 			near, far = far, near
 		}
 		rev = append(rev, RouteStep{Near: near, Far: far})

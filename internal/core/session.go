@@ -3,122 +3,91 @@ package core
 import "fmt"
 
 // Session amortizes queries that share one fault set — the dominant pattern
-// in practice (one failure event, many reachability probes). It runs the
-// fragment discovery of §7.6 once, to completion, computing the full
-// connectivity partition of the fragments; subsequent probes cost two
-// interval stabs plus a union-find lookup.
+// in practice (one failure event, many reachability probes). It is a thin
+// view over a compiled FaultSet with every component's fragment closure
+// forced eagerly: each probe costs two interval stabs plus two partition
+// lookups and performs no allocations.
+//
+// Unlike the historical anchor-bound session, a Session covers every
+// spanning-forest component that the fault set touches: probes for vertex
+// pairs in any component are answered correctly. Build one with
+// FaultSet.Session (preferred) or the compatibility constructor NewSession.
 //
 // A Session is still decoder-side only: it is built purely from labels.
 type Session struct {
-	token uint64
-	root  uint32
-	q     *queryState
-	// trivial is set when the fault set is empty/irrelevant: connectivity
-	// degenerates to same-component.
-	trivial bool
+	fs *FaultSet
+	// token guards probes; for anchor-built sessions it is the anchor's
+	// token so that the historical mixed-label errors are preserved even
+	// for empty fault sets.
+	token      uint64
+	checkToken bool
 }
 
-// NewSession prepares a session for the component identified by anchor (any
-// vertex label in the component of interest) and the given fault labels.
+// NewSession prepares a session from the given fault labels. The anchor is
+// retained for API compatibility (it pins the scheme token when the fault
+// set is empty); the session itself answers probes in every component, not
+// just the anchor's.
 func NewSession(anchor VertexLabel, faults []EdgeLabel) (*Session, error) {
-	s := &Session{token: anchor.Token, root: anchor.Anc.Root}
-	// Reuse the query-state construction with s = t = anchor; fragS/fragT
-	// collapse but the fragment structure is what we're after.
-	q, err := newQueryState(anchor, anchor, faults)
+	fs, err := CompileFaults(faults)
 	if err != nil {
 		return nil, err
 	}
-	if q == nil {
-		s.trivial = true
-		return s, nil
+	if fs.hasFaults && fs.token != anchor.Token {
+		return nil, fmt.Errorf("%w: anchor and fault tokens differ", ErrLabelMismatch)
 	}
-	s.q = q
-	// Drive every super-fragment to closure: repeatedly grow any live
-	// super-fragment until all are closed. The total number of grow steps
-	// is bounded by fragments + merges.
-	for {
-		progress := false
-		for c := 0; c < q.frags.Count(); c++ {
-			root := q.find(c)
-			sf := q.super[root]
-			if sf.discard || sf.closed {
-				continue
-			}
-			ids, err := q.spec.DecodeOutgoing(sf.sum, q.adaptiveBudget(sf.cutSize))
-			if err != nil {
-				return nil, err
-			}
-			if len(ids) == 0 {
-				sf.closed = true
-				continue
-			}
-			merged := false
-			for _, id := range ids {
-				p1, p2 := edgeIDParts(id)
-				c1 := q.find(q.frags.Stab(p1))
-				c2 := q.find(q.frags.Stab(p2))
-				cur := q.find(root)
-				var other int
-				switch {
-				case c1 == cur && c2 != cur:
-					other = c2
-				case c2 == cur && c1 != cur:
-					other = c1
-				default:
-					continue
-				}
-				q.mergeInto(cur, other)
-				merged = true
-			}
-			if !merged {
-				return nil, fmt.Errorf("%w: decoded edges do not leave the fragment", ErrDecode)
-			}
-			progress = true
-		}
-		if !progress {
-			break
-		}
+	s, err := fs.Session()
+	if err != nil {
+		return nil, err
 	}
+	s.token = anchor.Token
+	s.checkToken = true
 	return s, nil
 }
 
 // Connected probes s–t connectivity under the session's fault set.
 func (s *Session) Connected(sv, tv VertexLabel) (bool, error) {
-	if sv.Token != s.token || tv.Token != s.token {
+	if sv.Token != tv.Token {
 		return false, fmt.Errorf("%w: session token differs", ErrLabelMismatch)
 	}
-	if sv.Anc.Root != tv.Anc.Root {
-		return false, nil
+	if s.checkToken && sv.Token != s.token {
+		return false, fmt.Errorf("%w: session token differs", ErrLabelMismatch)
 	}
-	if sv.Anc.Pre == tv.Anc.Pre {
-		return true, nil
-	}
-	if s.trivial || sv.Anc.Root != s.root {
-		// No relevant faults for this component: same root ⇒ connected.
-		return true, nil
-	}
-	a := s.q.find(s.q.frags.StabLabel(sv.Anc))
-	b := s.q.find(s.q.frags.StabLabel(tv.Anc))
-	return a == b, nil
+	return s.fs.Connected(sv, tv)
 }
 
-// Fragments returns the number of tree fragments the fault set induced.
+// FaultSet returns the compiled fault set backing the session.
+func (s *Session) FaultSet() *FaultSet { return s.fs }
+
+// Fragments returns the number of tree fragments the fault set induced,
+// summed over every component the faults touch (1 when the fault set is
+// empty or irrelevant).
 func (s *Session) Fragments() int {
-	if s.trivial {
+	if len(s.fs.comps) == 0 {
 		return 1
 	}
-	return s.q.frags.Count()
+	n := 0
+	for _, c := range s.fs.comps {
+		n += c.count
+	}
+	return n
 }
 
 // Components returns the number of connected components the fragments form
-// in G − F (within the session's component of G).
+// in G − F, summed over every spanning-forest component the faults touch
+// (1 when the fault set is empty or irrelevant).
 func (s *Session) Components() int {
-	if s.trivial {
+	if len(s.fs.comps) == 0 {
 		return 1
 	}
-	seen := map[int]bool{}
-	for c := 0; c < s.q.frags.Count(); c++ {
-		seen[s.q.find(c)] = true
+	n := 0
+	for _, c := range s.fs.comps {
+		// closure entries are fully resolved roots, so the distinct roots
+		// are exactly the fixed points.
+		for i, r := range c.closure {
+			if r == int32(i) {
+				n++
+			}
+		}
 	}
-	return len(seen)
+	return n
 }

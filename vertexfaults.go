@@ -1,6 +1,10 @@
 package ftc
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
 
 // Vertex-fault tolerance via the trivial reduction the paper describes in
 // §1.4: the failure of a vertex v is the failure of all edges incident to v,
@@ -40,12 +44,86 @@ func (l VertexFaultLabel) Bits() int {
 	return bits
 }
 
+// VertexFaultSet is the compiled form of a set of failed vertices: the
+// incident edge labels are deduplicated (an edge shared by two failed
+// vertices is counted once against the budget) and compiled into a FaultSet
+// exactly once, so repeated probes never re-copy or re-validate the
+// incident-label bundles. Probes are allocation-free in the steady state
+// and safe from concurrent goroutines.
+type VertexFaultSet struct {
+	fs     *FaultSet
+	token  uint64
+	hasTok bool
+	failed []VertexLabel
+}
+
+// NewVertexFaultSet compiles vertex fault labels into a reusable probe
+// object. The deduplicated incident edge count must fit the edge budget f;
+// overflow surfaces as ErrTooManyFaults.
+func NewVertexFaultSet(faults []VertexFaultLabel) (*VertexFaultSet, error) {
+	v := &VertexFaultSet{}
+	var edges []EdgeLabel
+	seen := map[uint32]bool{}
+	for i := range faults {
+		f := &faults[i]
+		if i == 0 {
+			v.token = f.Vertex.Token
+			v.hasTok = true
+		}
+		if f.Vertex.Token != v.token {
+			return nil, fmt.Errorf("ftc: vertex fault %d: %w", i, ErrLabelMismatch)
+		}
+		v.failed = append(v.failed, f.Vertex)
+		for j := range f.Incident {
+			el := &f.Incident[j]
+			if el.Token != v.token {
+				return nil, fmt.Errorf("ftc: vertex fault %d: %w", i, ErrLabelMismatch)
+			}
+			// A tree edge of the auxiliary forest is determined by its
+			// child endpoint, so the child preorder dedupes the edge
+			// shared by two adjacent failed vertices.
+			if seen[el.Child.Pre] {
+				continue
+			}
+			seen[el.Child.Pre] = true
+			edges = append(edges, *el)
+		}
+	}
+	fs, err := core.CompileFaults(edges)
+	if err != nil {
+		return nil, fmt.Errorf("ftc: %w", err)
+	}
+	v.fs = fs
+	return v, nil
+}
+
+// Faults returns the deduplicated incident edge count charged against the
+// budget.
+func (v *VertexFaultSet) Faults() int { return v.fs.Faults() }
+
+// Connected decides s–t connectivity in G − V(F). Querying a failed
+// endpoint returns false (a dead vertex reaches nothing).
+func (v *VertexFaultSet) Connected(s, t VertexLabel) (bool, error) {
+	if v.hasTok && (s.Token != v.token || t.Token != v.token) {
+		return false, fmt.Errorf("ftc: %w", ErrLabelMismatch)
+	}
+	for i := range v.failed {
+		if v.failed[i].Anc == s.Anc || v.failed[i].Anc == t.Anc {
+			return false, nil
+		}
+	}
+	return v.fs.Connected(s, t)
+}
+
 // ConnectedVertexFaults decides s–t connectivity in G − V(F) where V(F) is a
 // set of failed vertices. Querying a failed endpoint returns false (a dead
-// vertex reaches nothing). The underlying edge budget must cover the total
-// incident edge count: budget errors surface as ErrTooManyFaults.
+// vertex reaches nothing). The underlying edge budget must cover the
+// deduplicated incident edge count: budget errors surface as
+// ErrTooManyFaults.
+//
+// This is the one-shot form; to probe one failure event repeatedly, compile
+// it once with NewVertexFaultSet.
 func ConnectedVertexFaults(s, t VertexLabel, faults []VertexFaultLabel) (bool, error) {
-	var edges []EdgeLabel
 	for i := range faults {
 		if faults[i].Vertex.Token != s.Token {
 			return false, fmt.Errorf("ftc: vertex fault %d: %w", i, ErrLabelMismatch)
@@ -53,7 +131,10 @@ func ConnectedVertexFaults(s, t VertexLabel, faults []VertexFaultLabel) (bool, e
 		if faults[i].Vertex.Anc == s.Anc || faults[i].Vertex.Anc == t.Anc {
 			return false, nil
 		}
-		edges = append(edges, faults[i].Incident...)
 	}
-	return Connected(s, t, edges)
+	vfs, err := NewVertexFaultSet(faults)
+	if err != nil {
+		return false, err
+	}
+	return vfs.Connected(s, t)
 }
