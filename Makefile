@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench bench-build bench-query clean
+.PHONY: build test vet bench bench-build bench-query bench-serve fuzz clean
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,19 @@ bench-build:
 # Probe-path grid (per-call vs compiled FaultSet) + BENCH_query.json (E15).
 bench-query:
 	$(GO) run ./cmd/ftcbench query -json
+
+# Serving path (snapshot load + ftcserve handler, LRU cold vs warm) +
+# BENCH_serve.json (E16).
+bench-serve:
+	$(GO) run ./cmd/ftcbench serve -json
+
+# Short fuzz runs of the label and snapshot codecs (the CI smoke; drop the
+# -fuzztime to explore for real).
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshalVertexLabel' -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshalEdgeLabel' -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeOutgoing' -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshalScheme' -fuzztime 10s ./internal/core
 
 clean:
 	$(GO) clean ./...

@@ -13,25 +13,33 @@
 //	ftcbench congest    — E10: Theorem 3 round counts vs √m·D + f²
 //	ftcbench hierarchy  — E11/E12: ε-net and hierarchy quality
 //	ftcbench build      — E14: construction hot-path grid (kind × n × f)
+//	ftcbench serve      — E16: HTTP serving path (snapshot load + ftcserve
+//	                      handler + fault-set LRU, cold vs warm)
 //	ftcbench all        — everything above
 //
 // The -json flag makes the build section additionally write BENCH_build.json
-// (one record per grid cell, plus the recorded pre-overhaul baselines) and
-// the query section write BENCH_query.json (the probe-path grid): the
-// machine-readable perf trajectories tracked PR over PR.
+// (one record per grid cell, plus the recorded pre-overhaul baselines), the
+// query section write BENCH_query.json (the probe-path grid), and the serve
+// section write BENCH_serve.json: the machine-readable perf trajectories
+// tracked PR over PR.
 //
 // All randomness is seeded; output is deterministic modulo wall-clock
 // timings.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"time"
 
+	ftc "repro"
 	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/distlabel"
@@ -41,6 +49,7 @@ import (
 	"repro/internal/hierarchy"
 	"repro/internal/ptsketch"
 	"repro/internal/routing"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -65,9 +74,10 @@ func main() {
 		"hierarchy": hierarchyBench,
 		"ablation":  ablation,
 		"build":     buildGrid,
+		"serve":     serveBench,
 	}
 	if which == "all" {
-		for _, name := range []string{"table1", "labelsize", "query", "construct", "support", "distance", "routing", "congest", "hierarchy", "ablation", "build"} {
+		for _, name := range []string{"table1", "labelsize", "query", "construct", "support", "distance", "routing", "congest", "hierarchy", "ablation", "build", "serve"} {
 			sections[name]()
 			fmt.Println()
 		}
@@ -75,7 +85,7 @@ func main() {
 	}
 	fn, ok := sections[which]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "usage: ftcbench [-json] [table1|labelsize|query|construct|support|distance|routing|congest|hierarchy|build|all]\n")
+		fmt.Fprintf(os.Stderr, "usage: ftcbench [-json] [table1|labelsize|query|construct|support|distance|routing|congest|hierarchy|build|serve|all]\n")
 		os.Exit(2)
 	}
 	fn()
@@ -858,6 +868,161 @@ func buildGrid() {
 		os.Exit(1)
 	}
 	fmt.Println("   wrote BENCH_build.json")
+}
+
+// ----------------------------------------------------------------- serve
+
+// serveRecord is one cell of the serving-path grid (E16): the full fleet
+// pipeline — build, snapshot, load, then batched HTTP probes against the
+// ftcserve handler — with the fault-set LRU cold vs warm.
+type serveRecord struct {
+	Scheme        string  `json:"scheme"`
+	N             int     `json:"n"`
+	M             int     `json:"m"`
+	F             int     `json:"f"`
+	SnapshotBytes int     `json:"snapshot_bytes"`
+	LoadNs        int64   `json:"load_ns"`
+	Events        int     `json:"events"`
+	Batch         int     `json:"batch"`
+	WarmRequests  int     `json:"warm_requests"`
+	ColdNsPerReq  int64   `json:"cold_ns_per_req"`
+	WarmNsPerReq  int64   `json:"warm_ns_per_req"`
+	WarmQPS       float64 `json:"warm_qps"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+}
+
+// serveBench measures the serving daemon end to end (E16) and, with -json,
+// writes BENCH_serve.json for PR-over-PR tracking. Cold requests are the
+// first probe of each failure event (LRU miss: compile + closure); warm
+// requests replay the same events round-robin and ride the cached
+// FaultSets' zero-alloc probe path.
+func serveBench() {
+	const (
+		f        = 3
+		events   = 16
+		batch    = 16
+		warmReqs = 400
+	)
+	fmt.Println("E16 — serving path: ftcserve handler, fault-set LRU cold vs warm (batched HTTP probes)")
+	fmt.Printf("   %-12s %6s %6s %3s %10s %10s %12s %12s %10s %10s\n",
+		"scheme", "n", "m", "f", "snapshot", "load", "cold/req", "warm/req", "warm qps", "hit rate")
+	var records []serveRecord
+	for _, n := range []int{256, 1024} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		g := workload.ErdosRenyi(n, 8/float64(n), true, rng)
+		sch, err := ftc.NewFromGraph(g, ftc.WithMaxFaults(f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftcbench: serve build n=%d: %v\n", n, err)
+			os.Exit(1)
+		}
+		var snap bytes.Buffer
+		if err := sch.Save(&snap); err != nil {
+			fmt.Fprintf(os.Stderr, "ftcbench: serve snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		t0 := time.Now()
+		loaded, err := ftc.Load(bytes.NewReader(snap.Bytes()))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftcbench: serve load: %v\n", err)
+			os.Exit(1)
+		}
+		loadDur := time.Since(t0)
+
+		srv := serve.New(loaded, events)
+		ts := httptest.NewServer(srv.Handler())
+		faultSets := make([][]int, events)
+		erng := rand.New(rand.NewSource(int64(n) + 1))
+		for i := range faultSets {
+			faultSets[i] = workload.TreeEdgeFaults(g, loaded.Inner().Forest, 1+erng.Intn(f), erng)
+		}
+		post := func(ev int) {
+			req := serve.ConnectedRequest{FaultEdges: faultSets[ev]}
+			for q := 0; q < batch; q++ {
+				req.Pairs = append(req.Pairs, [2]int{erng.Intn(n), erng.Intn(n)})
+			}
+			body, err := json.Marshal(req)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ftcbench: serve request: %v\n", err)
+				os.Exit(1)
+			}
+			resp, err := http.Post(ts.URL+"/connected", "application/json", bytes.NewReader(body))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ftcbench: serve post: %v\n", err)
+				os.Exit(1)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fmt.Fprintf(os.Stderr, "ftcbench: serve post: status %d\n", resp.StatusCode)
+				os.Exit(1)
+			}
+		}
+		t1 := time.Now()
+		for ev := range faultSets {
+			post(ev)
+		}
+		cold := time.Since(t1) / events
+		t2 := time.Now()
+		for i := 0; i < warmReqs; i++ {
+			post(i % events)
+		}
+		warmTotal := time.Since(t2)
+		warm := warmTotal / warmReqs
+		ts.Close()
+
+		st := srv.Stats()
+		rec := serveRecord{
+			Scheme:        "det-netfind",
+			N:             n,
+			M:             g.M(),
+			F:             f,
+			SnapshotBytes: snap.Len(),
+			LoadNs:        loadDur.Nanoseconds(),
+			Events:        events,
+			Batch:         batch,
+			WarmRequests:  warmReqs,
+			ColdNsPerReq:  cold.Nanoseconds(),
+			WarmNsPerReq:  warm.Nanoseconds(),
+			WarmQPS:       float64(warmReqs) / warmTotal.Seconds(),
+			CacheHits:     st.CacheHits,
+			CacheMisses:   st.CacheMisses,
+		}
+		records = append(records, rec)
+		fmt.Printf("   %-12s %6d %6d %3d %9dB %10s %12s %12s %10.0f %9.2f%%\n",
+			rec.Scheme, rec.N, rec.M, rec.F, rec.SnapshotBytes, round(loadDur),
+			round(cold), round(warm), rec.WarmQPS,
+			100*float64(st.CacheHits)/float64(st.CacheHits+st.CacheMisses))
+	}
+	fmt.Println("   (cold = first probe of each failure event: LRU miss, CompileFaults + closure;")
+	fmt.Println("    warm = same events replayed: cached FaultSet, zero-alloc probe path)")
+	if !jsonOut {
+		return
+	}
+	doc := struct {
+		Benchmark string        `json:"benchmark"`
+		Note      string        `json:"note"`
+		Results   []serveRecord `json:"results"`
+	}{
+		Benchmark: "serve.Server (ftcserve handler)",
+		Note: "End-to-end serving path: build → Save → Load → batched POST /connected against " +
+			"the ftcserve handler over HTTP. cold_ns_per_req is the first probe of each failure " +
+			"event (fault-set LRU miss: compile + closure); warm_ns_per_req replays the same " +
+			"events against cached FaultSets. Regenerated by `ftcbench serve -json`. Wall times " +
+			"on shared hardware are noisy — compare like-for-like runs.",
+		Results: records,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: marshal BENCH_serve.json: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile("BENCH_serve.json", data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: write BENCH_serve.json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("   wrote BENCH_serve.json")
 }
 
 // ------------------------------------------------------------------ util

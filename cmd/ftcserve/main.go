@@ -1,0 +1,131 @@
+// Command ftcserve is the probe-serving daemon: it loads a scheme snapshot
+// (or builds one from a graph file) and answers batched s–t connectivity
+// probes over HTTP, caching compiled fault sets in an LRU so repeated
+// probes of one failure event hit the zero-alloc steady-state path.
+//
+//	ftcserve -snapshot scheme.ftcsnap [-addr :8337] [-cache 256]
+//	ftcserve -graph g.txt [-f 3] [-scheme det|greedy|rand|agm] [-seed 1] [-save scheme.ftcsnap]
+//
+// Endpoints:
+//
+//	POST /connected  {"faults":[[2,3]], "fault_edges":[7], "pairs":[[0,5],[1,4]]}
+//	                 → {"connected":[true,false], "faults":2, "cache_hit":false}
+//	GET  /healthz    liveness and scheme shape
+//	GET  /stats      serving and cache counters
+//
+// Faults may be given as [u,v] endpoint pairs or as edge indices (the
+// insertion order of the graph); both forms of the same failure event share
+// one cache entry. The "one build, many decoders" pattern is: build once,
+// -save the snapshot, then start any number of ftcserve replicas from it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	ftc "repro"
+	"repro/internal/graphio"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8337", "listen address")
+	snapshot := flag.String("snapshot", "", "scheme snapshot to load (from ftcserve -save or ftc.Save)")
+	graphPath := flag.String("graph", "", "graph file to build a scheme from (alternative to -snapshot)")
+	f := flag.Int("f", 2, "fault budget when building from -graph")
+	schemeKind := flag.String("scheme", "det", "det|greedy|rand|agm (with -graph)")
+	seed := flag.Int64("seed", 1, "seed for randomized schemes (with -graph)")
+	savePath := flag.String("save", "", "write the built scheme's snapshot here (with -graph)")
+	cacheSize := flag.Int("cache", 256, "compiled fault-set LRU capacity")
+	flag.Parse()
+
+	sch, err := openScheme(*snapshot, *graphPath, *f, *schemeKind, *seed, *savePath)
+	if err != nil {
+		log.Fatalf("ftcserve: %v", err)
+	}
+	st := sch.Stats()
+	g := sch.Graph()
+	log.Printf("serving %s scheme: n=%d m=%d f=%d (max edge label %d bits) on %s",
+		st.Kind, g.N(), g.M(), sch.MaxFaults(), st.MaxEdgeLabelBits, *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.New(sch, *cacheSize).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+// schemeHandle is what the daemon needs from either a built or a loaded
+// scheme: the serving surface plus size accounting for the startup banner.
+type schemeHandle interface {
+	serve.Scheme
+	Stats() ftc.Stats
+}
+
+func openScheme(snapshot, graphPath string, f int, kind string, seed int64, savePath string) (schemeHandle, error) {
+	switch {
+	case snapshot != "" && graphPath != "":
+		return nil, fmt.Errorf("-snapshot and -graph are mutually exclusive")
+	case snapshot != "" && savePath != "":
+		return nil, fmt.Errorf("-save only applies when building from -graph")
+	case snapshot != "":
+		in, err := os.Open(snapshot)
+		if err != nil {
+			return nil, err
+		}
+		defer in.Close()
+		return ftc.Load(in)
+	case graphPath != "":
+		in, err := os.Open(graphPath)
+		if err != nil {
+			return nil, err
+		}
+		defer in.Close()
+		g, err := graphio.ReadGraph(in)
+		if err != nil {
+			return nil, err
+		}
+		opts := []ftc.Option{ftc.WithMaxFaults(f)}
+		switch kind {
+		case "det":
+			opts = append(opts, ftc.WithDeterministic())
+		case "greedy":
+			opts = append(opts, ftc.WithGreedyNet())
+		case "rand":
+			opts = append(opts, ftc.WithRandomized(seed))
+		case "agm":
+			opts = append(opts, ftc.WithAGM(seed))
+		default:
+			return nil, fmt.Errorf("unknown scheme %q", kind)
+		}
+		sch, err := ftc.NewFromGraph(g, opts...)
+		if err != nil {
+			return nil, err
+		}
+		if savePath != "" {
+			out, err := os.Create(savePath)
+			if err != nil {
+				return nil, err
+			}
+			if err := sch.Save(out); err != nil {
+				out.Close()
+				return nil, err
+			}
+			if err := out.Close(); err != nil {
+				return nil, err
+			}
+			log.Printf("saved snapshot to %s", savePath)
+		}
+		return sch, nil
+	default:
+		return nil, fmt.Errorf("one of -snapshot or -graph is required")
+	}
+}

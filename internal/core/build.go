@@ -43,6 +43,7 @@ type Scheme struct {
 	token  uint64
 	spec   OutSpec
 	n      int
+	g      *graph.Graph
 
 	vertexLabels []VertexLabel
 	edgeLabels   []EdgeLabel
@@ -214,6 +215,7 @@ func Build(g *graph.Graph, p Params) (*Scheme, error) {
 		params:    p,
 		spec:      spec,
 		n:         g.N(),
+		g:         g,
 		Forest:    f,
 		Hierarchy: levels,
 	}
@@ -502,6 +504,11 @@ func xorInto(dst, src []uint64) {
 
 // N returns the vertex count of the labeled graph.
 func (s *Scheme) N() int { return s.n }
+
+// Graph returns the labeled graph (read-only). It is retained for the
+// application layers (edge-index resolution in the serving daemon) and for
+// snapshotting; the decoder never touches it.
+func (s *Scheme) Graph() *graph.Graph { return s.g }
 
 // Spec returns the outdetect payload descriptor.
 func (s *Scheme) Spec() OutSpec { return s.spec }

@@ -96,9 +96,9 @@ func oneShotQuery(s, t VertexLabel, faults []EdgeLabel) (*queryState, error) {
 
 // Super-fragment state flags (per union-find root).
 const (
-	flagHasS uint8 = 1 << iota // contains s's fragment
-	flagHasT                   // contains t's fragment
-	flagDiscard                // merged away or closed without s/t
+	flagHasS    uint8 = 1 << iota // contains s's fragment
+	flagHasT                      // contains t's fragment
+	flagDiscard                   // merged away or closed without s/t
 )
 
 // queryState is the per-probe working set of the §7.6 engine: a union-find

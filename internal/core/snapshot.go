@@ -1,0 +1,372 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/hierarchy"
+)
+
+// A scheme snapshot is the persistent form of one built construction: the
+// graph, the sparsification hierarchy, and every vertex and edge label, in
+// one versioned, length-prefixed, little-endian layout. Snapshots are what
+// let a scheme built once be loaded by a fleet of servers ("one build, many
+// decoders") without re-running construction.
+//
+// Wire format, version 1 (all integers little-endian):
+//
+//	[6]byte  magic "FTCSNP"
+//	u8       version (currently 1)
+//	u32 n, u32 m
+//	m × (u32 u, u32 v)          graph edges, insertion order, u < v
+//	u64      token              scheme fingerprint (recomputed on load)
+//	u32      maxFaults
+//	u8 kind, u32 k, u32 levels, u32 reps, u32 buckets, u64 seed   (OutSpec)
+//	u32      hierarchy level count (0 for AGM)
+//	  per level: u32 count, count × u32 ascending edge indices
+//	n × (u32 len, len bytes)    vertex labels, MarshalVertexLabel encoding
+//	m × (u32 len, len bytes)    edge labels, MarshalEdgeLabel encoding
+//
+// The per-label sections reuse the existing label codecs verbatim, so a
+// loaded scheme's per-label marshalings are byte-identical to the
+// original's. Loading re-derives the spanning forest (deterministic from
+// the graph) and re-verifies the token fingerprint against the graph and
+// parameters, which rejects snapshots whose sections were corrupted
+// independently. Any future layout change must bump snapshotVersion; old
+// readers then fail with ErrSnapshotVersion instead of misparsing.
+
+// snapshotMagic begins every scheme snapshot.
+var snapshotMagic = [6]byte{'F', 'T', 'C', 'S', 'N', 'P'}
+
+// SnapshotVersion is the wire-format version written by MarshalBinary.
+const SnapshotVersion = 1
+
+var (
+	// ErrBadSnapshot is returned by UnmarshalScheme for malformed bytes.
+	ErrBadSnapshot = errors.New("core: malformed scheme snapshot")
+	// ErrSnapshotVersion is returned for a structurally sound header whose
+	// version byte this build does not speak.
+	ErrSnapshotVersion = errors.New("core: unsupported snapshot version")
+)
+
+// snapLimit caps the spec shape fields on load: large enough for any real
+// construction (k and depth are polylog), small enough that Words() and the
+// derived allocations cannot overflow or OOM on hostile input.
+const snapLimit = 1 << 24
+
+// MarshalBinary encodes the scheme as a self-contained snapshot
+// (encoding.BinaryMarshaler).
+func (s *Scheme) MarshalBinary() ([]byte, error) {
+	if s.g == nil {
+		return nil, fmt.Errorf("core: scheme retains no graph; cannot snapshot")
+	}
+	g := s.g
+	b := make([]byte, 0, 64+16*g.M())
+	b = append(b, snapshotMagic[:]...)
+	b = append(b, SnapshotVersion)
+	b = binary.LittleEndian.AppendUint32(b, uint32(g.N()))
+	b = binary.LittleEndian.AppendUint32(b, uint32(g.M()))
+	for _, e := range g.Edges {
+		b = binary.LittleEndian.AppendUint32(b, uint32(e.U))
+		b = binary.LittleEndian.AppendUint32(b, uint32(e.V))
+	}
+	b = binary.LittleEndian.AppendUint64(b, s.token)
+	b = binary.LittleEndian.AppendUint32(b, uint32(s.params.MaxFaults))
+	b = append(b, byte(s.spec.Kind))
+	b = binary.LittleEndian.AppendUint32(b, uint32(s.spec.K))
+	b = binary.LittleEndian.AppendUint32(b, uint32(s.spec.Levels))
+	b = binary.LittleEndian.AppendUint32(b, uint32(s.spec.Reps))
+	b = binary.LittleEndian.AppendUint32(b, uint32(s.spec.Buckets))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.spec.Seed))
+	if s.Hierarchy == nil {
+		b = binary.LittleEndian.AppendUint32(b, 0)
+	} else {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Hierarchy.Levels)))
+		for _, level := range s.Hierarchy.Levels {
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(level)))
+			for _, e := range level {
+				b = binary.LittleEndian.AppendUint32(b, uint32(e))
+			}
+		}
+	}
+	for v := range s.vertexLabels {
+		lb := MarshalVertexLabel(s.vertexLabels[v])
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(lb)))
+		b = append(b, lb...)
+	}
+	for e := range s.edgeLabels {
+		lb := MarshalEdgeLabel(s.edgeLabels[e])
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(lb)))
+		b = append(b, lb...)
+	}
+	return b, nil
+}
+
+// snapReader is a bounds-checked little-endian cursor over snapshot bytes.
+type snapReader struct {
+	b []byte
+}
+
+func (r *snapReader) fail(what string) error {
+	return fmt.Errorf("%w: %s", ErrBadSnapshot, what)
+}
+
+func (r *snapReader) u8(what string) (byte, error) {
+	if len(r.b) < 1 {
+		return 0, r.fail("truncated at " + what)
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+
+func (r *snapReader) u32(what string) (uint32, error) {
+	if len(r.b) < 4 {
+		return 0, r.fail("truncated at " + what)
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v, nil
+}
+
+func (r *snapReader) u64(what string) (uint64, error) {
+	if len(r.b) < 8 {
+		return 0, r.fail("truncated at " + what)
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v, nil
+}
+
+func (r *snapReader) bytes(n int, what string) ([]byte, error) {
+	if n < 0 || len(r.b) < n {
+		return nil, r.fail("truncated at " + what)
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v, nil
+}
+
+// count reads a u32 element count and verifies the remaining input can hold
+// at least perItem bytes per element, so a hostile length prefix cannot
+// force a huge allocation before the truncation is noticed.
+func (r *snapReader) count(perItem int, what string) (int, error) {
+	c, err := r.u32(what)
+	if err != nil {
+		return 0, err
+	}
+	if int64(c)*int64(perItem) > int64(len(r.b)) {
+		return 0, r.fail(what + " count exceeds input")
+	}
+	return int(c), nil
+}
+
+// UnmarshalScheme decodes a snapshot produced by MarshalBinary. The loaded
+// scheme answers every query the original did — VertexLabel, EdgeLabel,
+// CompileFaults — without re-running construction, and its per-label
+// marshalings are byte-identical to the original's. The spanning forest is
+// re-derived (deterministically) from the graph; the token fingerprint is
+// recomputed and must match the stored one.
+func UnmarshalScheme(data []byte) (*Scheme, error) {
+	r := &snapReader{b: data}
+	magic, err := r.bytes(len(snapshotMagic), "magic")
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != string(snapshotMagic[:]) {
+		return nil, r.fail("missing snapshot magic")
+	}
+	version, err := r.u8("version")
+	if err != nil {
+		return nil, err
+	}
+	if version != SnapshotVersion {
+		return nil, fmt.Errorf("%w: got version %d, this build speaks %d",
+			ErrSnapshotVersion, version, SnapshotVersion)
+	}
+
+	nU, err := r.u32("vertex count")
+	if err != nil {
+		return nil, err
+	}
+	// Every vertex contributes at least a 4-byte label length prefix later.
+	if int64(nU)*4 > int64(len(r.b)) {
+		return nil, r.fail("vertex count exceeds input")
+	}
+	n := int(nU)
+	m, err := r.count(8, "edge count")
+	if err != nil {
+		return nil, err
+	}
+	g := graph.New(n)
+	for i := 0; i < m; i++ {
+		u, err := r.u32("edge endpoint")
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.u32("edge endpoint")
+		if err != nil {
+			return nil, err
+		}
+		if u >= v {
+			return nil, r.fail("edge endpoints not in canonical u < v order")
+		}
+		if v >= uint32(n) {
+			return nil, r.fail("edge endpoint out of range")
+		}
+		if _, err := g.AddEdge(int(u), int(v)); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+	}
+
+	token, err := r.u64("token")
+	if err != nil {
+		return nil, err
+	}
+	maxFaults, err := r.u32("fault budget")
+	if err != nil {
+		return nil, err
+	}
+	if maxFaults > snapLimit {
+		return nil, r.fail("fault budget implausibly large")
+	}
+	var spec OutSpec
+	kindByte, err := r.u8("scheme kind")
+	if err != nil {
+		return nil, err
+	}
+	spec.Kind = Kind(kindByte)
+	switch spec.Kind {
+	case KindDetNetFind, KindDetGreedy, KindRandRS, KindAGM:
+	default:
+		return nil, r.fail("unknown scheme kind")
+	}
+	fields := []struct {
+		dst  *int
+		name string
+	}{
+		{&spec.K, "threshold"},
+		{&spec.Levels, "level count"},
+		{&spec.Reps, "repetition count"},
+		{&spec.Buckets, "bucket count"},
+	}
+	for _, fld := range fields {
+		v, err := r.u32(fld.name)
+		if err != nil {
+			return nil, err
+		}
+		if v > snapLimit {
+			return nil, r.fail(fld.name + " implausibly large")
+		}
+		*fld.dst = int(v)
+	}
+	seed, err := r.u64("seed")
+	if err != nil {
+		return nil, err
+	}
+	spec.Seed = int64(seed)
+
+	hLevels, err := r.count(4, "hierarchy level count")
+	if err != nil {
+		return nil, err
+	}
+	var h *hierarchy.Hierarchy
+	if spec.Kind == KindAGM {
+		if hLevels != 0 {
+			return nil, r.fail("AGM snapshot carries a hierarchy")
+		}
+	} else {
+		if hLevels != spec.Levels {
+			return nil, r.fail("hierarchy depth disagrees with spec")
+		}
+		h = &hierarchy.Hierarchy{Levels: make([][]int, hLevels)}
+		for lvl := 0; lvl < hLevels; lvl++ {
+			c, err := r.count(4, "hierarchy level size")
+			if err != nil {
+				return nil, err
+			}
+			if c == 0 {
+				continue
+			}
+			level := make([]int, c)
+			prev := -1
+			for i := range level {
+				e, err := r.u32("hierarchy edge index")
+				if err != nil {
+					return nil, err
+				}
+				if int(e) >= m || int(e) <= prev {
+					return nil, r.fail("hierarchy edge indices not ascending in range")
+				}
+				prev = int(e)
+				level[i] = int(e)
+			}
+			h.Levels[lvl] = level
+		}
+	}
+
+	vertexLabels := make([]VertexLabel, n)
+	for v := 0; v < n; v++ {
+		c, err := r.count(1, "vertex label length")
+		if err != nil {
+			return nil, err
+		}
+		raw, err := r.bytes(c, "vertex label")
+		if err != nil {
+			return nil, err
+		}
+		vl, err := UnmarshalVertexLabel(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: vertex %d: %v", ErrBadSnapshot, v, err)
+		}
+		if vl.Token != token {
+			return nil, r.fail("vertex label token disagrees with header")
+		}
+		vertexLabels[v] = vl
+	}
+	edgeLabels := make([]EdgeLabel, m)
+	for e := 0; e < m; e++ {
+		c, err := r.count(1, "edge label length")
+		if err != nil {
+			return nil, err
+		}
+		raw, err := r.bytes(c, "edge label")
+		if err != nil {
+			return nil, err
+		}
+		el, err := UnmarshalEdgeLabel(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: edge %d: %v", ErrBadSnapshot, e, err)
+		}
+		if el.Token != token || el.MaxFaults != int(maxFaults) || el.Spec != spec {
+			return nil, r.fail("edge label header disagrees with snapshot header")
+		}
+		edgeLabels[e] = el
+	}
+	if len(r.b) != 0 {
+		return nil, r.fail("trailing bytes")
+	}
+
+	s := &Scheme{
+		params: Params{
+			MaxFaults: int(maxFaults),
+			Kind:      spec.Kind,
+			Seed:      spec.Seed,
+			AGMReps:   spec.Reps,
+		},
+		token:        token,
+		spec:         spec,
+		n:            n,
+		g:            g,
+		vertexLabels: vertexLabels,
+		edgeLabels:   edgeLabels,
+		Forest:       graph.SpanningForest(g),
+		Hierarchy:    h,
+	}
+	if s.computeToken(g) != token {
+		return nil, r.fail("token fingerprint mismatch (graph and labels disagree)")
+	}
+	return s, nil
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// FuzzUnmarshalScheme feeds arbitrary bytes to the snapshot decoder:
+// corrupted input must produce an error — never a panic or a huge
+// allocation — and any accepted input must be canonical (re-marshaling the
+// loaded scheme reproduces the input bytes exactly).
+func FuzzUnmarshalScheme(f *testing.F) {
+	for _, p := range []Params{
+		{MaxFaults: 1},
+		{MaxFaults: 2, Kind: KindRandRS, Seed: 7},
+		{MaxFaults: 1, Kind: KindAGM, Seed: 7},
+	} {
+		s, err := Build(workload.Petersen(), p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("FTCSNP"))
+	f.Add([]byte("FTCSNP\x01"))
+	f.Add([]byte("FTCSNP\x02"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalScheme(data)
+		if err != nil {
+			return
+		}
+		re, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted snapshot cannot re-marshal: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("non-canonical snapshot accepted")
+		}
+	})
+}

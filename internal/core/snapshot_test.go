@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// snapshotKinds is one small build per scheme kind, shared by the
+// round-trip tests. AGM uses full-support repetitions so connectivity
+// comparisons cannot hit the whp failure mode.
+func snapshotKinds(t *testing.T, g *graph.Graph, f int) map[string]*Scheme {
+	t.Helper()
+	out := map[string]*Scheme{}
+	for name, p := range map[string]Params{
+		"det-netfind": {MaxFaults: f, Kind: KindDetNetFind},
+		"det-greedy":  {MaxFaults: f, Kind: KindDetGreedy},
+		"rand-rs":     {MaxFaults: f, Kind: KindRandRS, Seed: 11},
+		"agm":         {MaxFaults: f, Kind: KindAGM, Seed: 11, AGMReps: 4 * f * 6},
+	} {
+		s, err := Build(g, p)
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		out[name] = s
+	}
+	return out
+}
+
+func TestSnapshotRoundTripAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := workload.ErdosRenyi(60, 0.08, true, rng)
+	const f = 3
+	for name, s := range snapshotKinds(t, g, f) {
+		data, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		loaded, err := UnmarshalScheme(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		// Per-label marshalings must be byte-identical.
+		for v := 0; v < g.N(); v++ {
+			if !bytes.Equal(MarshalVertexLabel(s.VertexLabel(v)), MarshalVertexLabel(loaded.VertexLabel(v))) {
+				t.Fatalf("%s: vertex %d label differs after round trip", name, v)
+			}
+		}
+		for e := 0; e < g.M(); e++ {
+			if !bytes.Equal(MarshalEdgeLabel(s.EdgeLabel(e)), MarshalEdgeLabel(loaded.EdgeLabel(e))) {
+				t.Fatalf("%s: edge %d label differs after round trip", name, e)
+			}
+		}
+		// Snapshot of the loaded scheme must reproduce the original bytes
+		// (the canonical-encoding property the fuzz target also enforces).
+		data2, err := loaded.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: re-marshal: %v", name, err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Fatalf("%s: snapshot is not canonical: re-marshal differs", name)
+		}
+		// Scheme metadata survives.
+		if loaded.Spec() != s.Spec() || loaded.Token() != s.Token() ||
+			loaded.MaxFaults() != s.MaxFaults() || loaded.N() != s.N() {
+			t.Fatalf("%s: scheme metadata differs after round trip", name)
+		}
+		// Connected answers match the original scheme and the BFS oracle.
+		qrng := rand.New(rand.NewSource(17))
+		for q := 0; q < 200; q++ {
+			faults := workload.TreeEdgeFaults(g, s.Forest, 1+qrng.Intn(f), qrng)
+			fl := make([]EdgeLabel, len(faults))
+			for i, e := range faults {
+				fl[i] = loaded.EdgeLabel(e)
+			}
+			sv, tv := qrng.Intn(g.N()), qrng.Intn(g.N())
+			got, err := Connected(loaded.VertexLabel(sv), loaded.VertexLabel(tv), fl)
+			if err != nil {
+				t.Fatalf("%s: query on loaded scheme: %v", name, err)
+			}
+			if want := graph.ConnectedUnder(g, workload.FaultSet(faults), sv, tv); got != want {
+				t.Fatalf("%s: loaded scheme answered %v, oracle says %v", name, got, want)
+			}
+		}
+	}
+}
+
+func TestSnapshotTreeOnlyAndEmptyGraphs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"tree", workload.Caterpillar(6, 2)},
+		{"empty", graph.New(0)},
+		{"isolated", graph.New(5)},
+	} {
+		s, err := Build(tc.g, Params{MaxFaults: 2})
+		if err != nil {
+			t.Fatalf("%s: build: %v", tc.name, err)
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", tc.name, err)
+		}
+		loaded, err := UnmarshalScheme(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", tc.name, err)
+		}
+		if loaded.N() != tc.g.N() || loaded.Graph().M() != tc.g.M() {
+			t.Fatalf("%s: wrong shape after load", tc.name)
+		}
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	g := workload.Petersen()
+	s, err := Build(g, Params{MaxFaults: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := UnmarshalScheme(nil); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("nil input: got %v, want ErrBadSnapshot", err)
+	}
+	if _, err := UnmarshalScheme(data[:len(data)/2]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	if _, err := UnmarshalScheme(append(append([]byte(nil), data...), 0)); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("trailing byte: got %v, want ErrBadSnapshot", err)
+	}
+
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xFF
+	if _, err := UnmarshalScheme(bad); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("bad magic: got %v, want ErrBadSnapshot", err)
+	}
+
+	// A bumped version byte must fail with ErrSnapshotVersion — the
+	// contract that makes silent wire-format drift impossible.
+	bad = append([]byte(nil), data...)
+	bad[len(snapshotMagic)] = SnapshotVersion + 1
+	if _, err := UnmarshalScheme(bad); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("future version: got %v, want ErrSnapshotVersion", err)
+	}
+
+	// Flipping a bit in the token must be caught by the fingerprint check.
+	tokenOff := len(snapshotMagic) + 1 + 4 + 4 + 8*g.M()
+	bad = append([]byte(nil), data...)
+	bad[tokenOff] ^= 1
+	if _, err := UnmarshalScheme(bad); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("token flip: got %v, want ErrBadSnapshot", err)
+	}
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// cacheEntry is one compiled failure event. The FaultSet is compiled at
+// most once per entry (outside the cache lock, via once), so a slow
+// compile of one event never blocks probes of other events, and concurrent
+// first requests for the same event share one compilation.
+type cacheEntry struct {
+	key   uint64
+	canon []int // canonical fault edge indices, for collision detection
+	once  sync.Once
+	fs    *core.FaultSet
+	err   error
+}
+
+// lruCache is a mutex-guarded LRU of compiled fault sets keyed by the
+// canonical fault-label hash. The lock covers only map/list bookkeeping;
+// compilation and probing happen outside it.
+type lruCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used; values are *cacheEntry
+	items  map[uint64]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[uint64]*list.Element, capacity),
+	}
+}
+
+// get returns the entry for key, inserting (and LRU-evicting) as needed.
+// hit reports whether the entry already existed. A nil entry signals a key
+// collision — the cached entry belongs to a different canonical fault set —
+// and the caller must bypass the cache.
+func (c *lruCache) get(key uint64, canon []int) (ent *cacheEntry, hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		if !equalInts(ent.canon, canon) {
+			// Collision bypass: count as a miss so lookups == hits+misses.
+			c.misses++
+			return nil, false
+		}
+		c.ll.MoveToFront(el)
+		c.hits++
+		return ent, true
+	}
+	c.misses++
+	ent = &cacheEntry{key: key, canon: append([]int(nil), canon...)}
+	c.items[key] = c.ll.PushFront(ent)
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	return ent, false
+}
+
+func (c *lruCache) stats() (hits, misses uint64, size, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len(), c.cap
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,51 @@
+package serve
+
+import "testing"
+
+func TestLRUEvictionAndStats(t *testing.T) {
+	c := newLRUCache(2)
+	if _, hit := c.get(1, []int{1}); hit {
+		t.Fatal("fresh key reported as hit")
+	}
+	if _, hit := c.get(1, []int{1}); !hit {
+		t.Fatal("second lookup of same key missed")
+	}
+	c.get(2, []int{2})
+	c.get(1, []int{1}) // touch 1 so 2 becomes the LRU victim
+	c.get(3, []int{3}) // evicts 2
+	if _, hit := c.get(2, []int{2}); hit {
+		t.Fatal("evicted key reported as hit")
+	}
+	if _, hit := c.get(1, []int{1}); hit {
+		// 1 was evicted by re-inserting 2 above; keys 2 and 1 now rotate.
+		t.Fatal("expected 1 to have been evicted after reinserting 2")
+	}
+	hits, misses, size, capacity := c.stats()
+	if capacity != 2 || size != 2 {
+		t.Fatalf("size=%d capacity=%d, want 2/2", size, capacity)
+	}
+	if hits != 2 || misses != 5 {
+		t.Fatalf("hits=%d misses=%d, want 2/5", hits, misses)
+	}
+}
+
+func TestLRUCollisionReturnsNil(t *testing.T) {
+	c := newLRUCache(4)
+	if ent, _ := c.get(7, []int{1, 2}); ent == nil {
+		t.Fatal("insert returned nil entry")
+	}
+	// Same key, different canonical fault set: must refuse to serve the
+	// cached entry.
+	if ent, hit := c.get(7, []int{1, 3}); ent != nil || hit {
+		t.Fatalf("colliding key served cached entry (ent=%v hit=%v)", ent, hit)
+	}
+}
+
+func TestLRUMinimumCapacity(t *testing.T) {
+	c := newLRUCache(0)
+	c.get(1, []int{1})
+	c.get(2, []int{2})
+	if _, _, size, capacity := c.stats(); size != 1 || capacity != 1 {
+		t.Fatalf("size=%d capacity=%d, want 1/1", size, capacity)
+	}
+}

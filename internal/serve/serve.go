@@ -1,0 +1,253 @@
+// Package serve is the probe-serving layer behind cmd/ftcserve: an HTTP
+// handler that answers batched s–t connectivity probes against one loaded
+// scheme, with an LRU of compiled core.FaultSets so that repeated probes of
+// the same failure event hit the zero-alloc steady-state path instead of
+// re-compiling the fault labels per request (the "one failure event, many
+// probes" deployment pattern of §7).
+//
+// The package lives below the commands so the daemon (cmd/ftcserve) and the
+// load generator (cmd/ftcbench serve) share one implementation, and so the
+// cache's concurrency can be exercised directly under -race.
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Scheme is the read-side surface the server needs: label access plus the
+// graph for resolving client-facing edge endpoints to edge indices. Both
+// *ftc.Scheme and *ftc.LoadedScheme satisfy it.
+type Scheme interface {
+	Graph() *graph.Graph
+	MaxFaults() int
+	VertexLabel(v int) core.VertexLabel
+	EdgeLabelByIndex(e int) core.EdgeLabel
+}
+
+// Server serves connectivity probes for one scheme.
+type Server struct {
+	sch   Scheme
+	n, m  int
+	cache *lruCache
+	start time.Time
+
+	probes   atomic.Uint64
+	requests atomic.Uint64
+}
+
+// New returns a server over sch with an LRU holding up to cacheSize
+// compiled fault sets (minimum 1).
+func New(sch Scheme, cacheSize int) *Server {
+	return &Server{
+		sch:   sch,
+		n:     sch.Graph().N(),
+		m:     sch.Graph().M(),
+		cache: newLRUCache(cacheSize),
+		start: time.Now(),
+	}
+}
+
+// FaultSet resolves the given fault edge indices to a compiled FaultSet,
+// serving it from the LRU when the same failure event was compiled before.
+// The cache key is a hash of the canonical (sorted, deduplicated) fault
+// edge indices — for a fixed scheme these determine the fault labels
+// one-to-one, so any client-side ordering or duplication of one failure
+// event maps to one entry, and a cache hit touches no labels at all. The
+// hit flag reports whether the cache already held the compiled set.
+func (s *Server) FaultSet(faultEdges []int) (*core.FaultSet, bool, error) {
+	canon := append([]int(nil), faultEdges...)
+	sort.Ints(canon)
+	canon = dedupeSorted(canon)
+	// Validate before touching the cache: invalid events must not insert
+	// permanently-erroring entries that evict compiled valid fault sets.
+	for _, e := range canon {
+		if e < 0 || e >= s.m {
+			return nil, false, fmt.Errorf("fault edge index %d out of range (m=%d)", e, s.m)
+		}
+	}
+	// Distinct edges are distinct faults in every scheme kind, so the
+	// budget check is exact here and CompileFaults would reject too.
+	if budget := s.sch.MaxFaults(); len(canon) > budget {
+		return nil, false, fmt.Errorf("%w: %d faults, budget %d", core.ErrTooManyFaults, len(canon), budget)
+	}
+	var buf [8]byte
+	h := fnv.New64a()
+	for _, e := range canon {
+		binary.LittleEndian.PutUint64(buf[:], uint64(e))
+		h.Write(buf[:])
+	}
+	compile := func() (*core.FaultSet, error) {
+		labels := make([]core.EdgeLabel, len(canon))
+		for i, e := range canon {
+			labels[i] = s.sch.EdgeLabelByIndex(e)
+		}
+		return core.CompileFaults(labels)
+	}
+	ent, hit := s.cache.get(h.Sum64(), canon)
+	if ent == nil {
+		// Key collision with a different fault set: serve correctness over
+		// caching and compile a one-off set.
+		fs, err := compile()
+		return fs, false, err
+	}
+	ent.once.Do(func() {
+		ent.fs, ent.err = compile()
+	})
+	return ent.fs, hit, ent.err
+}
+
+func dedupeSorted(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ConnectedRequest is the wire form of a POST /connected batch probe: one
+// failure event (edges by [u,v] endpoint pair and/or by edge index), many
+// s–t vertex pairs.
+type ConnectedRequest struct {
+	Faults     [][2]int `json:"faults,omitempty"`
+	FaultEdges []int    `json:"fault_edges,omitempty"`
+	Pairs      [][2]int `json:"pairs"`
+}
+
+// ConnectedResponse answers a batch probe.
+type ConnectedResponse struct {
+	Connected []bool `json:"connected"`
+	Faults    int    `json:"faults"`
+	CacheHit  bool   `json:"cache_hit"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxRequestBytes bounds a /connected request body.
+const maxRequestBytes = 1 << 20
+
+// Handler returns the HTTP surface of the server:
+//
+//	POST /connected — batch probe (ConnectedRequest → ConnectedResponse)
+//	GET  /healthz   — liveness plus scheme shape
+//	GET  /stats     — serving and cache counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /connected", s.handleConnected)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req ConnectedRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	edges := append([]int(nil), req.FaultEdges...)
+	g := s.sch.Graph()
+	for _, uv := range req.Faults {
+		e := -1
+		if uv[0] >= 0 && uv[0] < s.n && uv[1] >= 0 && uv[1] < s.n {
+			e = g.EdgeIndex(uv[0], uv[1])
+		}
+		if e < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("no edge (%d,%d)", uv[0], uv[1])})
+			return
+		}
+		edges = append(edges, e)
+	}
+	for _, p := range req.Pairs {
+		if p[0] < 0 || p[0] >= s.n || p[1] < 0 || p[1] >= s.n {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("vertex pair (%d,%d) out of range (n=%d)", p[0], p[1], s.n)})
+			return
+		}
+	}
+	fs, hit, err := s.FaultSet(edges)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, core.ErrDecode) {
+			// AGM whp decode failure: a server-side limitation of the
+			// scheme, not a client error.
+			status = http.StatusInternalServerError
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	out := make([]bool, len(req.Pairs))
+	for i, p := range req.Pairs {
+		ok, err := fs.Connected(s.sch.VertexLabel(p[0]), s.sch.VertexLabel(p[1]))
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("pair %d: %v", i, err)})
+			return
+		}
+		out[i] = ok
+	}
+	s.probes.Add(uint64(len(req.Pairs)))
+	writeJSON(w, http.StatusOK, ConnectedResponse{Connected: out, Faults: fs.Faults(), CacheHit: hit})
+}
+
+// Healthz is the GET /healthz payload.
+type Healthz struct {
+	Status    string `json:"status"`
+	N         int    `json:"n"`
+	M         int    `json:"m"`
+	MaxFaults int    `json:"max_faults"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, Healthz{Status: "ok", N: s.n, M: s.m, MaxFaults: s.sch.MaxFaults()})
+}
+
+// Stats is the GET /stats payload.
+type Stats struct {
+	Requests      uint64  `json:"requests"`
+	Probes        uint64  `json:"probes"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheSize     int     `json:"cache_size"`
+	CacheCapacity int     `json:"cache_capacity"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() Stats {
+	hits, misses, size, capacity := s.cache.stats()
+	return Stats{
+		Requests:      s.requests.Load(),
+		Probes:        s.probes.Load(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheSize:     size,
+		CacheCapacity: capacity,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestPowerLawClusterConnectedAndSimple(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := PowerLawCluster(300, 3, 0.5, rng)
+	if g.N() != 300 {
+		t.Fatalf("n=%d, want 300", g.N())
+	}
+	if g.M() < 299 {
+		t.Fatalf("m=%d, too sparse to be connected", g.M())
+	}
+	if !graph.ConnectedUnder(g, nil, 0, g.N()-1) {
+		t.Fatal("graph not connected")
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) == 0 {
+			t.Fatalf("isolated vertex %d", v)
+		}
+	}
+}
+
+func TestPowerLawClusterDegreeSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := PowerLawCluster(500, 2, 0.4, rng)
+	maxDeg := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := 2 * float64(g.M()) / float64(g.N())
+	// Preferential attachment produces hubs far above the mean degree; a
+	// homogeneous random graph of this density would not.
+	if float64(maxDeg) < 4*avg {
+		t.Fatalf("no hubs: max degree %d vs average %.1f", maxDeg, avg)
+	}
+}
+
+func TestPowerLawClusterHasTriangles(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := PowerLawCluster(200, 3, 0.8, rng)
+	triangles := 0
+	for _, e := range g.Edges {
+		for _, h := range g.Adj(e.U) {
+			if h.To != e.V && g.HasEdge(h.To, e.V) {
+				triangles++
+			}
+		}
+	}
+	// The triad steps must actually close triangles (p=0.8 here); this
+	// distinguishes the family from plain PreferentialAttachment.
+	if triangles < g.N()/2 {
+		t.Fatalf("only %d triangle wedges in a p=0.8 clustered graph", triangles)
+	}
+}
+
+func TestPowerLawClusterDeterministicAndEdgeCases(t *testing.T) {
+	a := PowerLawCluster(100, 2, 0.3, rand.New(rand.NewSource(7)))
+	b := PowerLawCluster(100, 2, 0.3, rand.New(rand.NewSource(7)))
+	if a.M() != b.M() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.M(), b.M())
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("same seed, different edge %d", i)
+		}
+	}
+	if g := PowerLawCluster(0, 3, 0.5, rand.New(rand.NewSource(1))); g.N() != 0 || g.M() != 0 {
+		t.Fatal("n=0 should be empty")
+	}
+	if g := PowerLawCluster(1, 3, 0.5, rand.New(rand.NewSource(1))); g.N() != 1 || g.M() != 0 {
+		t.Fatal("n=1 should be a single vertex")
+	}
+	if g := PowerLawCluster(50, 0, 0.5, rand.New(rand.NewSource(1))); g.M() < 49 {
+		t.Fatal("k clamps to 1; the graph must stay connected")
+	}
+}

@@ -1,0 +1,184 @@
+package ftc
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden snapshot fixture under testdata/")
+
+// persistTestEdges is a fixed 12-vertex graph (a Petersen graph plus a
+// pendant path) used by the round-trip and golden tests: it has tree edges,
+// non-tree edges, and a degree-1 tail, and the deterministic construction
+// over it is reproducible bit-for-bit.
+var persistTestEdges = [][2]int{
+	{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, // outer pentagon
+	{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5}, // inner pentagram
+	{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}, // spokes
+	{9, 10}, {10, 11}, // pendant path
+}
+
+func persistSchemes(t *testing.T, f int) map[string]*Scheme {
+	t.Helper()
+	out := map[string]*Scheme{}
+	for name, opts := range map[string][]Option{
+		"det-netfind": {WithMaxFaults(f), WithDeterministic()},
+		"det-greedy":  {WithMaxFaults(f), WithGreedyNet()},
+		"rand-rs":     {WithMaxFaults(f), WithRandomized(23)},
+		"agm":         {WithMaxFaults(f), WithAGM(23), WithAGMReps(4 * f * 6)},
+	} {
+		s, err := New(12, persistTestEdges, opts...)
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		out[name] = s
+	}
+	return out
+}
+
+// TestSaveLoadRoundTripAllKinds is the acceptance gate for the snapshot
+// subsystem: for every scheme kind, Save→Load must yield byte-identical
+// per-label marshalings and identical Connected answers.
+func TestSaveLoadRoundTripAllKinds(t *testing.T) {
+	const f = 3
+	for name, s := range persistSchemes(t, f) {
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		loaded, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if loaded.N() != s.N() || loaded.M() != s.M() || loaded.MaxFaults() != s.MaxFaults() {
+			t.Fatalf("%s: scheme shape differs after load", name)
+		}
+		if loaded.Stats() != s.Stats() {
+			t.Fatalf("%s: stats differ after load: %+v vs %+v", name, loaded.Stats(), s.Stats())
+		}
+		for v := 0; v < s.N(); v++ {
+			if !bytes.Equal(MarshalVertexLabel(s.VertexLabel(v)), MarshalVertexLabel(loaded.VertexLabel(v))) {
+				t.Fatalf("%s: vertex %d marshaling differs", name, v)
+			}
+		}
+		for e := 0; e < s.M(); e++ {
+			if !bytes.Equal(MarshalEdgeLabel(s.EdgeLabelByIndex(e)), MarshalEdgeLabel(loaded.EdgeLabelByIndex(e))) {
+				t.Fatalf("%s: edge %d marshaling differs", name, e)
+			}
+		}
+		// FaultSets compiled from loaded labels answer like the original
+		// scheme's and like the BFS oracle.
+		g := s.Graph()
+		rng := rand.New(rand.NewSource(5))
+		for trial := 0; trial < 100; trial++ {
+			var faults []int
+			for len(faults) < 1+rng.Intn(f) {
+				faults = append(faults, rng.Intn(s.M()))
+			}
+			fl := make([]EdgeLabel, len(faults))
+			for i, e := range faults {
+				fl[i] = loaded.EdgeLabelByIndex(e)
+			}
+			fs, err := NewFaultSet(fl)
+			if err != nil {
+				t.Fatalf("%s: NewFaultSet over loaded labels: %v", name, err)
+			}
+			set := map[int]bool{}
+			for _, e := range faults {
+				set[e] = true
+			}
+			for q := 0; q < 10; q++ {
+				sv, tv := rng.Intn(s.N()), rng.Intn(s.N())
+				got, err := fs.Connected(loaded.VertexLabel(sv), loaded.VertexLabel(tv))
+				if err != nil {
+					t.Fatalf("%s: probe: %v", name, err)
+				}
+				orig, err := Connected(s.VertexLabel(sv), s.VertexLabel(tv), fl)
+				if err != nil {
+					t.Fatalf("%s: original probe: %v", name, err)
+				}
+				if want := graph.ConnectedUnder(g, set, sv, tv); got != want || orig != want {
+					t.Fatalf("%s: probe (%d,%d|%v): loaded=%v original=%v oracle=%v",
+						name, sv, tv, faults, got, orig, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot"))); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("got %v, want ErrBadSnapshot", err)
+	}
+}
+
+// goldenPath is the checked-in version-1 snapshot fixture. The test
+// guarantees that any change to the wire format either keeps old snapshots
+// loadable or bumps core.SnapshotVersion (making old readers fail loudly) —
+// it can never silently re-interpret old bytes.
+const goldenPath = "testdata/golden_v1.ftcsnap"
+
+func goldenScheme(t *testing.T) *Scheme {
+	t.Helper()
+	s, err := New(12, persistTestEdges, WithMaxFaults(2), WithDeterministic())
+	if err != nil {
+		t.Fatalf("golden build: %v", err)
+	}
+	return s
+}
+
+func TestGoldenSnapshotCompatibility(t *testing.T) {
+	if *updateGolden {
+		s := goldenScheme(t)
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, buf.Len())
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with `go test -run TestGolden -update .`): %v", err)
+	}
+	if got := data[6]; got != core.SnapshotVersion {
+		t.Fatalf("golden fixture carries version %d, build writes %d — check in a new fixture for the new version and keep this one loadable or rejected via ErrSnapshotVersion", got, core.SnapshotVersion)
+	}
+	loaded, err := Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("golden snapshot no longer loads — the wire format changed without bumping core.SnapshotVersion: %v", err)
+	}
+	// The deterministic construction is reproducible, so the fixture must
+	// decode to exactly what a fresh build produces today.
+	s := goldenScheme(t)
+	for v := 0; v < s.N(); v++ {
+		if !bytes.Equal(MarshalVertexLabel(s.VertexLabel(v)), MarshalVertexLabel(loaded.VertexLabel(v))) {
+			t.Fatalf("golden vertex %d label differs from fresh build", v)
+		}
+	}
+	for e := 0; e < s.M(); e++ {
+		if !bytes.Equal(MarshalEdgeLabel(s.EdgeLabelByIndex(e)), MarshalEdgeLabel(loaded.EdgeLabelByIndex(e))) {
+			t.Fatalf("golden edge %d label differs from fresh build", e)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("fresh snapshot differs from golden fixture bytes — wire format drifted; bump core.SnapshotVersion and regenerate")
+	}
+}
