@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench bench-build bench-query bench-serve fuzz clean
+.PHONY: build test vet bench bench-build bench-query bench-serve bench-update fuzz clean
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,11 @@ bench-query:
 # BENCH_serve.json (E16).
 bench-serve:
 	$(GO) run ./cmd/ftcbench serve -json
+
+# Dynamic-network update path (incremental Commit vs full rebuild, plus the
+# served POST /update smoke) + BENCH_update.json (E17).
+bench-update:
+	$(GO) run ./cmd/ftcbench update -json
 
 # Short fuzz runs of the label and snapshot codecs (the CI smoke; drop the
 # -fuzztime to explore for real).

@@ -15,6 +15,8 @@
 //	ftcbench build      — E14: construction hot-path grid (kind × n × f)
 //	ftcbench serve      — E16: HTTP serving path (snapshot load + ftcserve
 //	                      handler + fault-set LRU, cold vs warm)
+//	ftcbench update     — E17: dynamic network updates (incremental commit
+//	                      vs full rebuild, plus the /update HTTP path)
 //	ftcbench all        — everything above
 //
 // The -json flag makes the build section additionally write BENCH_build.json
@@ -75,9 +77,10 @@ func main() {
 		"ablation":  ablation,
 		"build":     buildGrid,
 		"serve":     serveBench,
+		"update":    updateBench,
 	}
 	if which == "all" {
-		for _, name := range []string{"table1", "labelsize", "query", "construct", "support", "distance", "routing", "congest", "hierarchy", "ablation", "build", "serve"} {
+		for _, name := range []string{"table1", "labelsize", "query", "construct", "support", "distance", "routing", "congest", "hierarchy", "ablation", "build", "serve", "update"} {
 			sections[name]()
 			fmt.Println()
 		}
@@ -85,7 +88,7 @@ func main() {
 	}
 	fn, ok := sections[which]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "usage: ftcbench [-json] [table1|labelsize|query|construct|support|distance|routing|congest|hierarchy|build|serve|all]\n")
+		fmt.Fprintf(os.Stderr, "usage: ftcbench [-json] [table1|labelsize|query|construct|support|distance|routing|congest|hierarchy|build|serve|update|all]\n")
 		os.Exit(2)
 	}
 	fn()
@@ -1023,6 +1026,238 @@ func serveBench() {
 		os.Exit(1)
 	}
 	fmt.Println("   wrote BENCH_serve.json")
+}
+
+// ----------------------------------------------------------------- update
+
+// updateRecord is one cell of the dynamic-update grid (E17): the cost of
+// maintaining the labeling under topology churn, against the cost of
+// rebuilding the world.
+type updateRecord struct {
+	Scheme        string  `json:"scheme"`
+	N             int     `json:"n"`
+	M             int     `json:"m"`
+	F             int     `json:"f"`
+	RebuildNs     int64   `json:"full_rebuild_ns"`
+	AddCommitNs   int64   `json:"incremental_add_commit_ns"`
+	RemCommitNs   int64   `json:"incremental_remove_commit_ns"`
+	Batch8Ns      int64   `json:"incremental_batch8_commit_ns"`
+	RelabeledAvg  float64 `json:"relabeled_edges_avg"`
+	Speedup       float64 `json:"speedup_add_vs_rebuild"`
+	HTTPUpdateNs  int64   `json:"http_update_ns,omitempty"`
+	HTTPRebasedOK bool    `json:"http_cache_rebased,omitempty"`
+}
+
+// addableEdges returns up to want absent same-component edges with
+// distinct attach vertices (so per-vertex headroom is not the bottleneck).
+func addableEdges(sch *ftc.Scheme, want int, rng *rand.Rand) [][2]int {
+	g := sch.Graph()
+	forest := sch.Inner().Forest
+	used := map[int]bool{}
+	var out [][2]int
+	for try := 0; try < 50000 && len(out) < want; try++ {
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		if u > v {
+			u, v = v, u
+		}
+		if u == v || g.HasEdge(u, v) || forest.Comp[u] != forest.Comp[v] || used[u] {
+			continue
+		}
+		used[u] = true
+		out = append(out, [2]int{u, v})
+	}
+	return out
+}
+
+// updateBench measures the dynamic-network update path (E17): per-kind and
+// per-size, the latency of a single-edge incremental commit (insert and
+// delete) and of an 8-edge batch, against a full rebuild of the same
+// graph; then a smoke pass over the served POST /update path. With -json
+// it writes BENCH_update.json. The acceptance bar tracked PR over PR:
+// single-edge incremental commit ≥ 10× faster than full rebuild at
+// n=1024, f=3 for det-netfind.
+func updateBench() {
+	const f = 3
+	fmt.Println("E17 — dynamic updates: incremental commit vs full rebuild (seeded graphs p=8/n)")
+	fmt.Printf("   %-12s %6s %6s %3s %12s %12s %12s %12s %9s %9s\n",
+		"scheme", "n", "m", "f", "rebuild", "add-commit", "rem-commit", "batch8", "dirty", "speedup")
+	kinds := []struct {
+		name string
+		opts []ftc.Option
+	}{
+		{"det-netfind", []ftc.Option{ftc.WithDeterministic()}},
+		{"rand-rs", []ftc.Option{ftc.WithRandomized(17)}},
+		{"agm", []ftc.Option{ftc.WithAGM(17)}},
+	}
+	var records []updateRecord
+	for _, kr := range kinds {
+		for _, n := range []int{256, 1024, 4096} {
+			rng := rand.New(rand.NewSource(int64(n)))
+			g := workload.ErdosRenyi(n, 8/float64(n), true, rng)
+			edges := make([][2]int, g.M())
+			for i, e := range g.Edges {
+				edges[i] = [2]int{e.U, e.V}
+			}
+			opts := append([]ftc.Option{ftc.WithMaxFaults(f), ftc.WithHeadroom(64)}, kr.opts...)
+
+			// Full rebuild cost: the best of a few from-scratch builds.
+			reps := 3
+			if n >= 4096 {
+				reps = 1
+			}
+			var rebuild time.Duration
+			for r := 0; r < reps; r++ {
+				t0 := time.Now()
+				if _, err := ftc.New(n, edges, opts...); err != nil {
+					fmt.Fprintf(os.Stderr, "ftcbench: update build %s n=%d: %v\n", kr.name, n, err)
+					os.Exit(1)
+				}
+				if d := time.Since(t0); r == 0 || d < rebuild {
+					rebuild = d
+				}
+			}
+
+			nw, err := ftc.Open(n, edges, opts...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ftcbench: update open %s n=%d: %v\n", kr.name, n, err)
+				os.Exit(1)
+			}
+			commit := func(add, rem [][2]int) (time.Duration, *ftc.CommitReport) {
+				t0 := time.Now()
+				rep, err := nw.CommitBatch(add, rem)
+				d := time.Since(t0)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ftcbench: update commit: %v\n", err)
+					os.Exit(1)
+				}
+				if !rep.Incremental {
+					fmt.Fprintf(os.Stderr, "ftcbench: commit fell back to rebuild (%s) — grid assumes the incremental path\n", rep.Reason)
+					os.Exit(1)
+				}
+				return d, rep
+			}
+			// Measure single-edge insert commits (median of 5), then delete
+			// the same edges back (median of 5), then one 8-edge batch.
+			cand := addableEdges(nw.Snapshot(), 13, rng)
+			if len(cand) < 13 {
+				fmt.Fprintf(os.Stderr, "ftcbench: update: only %d candidate edges at n=%d\n", len(cand), n)
+				os.Exit(1)
+			}
+			var addDur, remDur []time.Duration
+			var dirty int
+			for i := 0; i < 5; i++ {
+				d, rep := commit([][2]int{cand[i]}, nil)
+				addDur = append(addDur, d)
+				dirty += len(rep.Relabeled)
+			}
+			for i := 0; i < 5; i++ {
+				d, _ := commit(nil, [][2]int{cand[i]})
+				remDur = append(remDur, d)
+			}
+			batch8, _ := commit(cand[5:13], nil)
+
+			rec := updateRecord{
+				Scheme:       kr.name,
+				N:            n,
+				M:            g.M(),
+				F:            f,
+				RebuildNs:    rebuild.Nanoseconds(),
+				AddCommitNs:  median(addDur).Nanoseconds(),
+				RemCommitNs:  median(remDur).Nanoseconds(),
+				Batch8Ns:     batch8.Nanoseconds(),
+				RelabeledAvg: float64(dirty) / 5,
+			}
+			rec.Speedup = float64(rec.RebuildNs) / float64(rec.AddCommitNs)
+
+			// Serve-path smoke at n=1024: one warm probe, one /update over
+			// HTTP (generation bump + selective cache sweep), one probe of
+			// the rebased cache entry.
+			if n == 1024 {
+				srv := serve.NewDynamic(func() serve.Scheme { return nw.Snapshot() }, nw, 16)
+				ts := httptest.NewServer(srv.Handler())
+				probeBody, _ := json.Marshal(serve.ConnectedRequest{
+					FaultEdges: []int{0, 1},
+					Pairs:      [][2]int{{0, 1}, {2, 3}},
+				})
+				postOK := func(path string, body []byte) []byte {
+					resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "ftcbench: update smoke %s: %v\n", path, err)
+						os.Exit(1)
+					}
+					data, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						fmt.Fprintf(os.Stderr, "ftcbench: update smoke %s: status %d: %s\n", path, resp.StatusCode, data)
+						os.Exit(1)
+					}
+					return data
+				}
+				postOK("/connected", probeBody)
+				extra := addableEdges(nw.Snapshot(), 1, rng)
+				upBody, _ := json.Marshal(serve.UpdateRequest{Add: extra})
+				t0 := time.Now()
+				raw := postOK("/update", upBody)
+				rec.HTTPUpdateNs = time.Since(t0).Nanoseconds()
+				var up serve.UpdateResponse
+				if err := json.Unmarshal(raw, &up); err != nil {
+					fmt.Fprintf(os.Stderr, "ftcbench: update smoke: %v\n", err)
+					os.Exit(1)
+				}
+				rec.HTTPRebasedOK = up.CacheRebased > 0
+				postOK("/connected", probeBody)
+				ts.Close()
+			}
+
+			records = append(records, rec)
+			fmt.Printf("   %-12s %6d %6d %3d %12s %12s %12s %12s %9.1f %8.0fx\n",
+				rec.Scheme, rec.N, rec.M, rec.F,
+				round(time.Duration(rec.RebuildNs)), round(time.Duration(rec.AddCommitNs)),
+				round(time.Duration(rec.RemCommitNs)), round(time.Duration(rec.Batch8Ns)),
+				rec.RelabeledAvg, rec.Speedup)
+		}
+	}
+	fmt.Println("   (rebuild = full from-scratch construction of the same graph; add/rem-commit =")
+	fmt.Println("    one-edge incremental Commit incl. COW publish; dirty = labels rewritten per commit)")
+	if !jsonOut {
+		return
+	}
+	doc := struct {
+		Benchmark string         `json:"benchmark"`
+		Note      string         `json:"note"`
+		Results   []updateRecord `json:"results"`
+	}{
+		Benchmark: "ftc.Network.Commit",
+		Note: "full_rebuild_ns is a from-scratch ftc.New of the mutated graph (what serving a " +
+			"topology change cost before the dynamic-network API); incremental_*_commit_ns is " +
+			"ftc.Network.Commit on the incremental path, including the copy-on-write publish of " +
+			"the new generation. http_update_ns is the served POST /update path (commit + " +
+			"selective fault-set cache sweep). Acceptance bar: speedup_add_vs_rebuild ≥ 10 at " +
+			"n=1024 f=3 det-netfind. Regenerated by `ftcbench update -json`. Wall times on " +
+			"shared hardware are noisy — compare like-for-like runs.",
+		Results: records,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: marshal BENCH_update.json: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile("BENCH_update.json", data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: write BENCH_update.json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("   wrote BENCH_update.json")
+}
+
+func median(ds []time.Duration) time.Duration {
+	sorted := append([]time.Duration(nil), ds...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2]
 }
 
 // ------------------------------------------------------------------ util

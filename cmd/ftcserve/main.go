@@ -5,29 +5,48 @@
 //
 //	ftcserve -snapshot scheme.ftcsnap [-addr :8337] [-cache 256]
 //	ftcserve -graph g.txt [-f 3] [-scheme det|greedy|rand|agm] [-seed 1] [-save scheme.ftcsnap]
+//	ftcserve -graph g.txt -dynamic [-headroom 8]
 //
 // Endpoints:
 //
 //	POST /connected  {"faults":[[2,3]], "fault_edges":[7], "pairs":[[0,5],[1,4]]}
-//	                 → {"connected":[true,false], "faults":2, "cache_hit":false}
-//	GET  /healthz    liveness and scheme shape
+//	                 → {"connected":[true,false], "faults":2, "cache_hit":false, "generation":1}
+//	POST /update     {"add":[[0,9]], "remove":[[2,3]]}   (-dynamic only)
+//	                 → {"generation":2, "incremental":true, "relabeled":5, ...}
+//	GET  /healthz    liveness, scheme shape, and generation
 //	GET  /stats      serving and cache counters
 //
 // Faults may be given as [u,v] endpoint pairs or as edge indices (the
 // insertion order of the graph); both forms of the same failure event share
-// one cache entry. The "one build, many decoders" pattern is: build once,
-// -save the snapshot, then start any number of ftcserve replicas from it.
+// one cache entry. On a dynamic server edge indices are generation-scoped
+// (an update that removes an edge shifts higher indices down); clients
+// holding indices across updates should pin them by adding
+// "generation": <g> to the probe, which is rejected with 409 when stale.
+// With -dynamic the daemon serves a mutable ftc.Network:
+// each /update batch commits a new generation — incrementally relabeling
+// only what the batch dirties when it can — and evicts only the cached
+// fault sets that contain a relabeled edge. The "one build, many decoders"
+// pattern is: build once, -save the snapshot, then start any number of
+// ftcserve replicas from it.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes
+// immediately and in-flight batch probes drain for up to 10 seconds.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	ftc "repro"
+	"repro/internal/graph"
 	"repro/internal/graphio"
 	"repro/internal/serve"
 )
@@ -41,48 +60,89 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for randomized schemes (with -graph)")
 	savePath := flag.String("save", "", "write the built scheme's snapshot here (with -graph)")
 	cacheSize := flag.Int("cache", 256, "compiled fault-set LRU capacity")
+	dynamic := flag.Bool("dynamic", false, "serve a mutable network with POST /update (with -graph)")
+	headroom := flag.Int("headroom", 0, "per-vertex incremental insertion headroom (with -dynamic; 0 = default)")
 	flag.Parse()
 
-	sch, err := openScheme(*snapshot, *graphPath, *f, *schemeKind, *seed, *savePath)
+	srv, err := openServer(*snapshot, *graphPath, *f, *schemeKind, *seed, *savePath, *cacheSize, *dynamic, *headroom)
 	if err != nil {
 		log.Fatalf("ftcserve: %v", err)
 	}
-	st := sch.Stats()
-	g := sch.Graph()
-	log.Printf("serving %s scheme: n=%d m=%d f=%d (max edge label %d bits) on %s",
-		st.Kind, g.N(), g.M(), sch.MaxFaults(), st.MaxEdgeLabelBits, *addr)
 
-	srv := &http.Server{
+	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.New(sch, *cacheSize).Handler(),
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Fatal(srv.ListenAndServe())
+	log.Printf("listening on %s", *addr)
+
+	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, drain in-flight
+	// batch probes, then exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("ftcserve: %v", err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down: draining in-flight requests")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("ftcserve: forced shutdown: %v", err)
+			_ = httpSrv.Close()
+		}
+	}
+	log.Printf("bye")
 }
 
-// schemeHandle is what the daemon needs from either a built or a loaded
-// scheme: the serving surface plus size accounting for the startup banner.
-type schemeHandle interface {
-	serve.Scheme
-	Stats() ftc.Stats
+func schemeOptions(f int, kind string, seed int64, headroom int) ([]ftc.Option, error) {
+	opts := []ftc.Option{ftc.WithMaxFaults(f)}
+	switch kind {
+	case "det":
+		opts = append(opts, ftc.WithDeterministic())
+	case "greedy":
+		opts = append(opts, ftc.WithGreedyNet())
+	case "rand":
+		opts = append(opts, ftc.WithRandomized(seed))
+	case "agm":
+		opts = append(opts, ftc.WithAGM(seed))
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", kind)
+	}
+	if headroom > 0 {
+		opts = append(opts, ftc.WithHeadroom(headroom))
+	}
+	return opts, nil
 }
 
-func openScheme(snapshot, graphPath string, f int, kind string, seed int64, savePath string) (schemeHandle, error) {
+func openServer(snapshot, graphPath string, f int, kind string, seed int64, savePath string, cacheSize int, dynamic bool, headroom int) (*serve.Server, error) {
 	switch {
 	case snapshot != "" && graphPath != "":
 		return nil, fmt.Errorf("-snapshot and -graph are mutually exclusive")
 	case snapshot != "" && savePath != "":
 		return nil, fmt.Errorf("-save only applies when building from -graph")
+	case dynamic && graphPath == "":
+		return nil, fmt.Errorf("-dynamic requires -graph (a snapshot is a frozen generation)")
 	case snapshot != "":
 		in, err := os.Open(snapshot)
 		if err != nil {
 			return nil, err
 		}
 		defer in.Close()
-		return ftc.Load(in)
+		sch, err := ftc.Load(in)
+		if err != nil {
+			return nil, err
+		}
+		banner(sch.Stats(), sch.Graph(), sch.MaxFaults(), false)
+		return serve.New(sch, cacheSize), nil
 	case graphPath != "":
 		in, err := os.Open(graphPath)
 		if err != nil {
@@ -93,39 +153,60 @@ func openScheme(snapshot, graphPath string, f int, kind string, seed int64, save
 		if err != nil {
 			return nil, err
 		}
-		opts := []ftc.Option{ftc.WithMaxFaults(f)}
-		switch kind {
-		case "det":
-			opts = append(opts, ftc.WithDeterministic())
-		case "greedy":
-			opts = append(opts, ftc.WithGreedyNet())
-		case "rand":
-			opts = append(opts, ftc.WithRandomized(seed))
-		case "agm":
-			opts = append(opts, ftc.WithAGM(seed))
-		default:
-			return nil, fmt.Errorf("unknown scheme %q", kind)
+		opts, err := schemeOptions(f, kind, seed, headroom)
+		if err != nil {
+			return nil, err
+		}
+		if dynamic {
+			nw, err := ftc.OpenFromGraph(g, opts...)
+			if err != nil {
+				return nil, err
+			}
+			if savePath != "" {
+				if err := saveSnapshot(nw.Snapshot(), savePath); err != nil {
+					return nil, err
+				}
+			}
+			banner(nw.Stats(), nw.Graph(), nw.MaxFaults(), true)
+			return serve.NewDynamic(func() serve.Scheme { return nw.Snapshot() }, nw, cacheSize), nil
 		}
 		sch, err := ftc.NewFromGraph(g, opts...)
 		if err != nil {
 			return nil, err
 		}
 		if savePath != "" {
-			out, err := os.Create(savePath)
-			if err != nil {
+			if err := saveSnapshot(sch, savePath); err != nil {
 				return nil, err
 			}
-			if err := sch.Save(out); err != nil {
-				out.Close()
-				return nil, err
-			}
-			if err := out.Close(); err != nil {
-				return nil, err
-			}
-			log.Printf("saved snapshot to %s", savePath)
 		}
-		return sch, nil
+		banner(sch.Stats(), sch.Graph(), sch.MaxFaults(), false)
+		return serve.New(sch, cacheSize), nil
 	default:
 		return nil, fmt.Errorf("one of -snapshot or -graph is required")
 	}
+}
+
+func saveSnapshot(sch *ftc.Scheme, path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sch.Save(out); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	log.Printf("saved snapshot to %s", path)
+	return nil
+}
+
+func banner(st ftc.Stats, g *graph.Graph, f int, dynamic bool) {
+	mode := "static"
+	if dynamic {
+		mode = "dynamic"
+	}
+	log.Printf("serving %s %s scheme: n=%d m=%d f=%d (max edge label %d bits)",
+		mode, st.Kind, g.N(), g.M(), f, st.MaxEdgeLabelBits)
 }

@@ -71,6 +71,11 @@ var (
 	// ErrLabelMismatch: labels from different graphs/constructions mixed
 	// in one query.
 	ErrLabelMismatch = core.ErrLabelMismatch
+	// ErrStaleLabel: labels from different generations of one dynamic
+	// Network mixed in one query — the topology changed under the older
+	// label, so the decoder fails fast instead of answering against a
+	// graph that no longer exists. Wraps ErrLabelMismatch.
+	ErrStaleLabel = core.ErrStaleLabel
 	// ErrTooManyFaults: more (distinct) faults than the construction's
 	// budget f.
 	ErrTooManyFaults = core.ErrTooManyFaults
@@ -150,6 +155,14 @@ func WithStrictTheoryThreshold() Option {
 	return WithThreshold(hierarchy.StrictTheoryThreshold)
 }
 
+// WithHeadroom sets how many incrementally-inserted edges a dynamic
+// Network can attach at any one vertex before a commit falls back to a
+// full rebuild (default core.DefaultAuxSlack). Only meaningful with Open;
+// schemes built by New always use dense numbering.
+func WithHeadroom(slots int) Option {
+	return func(o *options) { o.params.AuxSlack = slots }
+}
+
 // New builds an f-FTC labeling scheme for the undirected simple graph on n
 // vertices with the given edges. The graph may be disconnected; self-loops
 // and duplicate edges are rejected.
@@ -171,6 +184,10 @@ func NewFromGraph(g *graph.Graph, opts ...Option) (*Scheme, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	// Static schemes always use dense numbering: WithHeadroom only applies
+	// to Open, and a stray headroom option must not silently change the
+	// labeling (and its token) of a one-shot build.
+	o.params.AuxSlack = 0
 	inner, err := core.Build(g, o.params)
 	if err != nil {
 		return nil, fmt.Errorf("ftc: %w", err)
@@ -186,6 +203,10 @@ func (s *Scheme) M() int { return s.g.M() }
 
 // MaxFaults returns the fault budget f.
 func (s *Scheme) MaxFaults() int { return s.inner.MaxFaults() }
+
+// Generation returns the scheme's generation stamp: 0 for schemes built by
+// New, and the committed generation for snapshots of a dynamic Network.
+func (s *Scheme) Generation() uint64 { return s.inner.Generation() }
 
 // VertexLabel returns the label of vertex v.
 func (s *Scheme) VertexLabel(v int) VertexLabel { return s.inner.VertexLabel(v) }

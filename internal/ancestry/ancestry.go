@@ -62,10 +62,33 @@ type Labeling struct {
 // count. The DFS visits children in Forest.Children order, so the labeling
 // is deterministic given the forest. Runs in O(n).
 func Build(f *graph.Forest) *Labeling {
+	return BuildWithSlack(f, nil)
+}
+
+// BuildWithSlack is Build with per-vertex preorder headroom: after a
+// vertex's children are numbered, slack(v) unused preorder slots are
+// reserved inside the vertex's interval (just before Post). The reserved
+// slots stab exactly like a fresh leaf child of v would — any number q in
+// the reserved range satisfies v.Pre < q ≤ v.Post while lying outside every
+// child interval — which is what lets the dynamic update path attach new
+// subdivision leaves without renumbering a single existing vertex. Reserved
+// slots map to -1 in ByPre. A nil slack reproduces Build exactly.
+func BuildWithSlack(f *graph.Forest, slack func(v int) int) *Labeling {
 	n := len(f.Parent)
+	total := n + 1
+	if slack != nil {
+		for v := 0; v < n; v++ {
+			total += slack(v)
+		}
+	}
 	l := &Labeling{
 		Labels: make([]Label, n),
-		ByPre:  make([]int, n+1),
+		ByPre:  make([]int, total),
+	}
+	if slack != nil {
+		for i := range l.ByPre {
+			l.ByPre[i] = -1
+		}
 	}
 	next := uint32(1)
 	// Iterative DFS; the stack entry is (vertex, child cursor).
@@ -74,6 +97,12 @@ func Build(f *graph.Forest) *Labeling {
 		idx int
 	}
 	stack := make([]frame, 0, 64)
+	finish := func(v int) {
+		if slack != nil {
+			next += uint32(slack(v))
+		}
+		l.Labels[v].Post = next - 1
+	}
 	for _, root := range f.Roots {
 		rootPre := next
 		stack = append(stack[:0], frame{v: root})
@@ -91,12 +120,16 @@ func Build(f *graph.Forest) *Labeling {
 				stack = append(stack, frame{v: c})
 				continue
 			}
-			l.Labels[top.v].Post = next - 1
+			finish(top.v)
 			stack = stack[:len(stack)-1]
 		}
 	}
 	return l
 }
+
+// MaxPre returns the largest preorder number the labeling spans, reserved
+// slack slots included.
+func (l *Labeling) MaxPre() uint32 { return uint32(len(l.ByPre) - 1) }
 
 // Of returns vertex v's label.
 func (l *Labeling) Of(v int) Label { return l.Labels[v] }

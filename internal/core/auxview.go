@@ -32,7 +32,7 @@ type AuxView struct {
 // NewAuxView computes the transform for g.
 func NewAuxView(g *graph.Graph) *AuxView {
 	f := graph.SpanningForest(g)
-	a := buildAux(g, f)
+	a := buildAux(g, f, 0)
 	return &AuxView{
 		Forest:  f,
 		TPrime:  a.tprime,

@@ -34,6 +34,14 @@ type Params struct {
 	// AGMReps overrides the repetition count of KindAGM; zero picks
 	// ⌈log₂ m⌉ (whp support). Full support scales this by f.
 	AGMReps int
+	// AuxSlack reserves that many extra preorder slots per original vertex
+	// in the auxiliary tree T′'s ancestry numbering. Zero (the static
+	// default) numbers densely; the dynamic update path (Dynamic) builds
+	// with headroom so that new subdivision leaves can be attached without
+	// renumbering. AuxSlack participates in the scheme token: gapped and
+	// dense labelings of the same graph are different labelings and must
+	// not mix.
+	AuxSlack int
 }
 
 // Scheme holds the labels of one construction. The labels themselves are
@@ -41,6 +49,7 @@ type Params struct {
 type Scheme struct {
 	params Params
 	token  uint64
+	gen    uint64 // generation stamp; 0 for static builds
 	spec   OutSpec
 	n      int
 	g      *graph.Graph
@@ -72,7 +81,7 @@ type aux struct {
 	childOf []int
 }
 
-func buildAux(g *graph.Graph, f *graph.Forest) *aux {
+func buildAux(g *graph.Graph, f *graph.Forest, slack int) *aux {
 	n := g.N()
 	a := &aux{n: n, forest: f}
 	for e := range g.Edges {
@@ -106,7 +115,16 @@ func buildAux(g *graph.Graph, f *graph.Forest) *aux {
 		tp.Children[edge.U] = append(tp.Children[edge.U], x)
 	}
 	a.tprime = tp
-	a.anc = ancestry.Build(tp)
+	if slack > 0 {
+		a.anc = ancestry.BuildWithSlack(tp, func(v int) int {
+			if v < n {
+				return slack
+			}
+			return 0 // subdivision vertices stay leaves forever
+		})
+	} else {
+		a.anc = ancestry.Build(tp)
+	}
 	a.tour = euler.Build(tp)
 	a.childOf = make([]int, g.M())
 	for e, edge := range g.Edges {
@@ -148,17 +166,27 @@ func (a *aux) idOf(j int) uint64 {
 
 // Build constructs an f-FTC labeling scheme for g (Theorem 1 / Theorem 2).
 func Build(g *graph.Graph, p Params) (*Scheme, error) {
+	return buildWith(g, p, 0)
+}
+
+// buildWith is Build with an explicit generation stamp — the full-rebuild
+// path of the dynamic update engine. gen is folded into the scheme token
+// and stamped on every label; static builds pass 0.
+func buildWith(g *graph.Graph, p Params, gen uint64) (*Scheme, error) {
 	if g == nil {
 		return nil, fmt.Errorf("core: nil graph")
 	}
 	if p.MaxFaults < 0 {
 		return nil, fmt.Errorf("core: negative fault budget %d", p.MaxFaults)
 	}
+	if p.AuxSlack < 0 {
+		return nil, fmt.Errorf("core: negative aux slack %d", p.AuxSlack)
+	}
 	if p.Kind == 0 {
 		p.Kind = KindDetNetFind
 	}
 	f := graph.SpanningForest(g)
-	a := buildAux(g, f)
+	a := buildAux(g, f, p.AuxSlack)
 	m := g.M()
 	if m < 2 {
 		m = 2
@@ -213,6 +241,7 @@ func Build(g *graph.Graph, p Params) (*Scheme, error) {
 
 	s := &Scheme{
 		params:    p,
+		gen:       gen,
 		spec:      spec,
 		n:         g.N(),
 		g:         g,
@@ -268,6 +297,14 @@ func (s *Scheme) computeToken(g *graph.Graph) uint64 {
 	put(uint64(s.spec.Reps))
 	put(uint64(s.spec.Buckets))
 	put(uint64(s.spec.Seed))
+	if s.params.AuxSlack != 0 || s.gen != 0 {
+		// Dynamic-network extension: the ancestry layout (slack) and the
+		// generation both change the labeling, so both must change the
+		// token. Static schemes keep the historical byte stream, so their
+		// tokens — and every v1 snapshot — are unchanged.
+		put(uint64(s.params.AuxSlack))
+		put(s.gen)
+	}
 	return h.Sum64()
 }
 
@@ -289,7 +326,7 @@ var buildWorkers int
 func (s *Scheme) buildLabels(g *graph.Graph, a *aux, levels *hierarchy.Hierarchy) {
 	s.vertexLabels = make([]VertexLabel, g.N())
 	for v := 0; v < g.N(); v++ {
-		s.vertexLabels[v] = VertexLabel{Token: s.token, Anc: a.anc.Of(v)}
+		s.vertexLabels[v] = VertexLabel{Token: s.token, Gen: s.gen, Anc: a.anc.Of(v)}
 	}
 	words := s.spec.Words()
 	s.edgeLabels = make([]EdgeLabel, g.M())
@@ -303,6 +340,7 @@ func (s *Scheme) buildLabels(g *graph.Graph, a *aux, levels *hierarchy.Hierarchy
 		parent := a.tprime.Parent[child]
 		s.edgeLabels[e] = EdgeLabel{
 			Token:     s.token,
+			Gen:       s.gen,
 			MaxFaults: s.params.MaxFaults,
 			Spec:      s.spec,
 			Parent:    a.anc.Of(parent),
@@ -314,7 +352,12 @@ func (s *Scheme) buildLabels(g *graph.Graph, a *aux, levels *hierarchy.Hierarchy
 	nPrime := len(a.tprime.Parent)
 	// preOrder[i] = vertex with preorder i+1; reverse iteration gives
 	// children-before-parents, which makes the in-place subtree XOR work.
-	preOrder := make([]int, nPrime)
+	// With aux slack the numbering has reserved gaps, marked -1 and skipped
+	// by the fold.
+	preOrder := make([]int, a.anc.MaxPre())
+	for i := range preOrder {
+		preOrder[i] = -1
+	}
 	for v := 0; v < nPrime; v++ {
 		preOrder[a.anc.Of(v).Pre-1] = v
 	}
@@ -453,7 +496,7 @@ func (s *Scheme) foldSubtrees(g *graph.Graph, a *aux, preOrder []int, scr *level
 	stride := scr.stride
 	for i := len(preOrder) - 1; i >= 0; i-- {
 		v := preOrder[i]
-		if !scr.dirty[v] {
+		if v < 0 || !scr.dirty[v] {
 			continue
 		}
 		p := a.tprime.Parent[v]
@@ -518,6 +561,10 @@ func (s *Scheme) MaxFaults() int { return s.params.MaxFaults }
 
 // Token returns the scheme fingerprint embedded in every label.
 func (s *Scheme) Token() uint64 { return s.token }
+
+// Generation returns the scheme's generation stamp: 0 for static builds,
+// and the committed generation for schemes produced by a Dynamic network.
+func (s *Scheme) Generation() uint64 { return s.gen }
 
 // VertexLabel returns vertex v's label.
 func (s *Scheme) VertexLabel(v int) VertexLabel { return s.vertexLabels[v] }

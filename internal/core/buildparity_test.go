@@ -70,7 +70,7 @@ func TestBuildMatchesDefinitionalReference(t *testing.T) {
 		p := p
 		t.Run(p.Kind.String(), func(t *testing.T) {
 			s := mustBuild(t, g, p)
-			a := buildAux(g, s.Forest)
+			a := buildAux(g, s.Forest, 0)
 			spec := s.Spec()
 			stride := 2 * spec.K
 			nPrime := len(a.tprime.Parent)

@@ -1,0 +1,584 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ancestry"
+	"repro/internal/graph"
+	"repro/internal/hierarchy"
+	"repro/internal/rs"
+	"repro/internal/sketch"
+)
+
+// Dynamic is the construction-side engine behind the mutable network API:
+// it maintains a labeling scheme under batched edge insertions and
+// deletions, recomputing only what an update dirties.
+//
+// Every commit produces a fresh immutable *Scheme (copy-on-write: label
+// headers are re-stamped, but only labels whose content actually changed
+// get new payload storage), so readers holding the previous generation keep
+// a fully consistent view and generations can be swapped atomically by the
+// caller. Dynamic itself is not safe for concurrent use; the public
+// ftc.Network wrapper serializes commits and publishes schemes atomically.
+//
+// The incremental fast path applies to updates that leave the spanning
+// forest intact — inserting an edge whose endpoints are already connected,
+// or deleting a non-tree edge. Such an update touches exactly the labels of
+// the tree edges on the two endpoint-to-LCA paths (whose subtree aggregates
+// gain or lose the edge's outdetect row; GF(2) linearity makes deletion the
+// same XOR as insertion) plus the updated edge itself. Everything else —
+// component merges, tree-edge deletions, per-vertex slot exhaustion, or
+// churn past the hierarchy's invalidation budget — falls back to a full
+// (parallel) rebuild, which also resets the budget.
+type Dynamic struct {
+	params Params
+	gen    uint64
+	cur    *Scheme
+
+	// churn counts incremental updates absorbed since the last full
+	// rebuild; the hierarchy invalidation predicate bounds it.
+	churn int
+	// builtM is the edge count the current AGM sketch shape was sized for.
+	builtM int
+
+	// Subdivision-slot allocator over the reserved preorder blocks of the
+	// current ancestry numbering. Vertex v's block is the AuxSlack slots
+	// just below its Post; resNext[v] is the next never-used slot
+	// (0 = not yet initialized from the label), freed[v] stacks recycled
+	// slots. Reset on every full rebuild.
+	resNext []uint32
+	freed   map[int][]uint32
+}
+
+// DefaultAuxSlack is the per-vertex preorder headroom a Dynamic reserves
+// when Params.AuxSlack is unset: up to that many incrementally-inserted
+// edges can attach at any one vertex between full rebuilds.
+const DefaultAuxSlack = 8
+
+// Update is one staged mutation of the edge set.
+type Update struct {
+	Add  bool // true = insert {U, V}, false = delete {U, V}
+	U, V int
+}
+
+// CommitReport describes one committed batch.
+type CommitReport struct {
+	// Gen is the generation the commit produced; Token the scheme token
+	// every label of that generation is stamped with.
+	Gen   uint64
+	Token uint64
+	// Incremental reports whether the fast path applied; Reason names the
+	// fallback trigger when it did not.
+	Incremental bool
+	Reason      string
+	// Relabeled lists the post-commit indices of edges whose label content
+	// changed beyond the token/generation restamp: the dirtied tree-path
+	// edges plus the inserted edges. nil with Incremental == false means
+	// every label was rebuilt.
+	Relabeled []int
+	// Removed lists the pre-commit indices of deleted edges, ascending.
+	Removed []int
+	// Remap maps every pre-commit edge index to its post-commit index
+	// (-1 for deleted edges); nil when indices did not shift.
+	Remap []int
+}
+
+// NewDynamic builds the initial scheme (generation 1) for g. Params are as
+// for Build; AuxSlack defaults to DefaultAuxSlack.
+func NewDynamic(g *graph.Graph, p Params) (*Dynamic, error) {
+	if p.AuxSlack == 0 {
+		p.AuxSlack = DefaultAuxSlack
+	}
+	s, err := buildWith(g, p, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Dynamic{
+		params:  s.params, // defaults resolved by buildWith
+		gen:     1,
+		cur:     s,
+		builtM:  g.M(),
+		resNext: make([]uint32, g.N()),
+		freed:   map[int][]uint32{},
+	}, nil
+}
+
+// Scheme returns the current immutable scheme. Schemes returned before the
+// latest Commit stay valid and internally consistent; mixing their labels
+// with newer generations fails with ErrStaleLabel.
+func (d *Dynamic) Scheme() *Scheme { return d.cur }
+
+// Generation returns the current generation (1 after NewDynamic).
+func (d *Dynamic) Generation() uint64 { return d.gen }
+
+// Churn returns the incremental updates absorbed since the last rebuild.
+func (d *Dynamic) Churn() int { return d.churn }
+
+// slotBlock returns vertex v's reserved preorder block [lo, hi].
+func (d *Dynamic) slotBlock(v int) (lo, hi uint32) {
+	post := d.cur.vertexLabels[v].Anc.Post
+	return post - uint32(d.params.AuxSlack) + 1, post
+}
+
+// plan is the validated, classified form of one batch: every update
+// resolved against the evolving edge set, with subdivision slots
+// pre-assigned for insertions so the apply phase cannot fail. (Deletions
+// need no slot here: the apply phase reads the freed slot off the edge's
+// own label.)
+type plan struct {
+	ops    []Update
+	slots  []uint32 // per add op: the assigned subdivision slot
+	reason string   // non-empty forces a full rebuild
+}
+
+// classify validates the batch and decides incremental vs rebuild. It
+// mutates nothing.
+func (d *Dynamic) classify(batch []Update) (*plan, error) {
+	p := &plan{ops: batch, slots: make([]uint32, len(batch))}
+	g := d.cur.g
+	forest := d.cur.Forest
+	n := g.N()
+	// Evolving overlay over the committed edge set: +1 added, -1 removed.
+	overlay := map[graph.Edge]int8{}
+	// Edges added earlier in this batch (whether or not a slot was
+	// assigned — a demoted plan stops assigning), for remove-after-add.
+	batchAdded := map[graph.Edge]bool{}
+	// Per-vertex allocator simulation: recycled slots are popped LIFO off
+	// the committed free stack, then never-used slots are taken in order.
+	// Slots freed by removes in this same batch become available only at
+	// the next commit (the apply phase replays exactly this simulation).
+	type simAlloc struct {
+		freeLeft int
+		next     uint32
+	}
+	sim := map[int]*simAlloc{}
+	getSim := func(v int) *simAlloc {
+		a := sim[v]
+		if a == nil {
+			next := d.resNext[v]
+			if next == 0 {
+				next, _ = d.slotBlock(v)
+			}
+			a = &simAlloc{freeLeft: len(d.freed[v]), next: next}
+			sim[v] = a
+		}
+		return a
+	}
+	demote := func(reason string) {
+		if p.reason == "" {
+			p.reason = reason
+		}
+	}
+	for i, op := range batch {
+		u, v := op.U, op.V
+		if u > v {
+			u, v = v, u
+		}
+		if u < 0 || v >= n {
+			return nil, fmt.Errorf("core: update %d: endpoint out of range (%d,%d) with n=%d", i, op.U, op.V, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("core: update %d: self-loop at %d", i, u)
+		}
+		e := graph.Edge{U: u, V: v}
+		live := g.HasEdge(u, v)
+		if o := overlay[e]; o > 0 {
+			live = true
+		} else if o < 0 {
+			live = false
+		}
+		if op.Add {
+			if live {
+				return nil, fmt.Errorf("core: update %d: edge (%d,%d) already present", i, u, v)
+			}
+			overlay[e]++
+			batchAdded[e] = true
+			if forest.Comp[u] != forest.Comp[v] {
+				demote(fmt.Sprintf("edge (%d,%d) merges two components", u, v))
+				continue
+			}
+			// Simulate the slot allocator at the attach vertex u (= min).
+			a := getSim(u)
+			if a.freeLeft > 0 {
+				a.freeLeft--
+				p.slots[i] = d.freed[u][a.freeLeft]
+			} else {
+				_, hi := d.slotBlock(u)
+				if a.next > hi {
+					demote(fmt.Sprintf("vertex %d out of subdivision slots", u))
+					continue
+				}
+				p.slots[i] = a.next
+				a.next++
+			}
+		} else {
+			if !live {
+				return nil, fmt.Errorf("core: update %d: no edge (%d,%d) to remove", i, u, v)
+			}
+			overlay[e]--
+			if batchAdded[e] {
+				continue // added earlier in this batch: non-tree by construction
+			}
+			idx := g.EdgeIndex(u, v)
+			if forest.IsTreeEdge[idx] {
+				demote(fmt.Sprintf("edge (%d,%d) is a spanning-tree edge", u, v))
+				continue
+			}
+		}
+	}
+	if p.reason != "" {
+		return p, nil
+	}
+	// Kind-specific invalidation predicate.
+	switch d.cur.spec.Kind {
+	case KindAGM:
+		// The sketch shape (buckets, reps) was sized for builtM edges;
+		// rebuild once the live edge count drifts past ±25%.
+		newM := g.M()
+		for _, o := range overlay {
+			newM += int(o)
+		}
+		if 4*newM < 3*d.builtM || 4*newM > 5*d.builtM {
+			demote(fmt.Sprintf("edge count drifted to %d (sketch sized for %d)", newM, d.builtM))
+		}
+	default:
+		if d.cur.Hierarchy.Invalidated(d.churn, len(batch), d.cur.spec.K) {
+			demote(fmt.Sprintf("churn %d+%d exceeds hierarchy budget %d",
+				d.churn, len(batch), hierarchy.UpdateBudget(d.cur.spec.K)))
+		}
+	}
+	return p, nil
+}
+
+// Commit applies a batch of updates and returns the new generation's
+// scheme. On error, no state changes. An empty batch is a no-op that
+// returns the current scheme unchanged.
+func (d *Dynamic) Commit(batch []Update) (*CommitReport, *Scheme, error) {
+	if len(batch) == 0 {
+		return &CommitReport{Gen: d.gen, Token: d.cur.token, Incremental: true}, d.cur, nil
+	}
+	p, err := d.classify(batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.reason != "" {
+		return d.rebuild(batch, p.reason)
+	}
+	return d.applyIncremental(p)
+}
+
+// rebuild is the fallback path: apply the batch to a graph clone and run
+// the full (parallel) construction pipeline at the next generation.
+func (d *Dynamic) rebuild(batch []Update, reason string) (*CommitReport, *Scheme, error) {
+	gNew := d.cur.g.Clone()
+	for i, op := range batch {
+		var err error
+		if op.Add {
+			_, err = gNew.AddEdge(op.U, op.V)
+		} else {
+			_, err = gNew.RemoveEdge(op.U, op.V)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: update %d: %w", i, err)
+		}
+	}
+	s, err := buildWith(gNew, d.params, d.gen+1)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &CommitReport{
+		Gen:    d.gen + 1,
+		Token:  s.token,
+		Reason: reason,
+	}
+	rep.Removed, rep.Remap = edgeRemap(d.cur.g, gNew)
+	d.gen++
+	d.cur = s
+	d.churn = 0
+	d.builtM = gNew.M()
+	d.resNext = make([]uint32, gNew.N())
+	d.freed = map[int][]uint32{}
+	return rep, s, nil
+}
+
+// applyIncremental runs the fast path for a fully incremental plan. The new
+// scheme copies label headers but shares every untouched payload with the
+// previous generation; dirtied labels get private payload copies before
+// their first XOR.
+func (d *Dynamic) applyIncremental(p *plan) (*CommitReport, *Scheme, error) {
+	old := d.cur
+	spec := old.spec
+	gNew := old.g.Clone()
+	vls := append([]VertexLabel(nil), old.vertexLabels...)
+	els := append([]EdgeLabel(nil), old.edgeLabels...)
+
+	hasRemove := false
+	for _, op := range p.ops {
+		if !op.Add {
+			hasRemove = true
+		}
+	}
+	// The forest's structure (parents, children, components) is untouched
+	// by incremental updates, so those slices are shared; the per-edge
+	// arrays are copied because insertions append to IsTreeEdge and
+	// deletions splice and remap both.
+	forest := &graph.Forest{
+		Parent:     old.Forest.Parent,
+		ParentEdge: old.Forest.ParentEdge,
+		Roots:      old.Forest.Roots,
+		Comp:       old.Forest.Comp,
+		IsTreeEdge: append([]bool(nil), old.Forest.IsTreeEdge...),
+		Children:   old.Forest.Children,
+		BFSOrder:   old.Forest.BFSOrder,
+	}
+	var h *hierarchy.Hierarchy
+	if old.Hierarchy != nil {
+		h = &hierarchy.Hierarchy{Levels: append([][]int(nil), old.Hierarchy.Levels...)}
+		if hasRemove {
+			// Deletions splice and shift edge indices in every level.
+			for i := range h.Levels {
+				h.Levels[i] = append([]int(nil), h.Levels[i]...)
+			}
+		} else {
+			// Insertions only ever append to level 0.
+			h.Levels[0] = append([]int(nil), h.Levels[0]...)
+		}
+	}
+	if hasRemove {
+		forest.ParentEdge = append([]int(nil), old.Forest.ParentEdge...)
+	}
+
+	words := spec.Words()
+	stride := 2 * spec.K
+	agm := sketch.Spec{Reps: spec.Reps, Buckets: spec.Buckets, Seed: spec.Seed}
+	// deltaFor computes the outdetect contribution of one edge id: the
+	// Reed–Solomon power row (one hierarchy-level segment) or the AGM
+	// sketch unit block (the full payload).
+	deltaFor := func(id uint64) []uint64 {
+		if spec.Kind == KindAGM {
+			blk := make([]uint64, words)
+			agm.AddEdge(blk, id)
+			return blk
+		}
+		row := make([]uint64, stride)
+		rs.PowerRow(row, id)
+		return row
+	}
+
+	// dirtyChild marks tree-path labels by their (stable) child vertex;
+	// privatized tracks which of them already got a fresh payload copy.
+	dirtyChild := map[int]bool{}
+	privatized := map[int]bool{}
+	// xorPath folds delta into the segment at segOff of every tree edge on
+	// the w → LCA(w, other) path (the edges whose child subtree contains
+	// exactly one of the update's endpoints).
+	xorPath := func(w, other int, delta []uint64, segOff int) {
+		for !vls[w].Anc.IsAncestorOf(vls[other].Anc) {
+			e := forest.ParentEdge[w]
+			if !privatized[w] {
+				els[e].Out = append([]uint64(nil), els[e].Out...)
+				privatized[w] = true
+			}
+			xorInto(els[e].Out[segOff:segOff+len(delta)], delta)
+			dirtyChild[w] = true
+			w = forest.Parent[w]
+		}
+	}
+
+	var addedEdges []graph.Edge
+	alloc := map[int]int{} // slots consumed per vertex (applied on success)
+	var freedSlots []struct {
+		v    int
+		slot uint32
+	}
+	for i, op := range p.ops {
+		u, v := op.U, op.V
+		if u > v {
+			u, v = v, u
+		}
+		if op.Add {
+			idx, err := gNew.AddEdge(u, v)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: internal: incremental add: %w", err)
+			}
+			slot := p.slots[i]
+			ancU := vls[u].Anc
+			id := edgeID(slot, vls[v].Anc.Pre)
+			delta := deltaFor(id)
+			out := make([]uint64, words)
+			copy(out, delta) // the new leaf's subtree aggregate is its own row
+			els = append(els, EdgeLabel{
+				MaxFaults: d.params.MaxFaults,
+				Spec:      spec,
+				Parent:    ancU,
+				Child:     ancestryLeaf(slot, ancU.Root),
+				Out:       out,
+			})
+			if idx != len(els)-1 {
+				return nil, nil, fmt.Errorf("core: internal: edge index %d != label slot %d", idx, len(els)-1)
+			}
+			if h != nil {
+				h.Levels[0] = append(h.Levels[0], idx)
+			}
+			forest.IsTreeEdge = append(forest.IsTreeEdge, false)
+			xorPath(u, v, delta, 0)
+			xorPath(v, u, delta, 0)
+			addedEdges = append(addedEdges, graph.Edge{U: u, V: v})
+			alloc[u]++
+		} else {
+			idx := gNew.EdgeIndex(u, v)
+			slot := els[idx].Child.Pre
+			id := edgeID(slot, vls[v].Anc.Pre)
+			delta := deltaFor(id)
+			if spec.Kind == KindAGM {
+				xorPath(u, v, delta, 0)
+				xorPath(v, u, delta, 0)
+			} else {
+				for lvl := range h.Levels {
+					if pos := sort.SearchInts(h.Levels[lvl], idx); pos < len(h.Levels[lvl]) && h.Levels[lvl][pos] == idx {
+						off := lvl * stride
+						xorPath(u, v, delta, off)
+						xorPath(v, u, delta, off)
+					}
+				}
+			}
+			// Drop the edge everywhere and shift the indices above it.
+			if _, err := gNew.RemoveEdge(u, v); err != nil {
+				return nil, nil, fmt.Errorf("core: internal: incremental remove: %w", err)
+			}
+			els = append(els[:idx], els[idx+1:]...)
+			if h != nil {
+				for lvl := range h.Levels {
+					h.Levels[lvl] = spliceShift(h.Levels[lvl], idx)
+				}
+			}
+			forest.IsTreeEdge = append(forest.IsTreeEdge[:idx], forest.IsTreeEdge[idx+1:]...)
+			for w := range forest.ParentEdge {
+				if forest.ParentEdge[w] > idx {
+					forest.ParentEdge[w]--
+				}
+			}
+			for j := range addedEdges { // keep batch-add bookkeeping exact
+				if addedEdges[j] == (graph.Edge{U: u, V: v}) {
+					addedEdges = append(addedEdges[:j], addedEdges[j+1:]...)
+					break
+				}
+			}
+			freedSlots = append(freedSlots, struct {
+				v    int
+				slot uint32
+			}{u, slot})
+		}
+	}
+
+	s := &Scheme{
+		params:       d.params,
+		gen:          d.gen + 1,
+		spec:         spec,
+		n:            old.n,
+		g:            gNew,
+		vertexLabels: vls,
+		edgeLabels:   els,
+		Forest:       forest,
+		Hierarchy:    h,
+	}
+	s.token = s.computeToken(gNew)
+	for i := range vls {
+		vls[i].Token, vls[i].Gen = s.token, s.gen
+	}
+	for i := range els {
+		els[i].Token, els[i].Gen = s.token, s.gen
+	}
+
+	rep := &CommitReport{
+		Gen:         s.gen,
+		Token:       s.token,
+		Incremental: true,
+	}
+	if hasRemove {
+		rep.Removed, rep.Remap = edgeRemap(old.g, gNew)
+	}
+	for w := range dirtyChild {
+		rep.Relabeled = append(rep.Relabeled, forest.ParentEdge[w])
+	}
+	for _, e := range addedEdges {
+		rep.Relabeled = append(rep.Relabeled, gNew.EdgeIndex(e.U, e.V))
+	}
+	sort.Ints(rep.Relabeled)
+
+	// Commit the allocator state only now that nothing can fail. This
+	// replays the classify-phase simulation exactly: pop recycled slots
+	// LIFO first, then advance the never-used cursor.
+	for v, k := range alloc {
+		fl := d.freed[v]
+		pop := k
+		if pop > len(fl) {
+			pop = len(fl)
+		}
+		if pop > 0 {
+			d.freed[v] = fl[:len(fl)-pop]
+			k -= pop
+		}
+		if k > 0 {
+			next := d.resNext[v]
+			if next == 0 {
+				next, _ = d.slotBlock(v)
+			}
+			d.resNext[v] = next + uint32(k)
+		}
+	}
+	for _, f := range freedSlots {
+		d.freed[f.v] = append(d.freed[f.v], f.slot)
+	}
+	d.gen = s.gen
+	d.cur = s
+	d.churn += len(p.ops)
+	return rep, s, nil
+}
+
+// ancestryLeaf is the ancestry label of a fresh subdivision leaf occupying
+// a single reserved preorder slot.
+func ancestryLeaf(slot, root uint32) ancestry.Label {
+	return ancestry.Label{Pre: slot, Post: slot, Root: root}
+}
+
+// spliceShift removes idx from the sorted index slice (if present) and
+// decrements every larger entry, mirroring graph.RemoveEdge's reindexing.
+func spliceShift(xs []int, idx int) []int {
+	out := xs[:0]
+	for _, x := range xs {
+		switch {
+		case x == idx:
+		case x > idx:
+			out = append(out, x-1)
+		default:
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// edgeRemap computes, for every pre-commit edge of old, its index in new
+// (or -1 when deleted), plus the ascending list of deleted indices. Returns
+// (nil, nil) remap when no edge was deleted and order is unchanged.
+func edgeRemap(old, newG *graph.Graph) (removed, remap []int) {
+	identity := true
+	remap = make([]int, old.M())
+	for i, e := range old.Edges {
+		if newG.HasEdge(e.U, e.V) {
+			remap[i] = newG.EdgeIndex(e.U, e.V)
+			if remap[i] != i {
+				identity = false
+			}
+		} else {
+			remap[i] = -1
+			identity = false
+			removed = append(removed, i)
+		}
+	}
+	if identity {
+		return nil, nil
+	}
+	return removed, remap
+}

@@ -25,6 +25,7 @@ import (
 // A FaultSet is built purely from labels; it never accesses the graph.
 type FaultSet struct {
 	token     uint64
+	gen       uint64
 	hasFaults bool
 	maxFaults int
 	spec      OutSpec
@@ -75,12 +76,13 @@ func CompileFaults(faults []EdgeLabel) (*FaultSet, error) {
 		return fs, nil
 	}
 	fs.token = faults[0].Token
+	fs.gen = faults[0].Gen
 	fs.hasFaults = true
 	fs.maxFaults = faults[0].MaxFaults
 	fs.spec = faults[0].Spec
 	for i := range faults {
-		if faults[i].Token != fs.token {
-			return nil, fmt.Errorf("%w: fault %d token differs", ErrLabelMismatch, i)
+		if err := checkStamp(faults[i].Token, faults[i].Gen, fs.token, fs.gen, fmt.Sprintf("fault %d tokens", i)); err != nil {
+			return nil, err
 		}
 	}
 	// Group by component root. Duplicate faults (same child preorder) keep
@@ -189,11 +191,13 @@ func (c *faultComponent) ensureClosed() error {
 // plus two partition lookups, with zero allocations; probes are safe to
 // issue from concurrent goroutines.
 func (fs *FaultSet) Connected(s, t VertexLabel) (bool, error) {
-	if s.Token != t.Token {
-		return false, fmt.Errorf("%w: vertex tokens differ", ErrLabelMismatch)
+	if err := checkStamp(s.Token, s.Gen, t.Token, t.Gen, "vertex tokens"); err != nil {
+		return false, err
 	}
-	if fs.hasFaults && s.Token != fs.token {
-		return false, fmt.Errorf("%w: vertex and fault tokens differ", ErrLabelMismatch)
+	if fs.hasFaults {
+		if err := checkStamp(s.Token, s.Gen, fs.token, fs.gen, "vertex and fault tokens"); err != nil {
+			return false, err
+		}
 	}
 	if s.Anc.Root != t.Anc.Root {
 		return false, nil
@@ -241,8 +245,32 @@ func (fs *FaultSet) Session() (*Session, error) {
 	return &Session{fs: fs, token: fs.token, checkToken: fs.hasFaults}, nil
 }
 
+// Rebase returns a FaultSet that shares fs's compiled state — fragment
+// decomposition, payload aggregates, and any already-computed closures —
+// but expects labels stamped with the given token and generation.
+//
+// Rebasing is sound exactly when none of the fault edges was relabeled
+// between fs's generation and the target one (the condition the serving
+// layer's selective cache invalidation enforces): an update whose tree
+// paths avoid every fault subtree boundary has both endpoints in a single
+// fragment of this fault set, so the compiled partition of G − F is
+// unchanged. See DESIGN.md §3.10.
+func (fs *FaultSet) Rebase(token, gen uint64) *FaultSet {
+	if !fs.hasFaults {
+		return fs
+	}
+	out := *fs
+	out.token = token
+	out.gen = gen
+	return &out
+}
+
 // Faults returns the deduplicated fault count across all components.
 func (fs *FaultSet) Faults() int { return fs.faultCount }
+
+// Generation returns the generation stamp of the compiled fault labels
+// (0 for static schemes or an empty FaultSet).
+func (fs *FaultSet) Generation() uint64 { return fs.gen }
 
 // MaxFaults returns the budget f the fault labels were constructed for
 // (0 for an empty FaultSet).

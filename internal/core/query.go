@@ -11,9 +11,41 @@ import (
 // constructions are mixed in one query.
 var ErrLabelMismatch = errors.New("core: labels belong to different schemes")
 
+// ErrStaleLabel is returned when labels from different generations of a
+// dynamic network are mixed in one query: the topology changed under the
+// older label, so answering would be meaningless. It wraps ErrLabelMismatch,
+// so errors.Is(err, ErrLabelMismatch) continues to hold for existing
+// callers.
+var ErrStaleLabel = fmt.Errorf("%w: stale label from an earlier network generation", ErrLabelMismatch)
+
 // ErrTooManyFaults is returned when the (deduplicated) fault set exceeds the
 // budget f the labels were constructed for.
 var ErrTooManyFaults = errors.New("core: fault set exceeds the labels' budget")
+
+// checkStamp validates that two label stamps belong to the same scheme and
+// generation. Generations are folded into the token, so a token match alone
+// proves both — crucially, it must NOT also require the in-memory Gen
+// fields to agree: the wire codecs omit Gen, so a label that round-tripped
+// through Marshal/Unmarshal carries Gen 0 yet is byte-for-byte the same
+// label.
+//
+// On a token mismatch the generation stamps (zero for static schemes) pick
+// the error: differing nonzero stamps yield ErrStaleLabel. Labels carry no
+// network identity, so this is a best-effort diagnosis, not proof of
+// staleness — two unrelated dynamic networks whose generation counters
+// happen to differ are also reported as stale. Every such error still
+// wraps ErrLabelMismatch; callers reacting to ErrStaleLabel by refreshing
+// labels should treat a second failure as a genuine scheme mix. what names
+// the label pair for the error message.
+func checkStamp(tokA, genA, tokB, genB uint64, what string) error {
+	if tokA == tokB {
+		return nil
+	}
+	if genA != 0 && genB != 0 && genA != genB {
+		return fmt.Errorf("%w: %s (generation %d vs %d)", ErrStaleLabel, what, genA, genB)
+	}
+	return fmt.Errorf("%w: %s differ", ErrLabelMismatch, what)
+}
 
 // Connected is the universal decoder D^con (§7.1): it decides the s–t
 // connectivity of G − F purely from the labels of s, t, and the edges of F,
@@ -33,8 +65,8 @@ func ConnectedBasic(s, t VertexLabel, faults []EdgeLabel) (bool, error) {
 }
 
 func connected(s, t VertexLabel, faults []EdgeLabel, fast bool) (bool, error) {
-	if s.Token != t.Token {
-		return false, fmt.Errorf("%w: vertex tokens differ", ErrLabelMismatch)
+	if err := checkStamp(s.Token, s.Gen, t.Token, t.Gen, "vertex tokens"); err != nil {
+		return false, err
 	}
 	if s.Anc.Root != t.Anc.Root {
 		// Different trees of the spanning forest: never connected, no
@@ -70,8 +102,8 @@ func oneShotQuery(s, t VertexLabel, faults []EdgeLabel) (*queryState, error) {
 	var relevant []EdgeLabel
 	for i := range faults {
 		fl := &faults[i]
-		if fl.Token != s.Token {
-			return nil, fmt.Errorf("%w: fault %d token differs", ErrLabelMismatch, i)
+		if err := checkStamp(fl.Token, fl.Gen, s.Token, s.Gen, fmt.Sprintf("fault %d and vertex tokens", i)); err != nil {
+			return nil, err
 		}
 		if fl.Child.Root != s.Anc.Root {
 			continue // fault in another component: irrelevant

@@ -25,8 +25,8 @@ type crossRec struct {
 // crossings hop between tree fragments exactly along a path in the fragment
 // graph discovered by the §7.6 query.
 func RoutePlan(s, t VertexLabel, faults []EdgeLabel) ([]RouteStep, bool, error) {
-	if s.Token != t.Token {
-		return nil, false, fmt.Errorf("%w: vertex tokens differ", ErrLabelMismatch)
+	if err := checkStamp(s.Token, s.Gen, t.Token, t.Gen, "vertex tokens"); err != nil {
+		return nil, false, err
 	}
 	if s.Anc.Root != t.Anc.Root {
 		return nil, false, nil

@@ -1,7 +1,5 @@
 package core
 
-import "fmt"
-
 // Session amortizes queries that share one fault set — the dominant pattern
 // in practice (one failure event, many reachability probes). It is a thin
 // view over a compiled FaultSet with every component's fragment closure
@@ -16,10 +14,11 @@ import "fmt"
 // A Session is still decoder-side only: it is built purely from labels.
 type Session struct {
 	fs *FaultSet
-	// token guards probes; for anchor-built sessions it is the anchor's
-	// token so that the historical mixed-label errors are preserved even
-	// for empty fault sets.
+	// token/gen guard probes; for anchor-built sessions they are the
+	// anchor's stamps so that the historical mixed-label errors are
+	// preserved even for empty fault sets.
 	token      uint64
+	gen        uint64
 	checkToken bool
 }
 
@@ -32,25 +31,30 @@ func NewSession(anchor VertexLabel, faults []EdgeLabel) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	if fs.hasFaults && fs.token != anchor.Token {
-		return nil, fmt.Errorf("%w: anchor and fault tokens differ", ErrLabelMismatch)
+	if fs.hasFaults {
+		if err := checkStamp(fs.token, fs.gen, anchor.Token, anchor.Gen, "anchor and fault tokens"); err != nil {
+			return nil, err
+		}
 	}
 	s, err := fs.Session()
 	if err != nil {
 		return nil, err
 	}
 	s.token = anchor.Token
+	s.gen = anchor.Gen
 	s.checkToken = true
 	return s, nil
 }
 
 // Connected probes s–t connectivity under the session's fault set.
 func (s *Session) Connected(sv, tv VertexLabel) (bool, error) {
-	if sv.Token != tv.Token {
-		return false, fmt.Errorf("%w: session token differs", ErrLabelMismatch)
+	if err := checkStamp(sv.Token, sv.Gen, tv.Token, tv.Gen, "session tokens"); err != nil {
+		return false, err
 	}
-	if s.checkToken && sv.Token != s.token {
-		return false, fmt.Errorf("%w: session token differs", ErrLabelMismatch)
+	if s.checkToken {
+		if err := checkStamp(sv.Token, sv.Gen, s.token, s.gen, "session tokens"); err != nil {
+			return false, err
+		}
 	}
 	return s.fs.Connected(sv, tv)
 }

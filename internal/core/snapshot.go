@@ -15,33 +15,40 @@ import (
 // let a scheme built once be loaded by a fleet of servers ("one build, many
 // decoders") without re-running construction.
 //
-// Wire format, version 1 (all integers little-endian):
+// Wire format, version 2 (all integers little-endian):
 //
 //	[6]byte  magic "FTCSNP"
-//	u8       version (currently 1)
+//	u8       version (currently 2)
 //	u32 n, u32 m
 //	m × (u32 u, u32 v)          graph edges, insertion order, u < v
 //	u64      token              scheme fingerprint (recomputed on load)
 //	u32      maxFaults
 //	u8 kind, u32 k, u32 levels, u32 reps, u32 buckets, u64 seed   (OutSpec)
+//	u64      generation         (v2+; 0 for static schemes)
+//	u32      auxSlack           (v2+; 0 for static schemes)
 //	u32      hierarchy level count (0 for AGM)
 //	  per level: u32 count, count × u32 ascending edge indices
 //	n × (u32 len, len bytes)    vertex labels, MarshalVertexLabel encoding
 //	m × (u32 len, len bytes)    edge labels, MarshalEdgeLabel encoding
 //
-// The per-label sections reuse the existing label codecs verbatim, so a
-// loaded scheme's per-label marshalings are byte-identical to the
+// Version 1 is version 2 without the generation/auxSlack fields; it is
+// still read (both default to 0, which is exactly what every v1 scheme
+// was). The per-label sections reuse the existing label codecs verbatim,
+// so a loaded scheme's per-label marshalings are byte-identical to the
 // original's. Loading re-derives the spanning forest (deterministic from
-// the graph) and re-verifies the token fingerprint against the graph and
-// parameters, which rejects snapshots whose sections were corrupted
-// independently. Any future layout change must bump snapshotVersion; old
-// readers then fail with ErrSnapshotVersion instead of misparsing.
+// the graph) and re-verifies the token fingerprint against the graph,
+// parameters, and generation, which rejects snapshots whose sections were
+// corrupted independently. Any future layout change must bump
+// SnapshotVersion; old readers then fail with ErrSnapshotVersion instead
+// of misparsing.
 
 // snapshotMagic begins every scheme snapshot.
 var snapshotMagic = [6]byte{'F', 'T', 'C', 'S', 'N', 'P'}
 
 // SnapshotVersion is the wire-format version written by MarshalBinary.
-const SnapshotVersion = 1
+// Version 2 added the generation and auxSlack fields of the dynamic
+// network extension; version 1 snapshots remain loadable.
+const SnapshotVersion = 2
 
 var (
 	// ErrBadSnapshot is returned by UnmarshalScheme for malformed bytes.
@@ -80,6 +87,8 @@ func (s *Scheme) MarshalBinary() ([]byte, error) {
 	b = binary.LittleEndian.AppendUint32(b, uint32(s.spec.Reps))
 	b = binary.LittleEndian.AppendUint32(b, uint32(s.spec.Buckets))
 	b = binary.LittleEndian.AppendUint64(b, uint64(s.spec.Seed))
+	b = binary.LittleEndian.AppendUint64(b, s.gen)
+	b = binary.LittleEndian.AppendUint32(b, uint32(s.params.AuxSlack))
 	if s.Hierarchy == nil {
 		b = binary.LittleEndian.AppendUint32(b, 0)
 	} else {
@@ -182,8 +191,8 @@ func UnmarshalScheme(data []byte) (*Scheme, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != SnapshotVersion {
-		return nil, fmt.Errorf("%w: got version %d, this build speaks %d",
+	if version < 1 || version > SnapshotVersion {
+		return nil, fmt.Errorf("%w: got version %d, this build speaks 1..%d",
 			ErrSnapshotVersion, version, SnapshotVersion)
 	}
 
@@ -267,6 +276,21 @@ func UnmarshalScheme(data []byte) (*Scheme, error) {
 		return nil, err
 	}
 	spec.Seed = int64(seed)
+	var gen uint64
+	auxSlack := 0
+	if version >= 2 {
+		if gen, err = r.u64("generation"); err != nil {
+			return nil, err
+		}
+		slackU, err := r.u32("aux slack")
+		if err != nil {
+			return nil, err
+		}
+		if slackU > snapLimit {
+			return nil, r.fail("aux slack implausibly large")
+		}
+		auxSlack = int(slackU)
+	}
 
 	hLevels, err := r.count(4, "hierarchy level count")
 	if err != nil {
@@ -348,6 +372,15 @@ func UnmarshalScheme(data []byte) (*Scheme, error) {
 	if len(r.b) != 0 {
 		return nil, r.fail("trailing bytes")
 	}
+	// The wire encoding omits the in-memory generation stamp; restore it so
+	// that mixing a loaded scheme's labels with a different live generation
+	// is classified as ErrStaleLabel rather than a bare mismatch.
+	for v := range vertexLabels {
+		vertexLabels[v].Gen = gen
+	}
+	for e := range edgeLabels {
+		edgeLabels[e].Gen = gen
+	}
 
 	s := &Scheme{
 		params: Params{
@@ -355,8 +388,10 @@ func UnmarshalScheme(data []byte) (*Scheme, error) {
 			Kind:      spec.Kind,
 			Seed:      spec.Seed,
 			AGMReps:   spec.Reps,
+			AuxSlack:  auxSlack,
 		},
 		token:        token,
+		gen:          gen,
 		spec:         spec,
 		n:            n,
 		g:            g,

@@ -133,8 +133,15 @@ func (s OutSpec) DecodeOutgoing(payload []uint64, budget int) ([]uint64, error) 
 // VertexLabel is the O(log n)-bit per-vertex label: an ancestry label plus
 // the scheme token that guards against mixing labels across graphs or
 // constructions.
+//
+// Gen is the generation stamp of a dynamic network (zero for schemes built
+// by Build). It is folded into Token — so labels from different generations
+// never validate against each other — and carried separately, in memory
+// only, so that the decoder can report the mix as ErrStaleLabel instead of
+// a bare ErrLabelMismatch. The wire encoding omits it.
 type VertexLabel struct {
 	Token uint64
+	Gen   uint64
 	Anc   ancestry.Label
 }
 
@@ -142,9 +149,10 @@ type VertexLabel struct {
 // of σ(e) in the auxiliary spanning tree T′ (Parent being the endpoint
 // nearer the root), the outdetect subtree aggregate of Proposition 4, and
 // enough header data (spec, fault budget, token) to keep the decoder
-// universal.
+// universal. Gen is the in-memory generation stamp (see VertexLabel).
 type EdgeLabel struct {
 	Token     uint64
+	Gen       uint64
 	MaxFaults int
 	Spec      OutSpec
 	Parent    ancestry.Label

@@ -147,19 +147,65 @@ func (g *Graph) Adj(u int) []Half { return g.adj[u] }
 // Degree returns the degree of u.
 func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
 
-// Clone returns a deep copy of g.
-func (g *Graph) Clone() *Graph {
-	out := New(g.n)
-	for i, e := range g.Edges {
-		if g.Weights != nil {
-			if _, err := out.AddWeightedEdge(e.U, e.V, g.Weights[i]); err != nil {
-				panic("graph: clone of valid graph failed: " + err.Error())
+// RemoveEdge deletes the undirected edge {u, v} and returns the index it
+// occupied. Every edge inserted after it shifts down by one index (Edges,
+// Weights, and adjacency entries are all remapped), exactly as if the edge
+// had never been inserted. Runs in O(n + m).
+func (g *Graph) RemoveEdge(u, v int) (int, error) {
+	if u > v {
+		u, v = v, u
+	}
+	e := Edge{U: u, V: v}
+	if _, ok := g.seen[e]; !ok {
+		return -1, fmt.Errorf("%w: no edge (%d,%d) to remove", ErrBadEdge, u, v)
+	}
+	idx := g.EdgeIndex(u, v)
+	delete(g.seen, e)
+	g.Edges = append(g.Edges[:idx], g.Edges[idx+1:]...)
+	if g.Weights != nil {
+		g.Weights = append(g.Weights[:idx], g.Weights[idx+1:]...)
+	}
+	for w := range g.adj {
+		hs := g.adj[w][:0]
+		for _, h := range g.adj[w] {
+			if h.Edge == idx {
+				continue
 			}
-		} else {
-			if _, err := out.AddEdge(e.U, e.V); err != nil {
-				panic("graph: clone of valid graph failed: " + err.Error())
+			if h.Edge > idx {
+				h.Edge--
 			}
+			hs = append(hs, h)
 		}
+		g.adj[w] = hs
+	}
+	return idx, nil
+}
+
+// Clone returns a deep copy of g. The copy shares no storage with the
+// original: adjacency lists are backed by a single fresh slab with exact
+// capacities, so later appends to either graph never alias.
+func (g *Graph) Clone() *Graph {
+	out := &Graph{
+		n:     g.n,
+		Edges: append([]Edge(nil), g.Edges...),
+		adj:   make([][]Half, g.n),
+		seen:  make(map[Edge]struct{}, len(g.Edges)),
+	}
+	if g.Weights != nil {
+		out.Weights = append([]int64(nil), g.Weights...)
+	}
+	total := 0
+	for v := range g.adj {
+		total += len(g.adj[v])
+	}
+	slab := make([]Half, 0, total)
+	for v := range g.adj {
+		start := len(slab)
+		slab = append(slab, g.adj[v]...)
+		out.adj[v] = slab[start:len(slab):len(slab)]
+	}
+	for _, e := range g.Edges {
+		out.seen[e] = struct{}{}
 	}
 	return out
 }

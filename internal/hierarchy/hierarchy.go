@@ -119,6 +119,38 @@ func BuildSampling(pts []euler.Point, stopAt int, rng *rand.Rand) *Hierarchy {
 	return h
 }
 
+// UpdateBudget returns the number of incremental point insertions or
+// deletions a k-good hierarchy can absorb before it must be rebuilt.
+//
+// An insertion joins level 0 only and a deletion leaves every level it was
+// a member of, so after d updates the goodness guarantee of Definition 1
+// degrades from "more than k outgoing edges at level i implies one at level
+// i+1" to the same with k shifted by at most d: each update changes any
+// boundary ∂(S) by at most one edge per level. The practical threshold
+// (DefaultThreshold) already carries a large constant-factor margin over
+// what the decoder needs on real instances (DESIGN.md §3.4), so a quarter
+// of k is a conservative churn budget; on overflow the update path falls
+// back to a full rebuild, which restores an exactly k-good hierarchy and
+// resets the budget.
+func UpdateBudget(k int) int {
+	b := k / 4
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Invalidated is the level invalidation predicate of the dynamic update
+// path: it reports whether absorbing pending more incremental updates, on
+// top of churn already absorbed since the last rebuild, would erode the
+// hierarchy's goodness margin for threshold k past UpdateBudget.
+func (h *Hierarchy) Invalidated(churn, pending, k int) bool {
+	if h == nil {
+		return true
+	}
+	return churn+pending > UpdateBudget(k)
+}
+
 // DefaultThreshold is the practical sketch threshold k(f, m) used by the
 // deterministic scheme: f²·⌈log₂ m⌉ clamped below by 2f+2 and by the
 // NetFind hitting weight, so the final-level cut-off in BuildNetFind is

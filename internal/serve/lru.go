@@ -2,33 +2,46 @@ package serve
 
 import (
 	"container/list"
+	"encoding/binary"
+	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
 
-// cacheEntry is one compiled failure event. The FaultSet is compiled at
-// most once per entry (outside the cache lock, via once), so a slow
-// compile of one event never blocks probes of other events, and concurrent
-// first requests for the same event share one compilation.
+// cacheEntry is one compiled failure event at one scheme generation. The
+// FaultSet is compiled at most once per entry (outside the cache lock, via
+// once), so a slow compile of one event never blocks probes of other
+// events, and concurrent first requests for the same event share one
+// compilation. compiled flips after once completes; the update sweep only
+// rebases entries whose compilation finished (an in-flight one is simply
+// evicted and recompiled on next use).
 type cacheEntry struct {
-	key   uint64
-	canon []int // canonical fault edge indices, for collision detection
-	once  sync.Once
-	fs    *core.FaultSet
-	err   error
+	key      uint64
+	canon    []int // canonical fault edge indices, for collision detection
+	gen      uint64
+	once     sync.Once
+	compiled atomic.Bool
+	fs       *core.FaultSet
+	err      error
 }
 
 // lruCache is a mutex-guarded LRU of compiled fault sets keyed by the
 // canonical fault-label hash. The lock covers only map/list bookkeeping;
-// compilation and probing happen outside it.
+// compilation and probing happen outside it. Entries are generation-
+// stamped: an update sweep (applyUpdate) evicts exactly the entries whose
+// fault edges were relabeled or removed and rebases the rest in place,
+// keeping their warm closures.
 type lruCache struct {
-	mu     sync.Mutex
-	cap    int
-	ll     *list.List // front = most recently used; values are *cacheEntry
-	items  map[uint64]*list.Element
-	hits   uint64
-	misses uint64
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used; values are *cacheEntry
+	items   map[uint64]*list.Element
+	hits    uint64
+	misses  uint64
+	evicted uint64 // entries dropped by update sweeps
+	rebased uint64 // entries carried across generations by update sweeps
 }
 
 func newLRUCache(capacity int) *lruCache {
@@ -42,11 +55,25 @@ func newLRUCache(capacity int) *lruCache {
 	}
 }
 
-// get returns the entry for key, inserting (and LRU-evicting) as needed.
-// hit reports whether the entry already existed. A nil entry signals a key
-// collision — the cached entry belongs to a different canonical fault set —
-// and the caller must bypass the cache.
-func (c *lruCache) get(key uint64, canon []int) (ent *cacheEntry, hit bool) {
+// cacheKey hashes a canonical (sorted, deduplicated) fault-edge index
+// slice.
+func cacheKey(canon []int) uint64 {
+	var buf [8]byte
+	h := fnv.New64a()
+	for _, e := range canon {
+		binary.LittleEndian.PutUint64(buf[:], uint64(e))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// get returns the entry for (key, canon) at generation gen, inserting (and
+// LRU-evicting) as needed. hit reports whether a matching entry already
+// existed. A nil entry signals a key collision — the cached entry belongs
+// to a different canonical fault set — and the caller must bypass the
+// cache. An entry left over from an older generation (possible only when a
+// probe raced an update sweep) is replaced, not returned.
+func (c *lruCache) get(key uint64, canon []int, gen uint64) (ent *cacheEntry, hit bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
@@ -56,12 +83,24 @@ func (c *lruCache) get(key uint64, canon []int) (ent *cacheEntry, hit bool) {
 			c.misses++
 			return nil, false
 		}
-		c.ll.MoveToFront(el)
-		c.hits++
-		return ent, true
+		if ent.gen == gen {
+			c.ll.MoveToFront(el)
+			c.hits++
+			return ent, true
+		}
+		if ent.gen > gen {
+			// The entry is newer than the caller's snapshot: a probe still
+			// holding a superseded view must not evict the warm entry the
+			// update sweep just rebased. Bypass the cache, like the
+			// collision path.
+			c.misses++
+			return nil, false
+		}
+		c.ll.Remove(el)
+		delete(c.items, key)
 	}
 	c.misses++
-	ent = &cacheEntry{key: key, canon: append([]int(nil), canon...)}
+	ent = &cacheEntry{key: key, canon: append([]int(nil), canon...), gen: gen}
 	c.items[key] = c.ll.PushFront(ent)
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
@@ -71,10 +110,92 @@ func (c *lruCache) get(key uint64, canon []int) (ent *cacheEntry, hit bool) {
 	return ent, false
 }
 
-func (c *lruCache) stats() (hits, misses uint64, size, capacity int) {
+// applyUpdate sweeps the cache after a committed batch: entries containing
+// a relabeled or removed fault edge (or not yet compiled) are evicted;
+// every other entry is remapped to post-commit edge indices and rebased to
+// the new generation, keeping its compiled fragment state and closures
+// warm. Returns how many entries each fate met.
+//
+// Probes are not serialized with updates, so the cache can hold entries
+// from other generations than the one this report supersedes: an entry
+// already at rep.Gen (a probe raced ahead of the sweep) is left untouched
+// — its canonical indices are already post-commit, so remapping it again
+// would corrupt it — and an entry at any generation other than rep.Gen-1
+// is evicted, because this report says nothing about the commits it
+// missed.
+func (c *lruCache) applyUpdate(rep *core.CommitReport) (evicted, rebased int) {
+	if rep.Incremental && len(rep.Relabeled) == 0 && len(rep.Removed) == 0 && rep.Remap == nil {
+		return 0, 0 // no-op commit: no generation change, nothing to sweep
+	}
+	relabeled := map[int]bool{}
+	for _, e := range rep.Relabeled {
+		relabeled[e] = true
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.ll.Len(), c.cap
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		ent := el.Value.(*cacheEntry)
+		if ent.gen == rep.Gen {
+			continue
+		}
+		// Entries that never compiled — or compiled to an error (fs nil) —
+		// carry nothing worth rebasing; recompiling on next use is cheap.
+		drop := !rep.Incremental || ent.gen != rep.Gen-1 || !ent.compiled.Load() || ent.fs == nil
+		canon := ent.canon
+		if !drop && rep.Remap != nil {
+			canon = make([]int, len(ent.canon))
+			for i, e := range ent.canon {
+				if e >= len(rep.Remap) || rep.Remap[e] < 0 {
+					drop = true
+					break
+				}
+				canon[i] = rep.Remap[e]
+			}
+		}
+		if !drop {
+			for _, e := range canon {
+				if relabeled[e] {
+					drop = true
+					break
+				}
+			}
+		}
+		if drop {
+			c.ll.Remove(el)
+			delete(c.items, ent.key)
+			evicted++
+			continue
+		}
+		// Clean entry: carry it into the new generation. Remapping can
+		// change the key, so re-home it in the map; a collision with
+		// another surviving entry is impossible (canonical index sets are
+		// unique per event) but a hash collision is handled by dropping.
+		fresh := &cacheEntry{key: cacheKey(canon), canon: canon, gen: rep.Gen}
+		fresh.fs = ent.fs.Rebase(rep.Token, rep.Gen)
+		fresh.err = ent.err
+		fresh.once.Do(func() {}) // already compiled
+		fresh.compiled.Store(true)
+		delete(c.items, ent.key)
+		if _, clash := c.items[fresh.key]; clash {
+			c.ll.Remove(el)
+			evicted++
+			continue
+		}
+		el.Value = fresh
+		c.items[fresh.key] = el
+		rebased++
+	}
+	c.evicted += uint64(evicted)
+	c.rebased += uint64(rebased)
+	return evicted, rebased
+}
+
+func (c *lruCache) stats() (hits, misses, evicted, rebased uint64, size, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evicted, c.rebased, c.ll.Len(), c.cap
 }
 
 func equalInts(a, b []int) bool {

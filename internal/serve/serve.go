@@ -1,9 +1,18 @@
 // Package serve is the probe-serving layer behind cmd/ftcserve: an HTTP
-// handler that answers batched s–t connectivity probes against one loaded
-// scheme, with an LRU of compiled core.FaultSets so that repeated probes of
-// the same failure event hit the zero-alloc steady-state path instead of
+// handler that answers batched s–t connectivity probes against one scheme,
+// with an LRU of compiled core.FaultSets so that repeated probes of the
+// same failure event hit the zero-alloc steady-state path instead of
 // re-compiling the fault labels per request (the "one failure event, many
 // probes" deployment pattern of §7).
+//
+// A server can also be generation-aware: opened over a mutable network
+// (ftc.Network) it additionally serves POST /update, committing a batch of
+// edge insertions/deletions as a new generation and sweeping the fault-set
+// cache selectively — only entries containing a relabeled or removed edge
+// are evicted; every other entry is rebased to the new generation with its
+// warm closure intact (sound because an update whose tree paths avoid a
+// fault set's subtree boundaries cannot change that fault set's
+// connectivity partition; DESIGN.md §3.10).
 //
 // The package lives below the commands so the daemon (cmd/ftcserve) and the
 // load generator (cmd/ftcbench serve) share one implementation, and so the
@@ -11,13 +20,12 @@
 package serve
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"net/http"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -26,75 +34,100 @@ import (
 )
 
 // Scheme is the read-side surface the server needs: label access plus the
-// graph for resolving client-facing edge endpoints to edge indices. Both
-// *ftc.Scheme and *ftc.LoadedScheme satisfy it.
+// graph for resolving client-facing edge endpoints to edge indices.
+// *ftc.Scheme, *ftc.LoadedScheme, and ftc.Network snapshots all satisfy it.
 type Scheme interface {
 	Graph() *graph.Graph
 	MaxFaults() int
+	Generation() uint64
 	VertexLabel(v int) core.VertexLabel
 	EdgeLabelByIndex(e int) core.EdgeLabel
 }
 
-// Server serves connectivity probes for one scheme.
+// Updatable is the construction-side surface of a dynamic network:
+// committing one batch of endpoint-pair mutations. *ftc.Network satisfies
+// it.
+type Updatable interface {
+	CommitBatch(add, remove [][2]int) (*core.CommitReport, error)
+}
+
+// Server serves connectivity probes for one scheme — static, or dynamic
+// with generation-aware cache invalidation.
 type Server struct {
-	sch   Scheme
-	n, m  int
+	view  func() Scheme // consistent immutable snapshot per call
+	upd   Updatable     // nil for static schemes
 	cache *lruCache
 	start time.Time
 
+	// updMu serializes commits with their cache sweeps so sweeps apply in
+	// generation order.
+	updMu sync.Mutex
+
 	probes   atomic.Uint64
 	requests atomic.Uint64
+	updates  atomic.Uint64
 }
 
-// New returns a server over sch with an LRU holding up to cacheSize
-// compiled fault sets (minimum 1).
+// New returns a server over the static scheme sch with an LRU holding up
+// to cacheSize compiled fault sets (minimum 1).
 func New(sch Scheme, cacheSize int) *Server {
+	return NewDynamic(func() Scheme { return sch }, nil, cacheSize)
+}
+
+// NewDynamic returns a generation-aware server. view must return the
+// current immutable snapshot (e.g. ftc.Network.Snapshot); upd, when
+// non-nil, enables POST /update and is used to commit batches. Probes
+// racing an update are retried once against the fresh generation, so
+// clients see either the old or the new topology, never an error from the
+// race itself.
+func NewDynamic(view func() Scheme, upd Updatable, cacheSize int) *Server {
 	return &Server{
-		sch:   sch,
-		n:     sch.Graph().N(),
-		m:     sch.Graph().M(),
+		view:  view,
+		upd:   upd,
 		cache: newLRUCache(cacheSize),
 		start: time.Now(),
 	}
 }
 
-// FaultSet resolves the given fault edge indices to a compiled FaultSet,
-// serving it from the LRU when the same failure event was compiled before.
-// The cache key is a hash of the canonical (sorted, deduplicated) fault
-// edge indices — for a fixed scheme these determine the fault labels
-// one-to-one, so any client-side ordering or duplication of one failure
-// event maps to one entry, and a cache hit touches no labels at all. The
-// hit flag reports whether the cache already held the compiled set.
+// FaultSet resolves the given fault edge indices against the current
+// snapshot to a compiled FaultSet, serving it from the LRU when the same
+// failure event was compiled before at the same generation. The cache key
+// is a hash of the canonical (sorted, deduplicated) fault edge indices —
+// for a fixed generation these determine the fault labels one-to-one, so
+// any client-side ordering or duplication of one failure event maps to one
+// entry, and a cache hit touches no labels at all. The hit flag reports
+// whether the cache already held the compiled set.
 func (s *Server) FaultSet(faultEdges []int) (*core.FaultSet, bool, error) {
+	return s.faultSetFor(s.view(), faultEdges)
+}
+
+// faultSetFor is FaultSet against one explicit snapshot, so a probe
+// resolves fault labels and vertex labels from the same generation.
+func (s *Server) faultSetFor(sch Scheme, faultEdges []int) (*core.FaultSet, bool, error) {
 	canon := append([]int(nil), faultEdges...)
 	sort.Ints(canon)
 	canon = dedupeSorted(canon)
+	m := sch.Graph().M()
 	// Validate before touching the cache: invalid events must not insert
 	// permanently-erroring entries that evict compiled valid fault sets.
 	for _, e := range canon {
-		if e < 0 || e >= s.m {
-			return nil, false, fmt.Errorf("fault edge index %d out of range (m=%d)", e, s.m)
+		if e < 0 || e >= m {
+			return nil, false, fmt.Errorf("fault edge index %d out of range (m=%d)", e, m)
 		}
 	}
 	// Distinct edges are distinct faults in every scheme kind, so the
 	// budget check is exact here and CompileFaults would reject too.
-	if budget := s.sch.MaxFaults(); len(canon) > budget {
+	if budget := sch.MaxFaults(); len(canon) > budget {
 		return nil, false, fmt.Errorf("%w: %d faults, budget %d", core.ErrTooManyFaults, len(canon), budget)
-	}
-	var buf [8]byte
-	h := fnv.New64a()
-	for _, e := range canon {
-		binary.LittleEndian.PutUint64(buf[:], uint64(e))
-		h.Write(buf[:])
 	}
 	compile := func() (*core.FaultSet, error) {
 		labels := make([]core.EdgeLabel, len(canon))
 		for i, e := range canon {
-			labels[i] = s.sch.EdgeLabelByIndex(e)
+			labels[i] = sch.EdgeLabelByIndex(e)
 		}
 		return core.CompileFaults(labels)
 	}
-	ent, hit := s.cache.get(h.Sum64(), canon)
+	ent, hit := s.cache.get(cacheKey(canon), canon, sch.Generation())
 	if ent == nil {
 		// Key collision with a different fault set: serve correctness over
 		// caching and compile a one-off set.
@@ -103,6 +136,7 @@ func (s *Server) FaultSet(faultEdges []int) (*core.FaultSet, bool, error) {
 	}
 	ent.once.Do(func() {
 		ent.fs, ent.err = compile()
+		ent.compiled.Store(true)
 	})
 	return ent.fs, hit, ent.err
 }
@@ -120,34 +154,66 @@ func dedupeSorted(xs []int) []int {
 // ConnectedRequest is the wire form of a POST /connected batch probe: one
 // failure event (edges by [u,v] endpoint pair and/or by edge index), many
 // s–t vertex pairs.
+//
+// On a dynamic server, fault edge *indices* are generation-scoped: an
+// /update that removes an edge shifts every higher index down, so an index
+// cached by a client denotes a different edge afterwards. Clients holding
+// indices across updates should pin the generation they resolved them
+// against via Generation — a mismatched pin is rejected with 409 instead
+// of silently probing the wrong edges. The [u,v] endpoint form needs no
+// pin; endpoints are stable names.
 type ConnectedRequest struct {
 	Faults     [][2]int `json:"faults,omitempty"`
 	FaultEdges []int    `json:"fault_edges,omitempty"`
 	Pairs      [][2]int `json:"pairs"`
+	Generation uint64   `json:"generation,omitempty"`
 }
 
 // ConnectedResponse answers a batch probe.
 type ConnectedResponse struct {
-	Connected []bool `json:"connected"`
-	Faults    int    `json:"faults"`
-	CacheHit  bool   `json:"cache_hit"`
+	Connected  []bool `json:"connected"`
+	Faults     int    `json:"faults"`
+	CacheHit   bool   `json:"cache_hit"`
+	Generation uint64 `json:"generation"`
+}
+
+// UpdateRequest is the wire form of a POST /update batch: edges to insert
+// and delete, by [u,v] endpoint pair, committed as one generation.
+type UpdateRequest struct {
+	Add    [][2]int `json:"add,omitempty"`
+	Remove [][2]int `json:"remove,omitempty"`
+}
+
+// UpdateResponse reports a committed update batch.
+type UpdateResponse struct {
+	Generation   uint64 `json:"generation"`
+	Incremental  bool   `json:"incremental"`
+	Reason       string `json:"reason,omitempty"`
+	Relabeled    int    `json:"relabeled"`
+	Removed      int    `json:"removed"`
+	CacheEvicted int    `json:"cache_evicted"`
+	CacheRebased int    `json:"cache_rebased"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// maxRequestBytes bounds a /connected request body.
+// maxRequestBytes bounds a request body.
 const maxRequestBytes = 1 << 20
 
 // Handler returns the HTTP surface of the server:
 //
 //	POST /connected — batch probe (ConnectedRequest → ConnectedResponse)
+//	POST /update    — commit a topology batch (dynamic servers only)
 //	GET  /healthz   — liveness plus scheme shape
 //	GET  /stats     — serving and cache counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /connected", s.handleConnected)
+	if s.upd != nil {
+		mux.HandleFunc("POST /update", s.handleUpdate)
+	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
@@ -162,26 +228,51 @@ func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
+	// A probe that races a commit can observe labels from two generations
+	// (the cache entry from one, vertex labels from the next) and fails
+	// fast with ErrStaleLabel; one retry against a fresh snapshot settles
+	// it on the new generation.
+	for attempt := 0; ; attempt++ {
+		resp, status, err := s.probeOnce(&req)
+		if err != nil && errors.Is(err, core.ErrStaleLabel) && attempt == 0 {
+			continue
+		}
+		if err != nil {
+			writeJSON(w, status, errorResponse{Error: err.Error()})
+			return
+		}
+		s.probes.Add(uint64(len(req.Pairs)))
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+}
+
+// probeOnce answers one batch probe against one consistent snapshot.
+func (s *Server) probeOnce(req *ConnectedRequest) (*ConnectedResponse, int, error) {
+	sch := s.view()
+	g := sch.Graph()
+	n := g.N()
+	if req.Generation != 0 && req.Generation != sch.Generation() {
+		return nil, http.StatusConflict, fmt.Errorf("request pinned to generation %d, server at %d (edge indices may have shifted)",
+			req.Generation, sch.Generation())
+	}
 	edges := append([]int(nil), req.FaultEdges...)
-	g := s.sch.Graph()
 	for _, uv := range req.Faults {
 		e := -1
-		if uv[0] >= 0 && uv[0] < s.n && uv[1] >= 0 && uv[1] < s.n {
+		if uv[0] >= 0 && uv[0] < n && uv[1] >= 0 && uv[1] < n {
 			e = g.EdgeIndex(uv[0], uv[1])
 		}
 		if e < 0 {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("no edge (%d,%d)", uv[0], uv[1])})
-			return
+			return nil, http.StatusBadRequest, fmt.Errorf("no edge (%d,%d)", uv[0], uv[1])
 		}
 		edges = append(edges, e)
 	}
 	for _, p := range req.Pairs {
-		if p[0] < 0 || p[0] >= s.n || p[1] < 0 || p[1] >= s.n {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("vertex pair (%d,%d) out of range (n=%d)", p[0], p[1], s.n)})
-			return
+		if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
+			return nil, http.StatusBadRequest, fmt.Errorf("vertex pair (%d,%d) out of range (n=%d)", p[0], p[1], n)
 		}
 	}
-	fs, hit, err := s.FaultSet(edges)
+	fs, hit, err := s.faultSetFor(sch, edges)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, core.ErrDecode) {
@@ -189,40 +280,102 @@ func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 			// scheme, not a client error.
 			status = http.StatusInternalServerError
 		}
-		writeJSON(w, status, errorResponse{Error: err.Error()})
-		return
+		if errors.Is(err, core.ErrStaleLabel) {
+			status = http.StatusConflict
+		}
+		return nil, status, err
 	}
 	out := make([]bool, len(req.Pairs))
 	for i, p := range req.Pairs {
-		ok, err := fs.Connected(s.sch.VertexLabel(p[0]), s.sch.VertexLabel(p[1]))
+		ok, err := fs.Connected(sch.VertexLabel(p[0]), sch.VertexLabel(p[1]))
 		if err != nil {
-			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("pair %d: %v", i, err)})
-			return
+			status := http.StatusInternalServerError
+			if errors.Is(err, core.ErrStaleLabel) {
+				status = http.StatusConflict
+			}
+			return nil, status, fmt.Errorf("pair %d: %w", i, err)
 		}
 		out[i] = ok
 	}
-	s.probes.Add(uint64(len(req.Pairs)))
-	writeJSON(w, http.StatusOK, ConnectedResponse{Connected: out, Faults: fs.Faults(), CacheHit: hit})
+	return &ConnectedResponse{
+		Connected:  out,
+		Faults:     fs.Faults(),
+		CacheHit:   hit,
+		Generation: sch.Generation(),
+	}, http.StatusOK, nil
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	// Serialize commit + cache sweep so sweeps apply in generation order;
+	// probes keep flowing against whichever snapshot they grabbed. The
+	// deferred unlock keeps the update path alive even if a commit panics
+	// (net/http recovers handler panics, and a stuck updMu would deadlock
+	// every later /update).
+	rep, evicted, rebased, err := func() (*core.CommitReport, int, int, error) {
+		s.updMu.Lock()
+		defer s.updMu.Unlock()
+		rep, err := s.upd.CommitBatch(req.Add, req.Remove)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		evicted, rebased := s.cache.applyUpdate(rep)
+		return rep, evicted, rebased, nil
+	}()
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+	s.updates.Add(1)
+	writeJSON(w, http.StatusOK, UpdateResponse{
+		Generation:   rep.Gen,
+		Incremental:  rep.Incremental,
+		Reason:       rep.Reason,
+		Relabeled:    len(rep.Relabeled),
+		Removed:      len(rep.Removed),
+		CacheEvicted: evicted,
+		CacheRebased: rebased,
+	})
 }
 
 // Healthz is the GET /healthz payload.
 type Healthz struct {
-	Status    string `json:"status"`
-	N         int    `json:"n"`
-	M         int    `json:"m"`
-	MaxFaults int    `json:"max_faults"`
+	Status     string `json:"status"`
+	N          int    `json:"n"`
+	M          int    `json:"m"`
+	MaxFaults  int    `json:"max_faults"`
+	Generation uint64 `json:"generation"`
+	Dynamic    bool   `json:"dynamic"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, Healthz{Status: "ok", N: s.n, M: s.m, MaxFaults: s.sch.MaxFaults()})
+	sch := s.view()
+	writeJSON(w, http.StatusOK, Healthz{
+		Status:     "ok",
+		N:          sch.Graph().N(),
+		M:          sch.Graph().M(),
+		MaxFaults:  sch.MaxFaults(),
+		Generation: sch.Generation(),
+		Dynamic:    s.upd != nil,
+	})
 }
 
 // Stats is the GET /stats payload.
 type Stats struct {
 	Requests      uint64  `json:"requests"`
 	Probes        uint64  `json:"probes"`
+	Updates       uint64  `json:"updates"`
+	Generation    uint64  `json:"generation"`
 	CacheHits     uint64  `json:"cache_hits"`
 	CacheMisses   uint64  `json:"cache_misses"`
+	CacheEvicted  uint64  `json:"cache_evicted_by_update"`
+	CacheRebased  uint64  `json:"cache_rebased_by_update"`
 	CacheSize     int     `json:"cache_size"`
 	CacheCapacity int     `json:"cache_capacity"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -230,12 +383,16 @@ type Stats struct {
 
 // Stats snapshots the serving counters.
 func (s *Server) Stats() Stats {
-	hits, misses, size, capacity := s.cache.stats()
+	hits, misses, evicted, rebased, size, capacity := s.cache.stats()
 	return Stats{
 		Requests:      s.requests.Load(),
 		Probes:        s.probes.Load(),
+		Updates:       s.updates.Load(),
+		Generation:    s.view().Generation(),
 		CacheHits:     hits,
 		CacheMisses:   misses,
+		CacheEvicted:  evicted,
+		CacheRebased:  rebased,
 		CacheSize:     size,
 		CacheCapacity: capacity,
 		UptimeSeconds: time.Since(s.start).Seconds(),

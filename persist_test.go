@@ -120,11 +120,15 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 }
 
-// goldenPath is the checked-in version-1 snapshot fixture. The test
+// goldenPath is the checked-in current-version snapshot fixture. The test
 // guarantees that any change to the wire format either keeps old snapshots
 // loadable or bumps core.SnapshotVersion (making old readers fail loudly) —
-// it can never silently re-interpret old bytes.
-const goldenPath = "testdata/golden_v1.ftcsnap"
+// it can never silently re-interpret old bytes. goldenV1Path is the legacy
+// version-1 fixture, kept to prove v1 snapshots still load.
+const (
+	goldenPath   = "testdata/golden_v2.ftcsnap"
+	goldenV1Path = "testdata/golden_v1.ftcsnap"
+)
 
 func goldenScheme(t *testing.T) *Scheme {
 	t.Helper()
@@ -180,5 +184,37 @@ func TestGoldenSnapshotCompatibility(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), data) {
 		t.Fatal("fresh snapshot differs from golden fixture bytes — wire format drifted; bump core.SnapshotVersion and regenerate")
+	}
+}
+
+// TestGoldenV1SnapshotStillLoads pins the version-1 compatibility promise:
+// snapshots written before the dynamic-network extension (no generation /
+// aux-slack fields) keep loading, with both fields defaulting to zero, and
+// decode to exactly what a fresh static build produces today.
+func TestGoldenV1SnapshotStillLoads(t *testing.T) {
+	data, err := os.ReadFile(goldenV1Path)
+	if err != nil {
+		t.Fatalf("missing legacy v1 fixture: %v", err)
+	}
+	if got := data[6]; got != 1 {
+		t.Fatalf("legacy fixture carries version %d, want 1", got)
+	}
+	loaded, err := Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("v1 snapshot no longer loads: %v", err)
+	}
+	if loaded.Generation() != 0 {
+		t.Fatalf("v1 snapshot restored generation %d, want 0", loaded.Generation())
+	}
+	s := goldenScheme(t)
+	for v := 0; v < s.N(); v++ {
+		if !bytes.Equal(MarshalVertexLabel(s.VertexLabel(v)), MarshalVertexLabel(loaded.VertexLabel(v))) {
+			t.Fatalf("v1 vertex %d label differs from fresh build", v)
+		}
+	}
+	for e := 0; e < s.M(); e++ {
+		if !bytes.Equal(MarshalEdgeLabel(s.EdgeLabelByIndex(e)), MarshalEdgeLabel(loaded.EdgeLabelByIndex(e))) {
+			t.Fatalf("v1 edge %d label differs from fresh build", e)
+		}
 	}
 }
