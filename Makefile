@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench bench-build bench-query bench-serve bench-update fuzz clean
+.PHONY: build test vet bench bench-build bench-query bench-serve bench-update bench-load fuzz clean
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,12 @@ bench-serve:
 # served POST /update smoke) + BENCH_update.json (E17).
 bench-update:
 	$(GO) run ./cmd/ftcbench update -json
+
+# Closed-loop serving load (concurrent-client probe QPS/latency, single-lock
+# vs sharded cache, v2-eager vs v3-lazy snapshot load) + BENCH_load.json
+# (E18). CI runs this with -smoke.
+bench-load:
+	$(GO) run ./cmd/ftcbench load -json
 
 # Short fuzz runs of the label and snapshot codecs (the CI smoke; drop the
 # -fuzztime to explore for real).

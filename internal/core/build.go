@@ -57,6 +57,11 @@ type Scheme struct {
 	vertexLabels []VertexLabel
 	edgeLabels   []EdgeLabel
 
+	// lazy is non-nil only for schemes loaded from a version-3 snapshot:
+	// labels live in the zero-copy arena and are decoded on first touch.
+	// Built (and v1/v2-loaded) schemes keep the materialized slices above.
+	lazy *labelArena
+
 	// Construction artifacts retained for experiments and white-box
 	// tests; the decoder never touches them.
 	Forest    *graph.Forest
@@ -567,9 +572,30 @@ func (s *Scheme) Token() uint64 { return s.token }
 func (s *Scheme) Generation() uint64 { return s.gen }
 
 // VertexLabel returns vertex v's label.
-func (s *Scheme) VertexLabel(v int) VertexLabel { return s.vertexLabels[v] }
+func (s *Scheme) VertexLabel(v int) VertexLabel {
+	if s.lazy != nil {
+		return s.lazy.vertex(v)
+	}
+	return s.vertexLabels[v]
+}
 
 // EdgeLabel returns edge e's label. The Out slice is shared with the
 // scheme's storage and must be treated as immutable; MarshalEdgeLabel / the
 // public facade produce independent copies.
-func (s *Scheme) EdgeLabel(e int) EdgeLabel { return s.edgeLabels[e] }
+func (s *Scheme) EdgeLabel(e int) EdgeLabel {
+	if s.lazy != nil {
+		return s.lazy.edge(e)
+	}
+	return s.edgeLabels[e]
+}
+
+// LazyLabels reports whether the scheme's labels live in a v3 snapshot
+// arena and, if so, how many of each kind have been decoded so far —
+// the observability hook behind the lazy-load tests and benchmarks.
+func (s *Scheme) LazyLabels() (lazy bool, verts, edges int) {
+	if s.lazy == nil {
+		return false, 0, 0
+	}
+	verts, edges = s.lazy.resident()
+	return true, verts, edges
+}

@@ -160,8 +160,13 @@ func VertexLabelBits(l VertexLabel) int { return 8 * len(MarshalVertexLabel(l)) 
 func EdgeLabelBits(l EdgeLabel) int { return 8 * len(MarshalEdgeLabel(l)) }
 
 // MaxEdgeLabelBits returns the maximum edge-label size of the scheme — the
-// paper's per-edge label-size metric.
+// paper's per-edge label-size metric. For a lazily-loaded scheme the answer
+// comes from the arena offsets table (a label's wire size is exactly its
+// arena extent), so no label is decoded.
 func (s *Scheme) MaxEdgeLabelBits() int {
+	if s.lazy != nil {
+		return s.lazy.maxEdgeLabelBits()
+	}
 	maxBits := 0
 	for e := range s.edgeLabels {
 		if b := EdgeLabelBits(s.edgeLabels[e]); b > maxBits {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/hierarchy"
@@ -11,14 +12,14 @@ import (
 
 // A scheme snapshot is the persistent form of one built construction: the
 // graph, the sparsification hierarchy, and every vertex and edge label, in
-// one versioned, length-prefixed, little-endian layout. Snapshots are what
-// let a scheme built once be loaded by a fleet of servers ("one build, many
-// decoders") without re-running construction.
+// one versioned, little-endian layout. Snapshots are what let a scheme
+// built once be loaded by a fleet of servers ("one build, many decoders")
+// without re-running construction.
 //
-// Wire format, version 2 (all integers little-endian):
+// Wire format, version 3 (all integers little-endian):
 //
 //	[6]byte  magic "FTCSNP"
-//	u8       version (currently 2)
+//	u8       version (currently 3)
 //	u32 n, u32 m
 //	m × (u32 u, u32 v)          graph edges, insertion order, u < v
 //	u64      token              scheme fingerprint (recomputed on load)
@@ -28,27 +29,36 @@ import (
 //	u32      auxSlack           (v2+; 0 for static schemes)
 //	u32      hierarchy level count (0 for AGM)
 //	  per level: u32 count, count × u32 ascending edge indices
-//	n × (u32 len, len bytes)    vertex labels, MarshalVertexLabel encoding
-//	m × (u32 len, len bytes)    edge labels, MarshalEdgeLabel encoding
+//	(n+1) × u64                 vertex label offsets (first 0, non-decreasing)
+//	bytes                       vertex label arena, MarshalVertexLabel forms
+//	(m+1) × u64                 edge label offsets (first 0, non-decreasing)
+//	bytes                       edge label arena, MarshalEdgeLabel forms
 //
-// Version 1 is version 2 without the generation/auxSlack fields; it is
-// still read (both default to 0, which is exactly what every v1 scheme
-// was). The per-label sections reuse the existing label codecs verbatim,
-// so a loaded scheme's per-label marshalings are byte-identical to the
-// original's. Loading re-derives the spanning forest (deterministic from
-// the graph) and re-verifies the token fingerprint against the graph,
+// Version 3 replaced the per-label length-prefixed sections of versions 1
+// and 2 (n × (u32 len, len bytes), then m of the same) with the flat
+// structure-of-arrays label arena above, so that loading is O(1) in label
+// bytes: the reader validates the offsets tables, aliases the two arenas
+// zero-copy, and decodes each label lazily on first touch (see labelArena).
+// Version 1 is version 2 without the generation/auxSlack fields; both are
+// still read, eagerly, via the original path. The per-label encodings
+// inside every version are the label codecs verbatim, so a loaded scheme's
+// per-label marshalings are byte-identical to the original's regardless of
+// version. Loading re-derives the spanning forest (deterministic from the
+// graph) and re-verifies the token fingerprint against the graph,
 // parameters, and generation, which rejects snapshots whose sections were
-// corrupted independently. Any future layout change must bump
-// SnapshotVersion; old readers then fail with ErrSnapshotVersion instead
-// of misparsing.
+// corrupted independently; v3 label bytes are verified against that token
+// on first touch instead of at load time. Any future layout change must
+// bump SnapshotVersion; old readers then fail with ErrSnapshotVersion
+// instead of misparsing.
 
 // snapshotMagic begins every scheme snapshot.
 var snapshotMagic = [6]byte{'F', 'T', 'C', 'S', 'N', 'P'}
 
 // SnapshotVersion is the wire-format version written by MarshalBinary.
-// Version 2 added the generation and auxSlack fields of the dynamic
-// network extension; version 1 snapshots remain loadable.
-const SnapshotVersion = 2
+// Version 3 introduced the lazy structure-of-arrays label arena; version 2
+// added the generation and auxSlack fields of the dynamic network
+// extension. Versions 1 and 2 remain loadable.
+const SnapshotVersion = 3
 
 var (
 	// ErrBadSnapshot is returned by UnmarshalScheme for malformed bytes.
@@ -63,16 +73,33 @@ var (
 // derived allocations cannot overflow or OOM on hostile input.
 const snapLimit = 1 << 24
 
-// MarshalBinary encodes the scheme as a self-contained snapshot
-// (encoding.BinaryMarshaler).
+// MarshalBinary encodes the scheme as a self-contained snapshot at the
+// current wire version (encoding.BinaryMarshaler).
 func (s *Scheme) MarshalBinary() ([]byte, error) {
+	return s.MarshalBinaryVersion(SnapshotVersion)
+}
+
+// MarshalBinaryVersion encodes the scheme at an explicit wire version.
+// Version 3 is what MarshalBinary writes; versions 1 and 2 are the legacy
+// eager-label layouts, retained so the compatibility tests and the load
+// benchmarks can produce old-format bytes on demand. Version 1 cannot
+// carry a generation or aux slack and refuses schemes that have either.
+func (s *Scheme) MarshalBinaryVersion(version byte) ([]byte, error) {
 	if s.g == nil {
 		return nil, fmt.Errorf("core: scheme retains no graph; cannot snapshot")
+	}
+	if version < 1 || version > SnapshotVersion {
+		return nil, fmt.Errorf("%w: cannot write version %d, this build speaks 1..%d",
+			ErrSnapshotVersion, version, SnapshotVersion)
+	}
+	if version == 1 && (s.gen != 0 || s.params.AuxSlack != 0) {
+		return nil, fmt.Errorf("core: version 1 cannot represent a dynamic scheme (gen=%d slack=%d)",
+			s.gen, s.params.AuxSlack)
 	}
 	g := s.g
 	b := make([]byte, 0, 64+16*g.M())
 	b = append(b, snapshotMagic[:]...)
-	b = append(b, SnapshotVersion)
+	b = append(b, version)
 	b = binary.LittleEndian.AppendUint32(b, uint32(g.N()))
 	b = binary.LittleEndian.AppendUint32(b, uint32(g.M()))
 	for _, e := range g.Edges {
@@ -87,8 +114,10 @@ func (s *Scheme) MarshalBinary() ([]byte, error) {
 	b = binary.LittleEndian.AppendUint32(b, uint32(s.spec.Reps))
 	b = binary.LittleEndian.AppendUint32(b, uint32(s.spec.Buckets))
 	b = binary.LittleEndian.AppendUint64(b, uint64(s.spec.Seed))
-	b = binary.LittleEndian.AppendUint64(b, s.gen)
-	b = binary.LittleEndian.AppendUint32(b, uint32(s.params.AuxSlack))
+	if version >= 2 {
+		b = binary.LittleEndian.AppendUint64(b, s.gen)
+		b = binary.LittleEndian.AppendUint32(b, uint32(s.params.AuxSlack))
+	}
 	if s.Hierarchy == nil {
 		b = binary.LittleEndian.AppendUint32(b, 0)
 	} else {
@@ -100,17 +129,56 @@ func (s *Scheme) MarshalBinary() ([]byte, error) {
 			}
 		}
 	}
-	for v := range s.vertexLabels {
-		lb := MarshalVertexLabel(s.vertexLabels[v])
+	if version >= 3 {
+		return s.appendArenaSections(b), nil
+	}
+	for v := 0; v < g.N(); v++ {
+		lb := MarshalVertexLabel(s.VertexLabel(v))
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(lb)))
 		b = append(b, lb...)
 	}
-	for e := range s.edgeLabels {
-		lb := MarshalEdgeLabel(s.edgeLabels[e])
+	for e := 0; e < g.M(); e++ {
+		lb := MarshalEdgeLabel(s.EdgeLabel(e))
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(lb)))
 		b = append(b, lb...)
 	}
 	return b, nil
+}
+
+// appendArenaSections writes the two v3 structure-of-arrays label sections.
+// A lazily-loaded scheme copies its arenas verbatim — no label is decoded,
+// and a v3 load→save round trip is byte-identical by construction. A
+// materialized scheme marshals each label into a fresh arena; the label
+// codecs are deterministic, so both paths produce the same bytes for the
+// same labels.
+func (s *Scheme) appendArenaSections(b []byte) []byte {
+	if a := s.lazy; a != nil {
+		for _, off := range a.vertOff {
+			b = binary.LittleEndian.AppendUint64(b, off)
+		}
+		b = append(b, a.vertBytes...)
+		for _, off := range a.edgeOff {
+			b = binary.LittleEndian.AppendUint64(b, off)
+		}
+		b = append(b, a.edgeBytes...)
+		return b
+	}
+	// The offsets region is reserved up front and backfilled as each label
+	// is appended, so the peak transient memory is one marshaled label, not
+	// a second copy of the whole arena.
+	appendSoA := func(b []byte, count int, marshal func(i int) []byte) []byte {
+		offPos := len(b)
+		b = append(b, make([]byte, 8*(count+1))...)
+		start := len(b)
+		for i := 0; i < count; i++ {
+			b = append(b, marshal(i)...)
+			binary.LittleEndian.PutUint64(b[offPos+8*(i+1):], uint64(len(b)-start))
+		}
+		return b
+	}
+	b = appendSoA(b, s.g.N(), func(i int) []byte { return MarshalVertexLabel(s.vertexLabels[i]) })
+	b = appendSoA(b, s.g.M(), func(i int) []byte { return MarshalEdgeLabel(s.edgeLabels[i]) })
+	return b
 }
 
 // snapReader is a bounds-checked little-endian cursor over snapshot bytes.
@@ -331,6 +399,48 @@ func UnmarshalScheme(data []byte) (*Scheme, error) {
 		}
 	}
 
+	s := &Scheme{
+		params: Params{
+			MaxFaults: int(maxFaults),
+			Kind:      spec.Kind,
+			Seed:      spec.Seed,
+			AGMReps:   spec.Reps,
+			AuxSlack:  auxSlack,
+		},
+		token:     token,
+		gen:       gen,
+		spec:      spec,
+		n:         n,
+		g:         g,
+		Forest:    graph.SpanningForest(g),
+		Hierarchy: h,
+	}
+
+	if version >= 3 {
+		arena := &labelArena{
+			token:     token,
+			gen:       gen,
+			maxFaults: int(maxFaults),
+			spec:      spec,
+		}
+		if arena.vertOff, arena.vertBytes, err = r.soaSection(n, "vertex"); err != nil {
+			return nil, err
+		}
+		if arena.edgeOff, arena.edgeBytes, err = r.soaSection(m, "edge"); err != nil {
+			return nil, err
+		}
+		if len(r.b) != 0 {
+			return nil, r.fail("trailing bytes")
+		}
+		if s.computeToken(g) != token {
+			return nil, r.fail("token fingerprint mismatch (graph and parameters disagree)")
+		}
+		arena.verts = make([]atomic.Pointer[VertexLabel], n)
+		arena.edges = make([]atomic.Pointer[EdgeLabel], m)
+		s.lazy = arena
+		return s, nil
+	}
+
 	vertexLabels := make([]VertexLabel, n)
 	for v := 0; v < n; v++ {
 		c, err := r.count(1, "vertex label length")
@@ -381,27 +491,45 @@ func UnmarshalScheme(data []byte) (*Scheme, error) {
 	for e := range edgeLabels {
 		edgeLabels[e].Gen = gen
 	}
-
-	s := &Scheme{
-		params: Params{
-			MaxFaults: int(maxFaults),
-			Kind:      spec.Kind,
-			Seed:      spec.Seed,
-			AGMReps:   spec.Reps,
-			AuxSlack:  auxSlack,
-		},
-		token:        token,
-		gen:          gen,
-		spec:         spec,
-		n:            n,
-		g:            g,
-		vertexLabels: vertexLabels,
-		edgeLabels:   edgeLabels,
-		Forest:       graph.SpanningForest(g),
-		Hierarchy:    h,
-	}
+	s.vertexLabels = vertexLabels
+	s.edgeLabels = edgeLabels
 	if s.computeToken(g) != token {
 		return nil, r.fail("token fingerprint mismatch (graph and labels disagree)")
 	}
 	return s, nil
+}
+
+// soaSection reads one v3 structure-of-arrays label section: count+1 u64
+// offsets (first 0, non-decreasing) followed by an arena of exactly the
+// final offset's bytes, returned as a zero-copy alias of the input. Every
+// validation happens before the offsets allocation is sized, so a hostile
+// table cannot force a huge allocation, and the per-slot extents are fully
+// bounds-checked here so lazy decodes never re-validate them.
+func (r *snapReader) soaSection(count int, what string) ([]uint64, []byte, error) {
+	if int64(count+1)*8 > int64(len(r.b)) {
+		return nil, nil, r.fail(what + " offsets table exceeds input")
+	}
+	off := make([]uint64, count+1)
+	for i := range off {
+		v, err := r.u64(what + " label offset")
+		if err != nil {
+			return nil, nil, err
+		}
+		if i == 0 && v != 0 {
+			return nil, nil, r.fail(what + " offsets do not start at zero")
+		}
+		if i > 0 && v < off[i-1] {
+			return nil, nil, r.fail(what + " offsets not non-decreasing")
+		}
+		off[i] = v
+	}
+	total := off[count]
+	if total > uint64(len(r.b)) {
+		return nil, nil, r.fail(what + " arena exceeds input")
+	}
+	arena, err := r.bytes(int(total), what+" label arena")
+	if err != nil {
+		return nil, nil, err
+	}
+	return off, arena, nil
 }

@@ -10,7 +10,11 @@ import (
 // FuzzUnmarshalScheme feeds arbitrary bytes to the snapshot decoder:
 // corrupted input must produce an error — never a panic or a huge
 // allocation — and any accepted input must be canonical (re-marshaling the
-// loaded scheme reproduces the input bytes exactly).
+// loaded scheme reproduces the input bytes exactly). For version-3 input
+// the offsets tables and arena bounds are validated at load; label bytes
+// are only reached lazily, so the harness additionally touches every label
+// of an accepted scheme: a corrupt arena slot must decode to a poisoned
+// label (which every query rejects), never panic or over-allocate.
 func FuzzUnmarshalScheme(f *testing.F) {
 	for _, p := range []Params{
 		{MaxFaults: 1},
@@ -21,22 +25,34 @@ func FuzzUnmarshalScheme(f *testing.F) {
 		if err != nil {
 			f.Fatal(err)
 		}
-		data, err := s.MarshalBinary()
-		if err != nil {
-			f.Fatal(err)
+		for _, version := range []byte{2, 3} {
+			data, err := s.MarshalBinaryVersion(version)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+			f.Add(data[:len(data)/2])
 		}
-		f.Add(data)
-		f.Add(data[:len(data)/2])
 	}
 	f.Add([]byte{})
 	f.Add([]byte("FTCSNP"))
 	f.Add([]byte("FTCSNP\x01"))
 	f.Add([]byte("FTCSNP\x02"))
+	f.Add([]byte("FTCSNP\x03"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := UnmarshalScheme(data)
 		if err != nil {
 			return
 		}
+		// Touching every label must never panic, whatever the arena holds;
+		// MaxEdgeLabelBits exercises the offsets-only path.
+		for v := 0; v < s.N(); v++ {
+			_ = s.VertexLabel(v)
+		}
+		for e := 0; e < s.Graph().M(); e++ {
+			_ = s.EdgeLabel(e)
+		}
+		_ = s.MaxEdgeLabelBits()
 		re, err := s.MarshalBinary()
 		if err != nil {
 			t.Fatalf("accepted snapshot cannot re-marshal: %v", err)

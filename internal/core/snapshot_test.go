@@ -3,7 +3,9 @@ package core
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/graph"
@@ -113,6 +115,107 @@ func TestSnapshotTreeOnlyAndEmptyGraphs(t *testing.T) {
 		if loaded.N() != tc.g.N() || loaded.Graph().M() != tc.g.M() {
 			t.Fatalf("%s: wrong shape after load", tc.name)
 		}
+	}
+}
+
+// TestLazyArenaCorruptLabelFailsClosed flips bits inside the v3 label
+// arena: the load itself still succeeds (label bytes are lazily decoded by
+// design), but every query that touches a corrupted label must fail with
+// ErrLabelMismatch — never panic, and never answer from garbage.
+func TestLazyArenaCorruptLabelFailsClosed(t *testing.T) {
+	g := workload.Petersen()
+	s, err := Build(g, Params{MaxFaults: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := UnmarshalScheme(append([]byte(nil), data...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt two label slots in place through the zero-copy alias, before
+	// either is touched: the magic byte of the last edge label (decode
+	// failure) and the stored token of vertex 1 (header disagreement).
+	// Payload-word corruption is undetectable by construction — labels
+	// carry no checksum in any wire version — so the fail-closed promise is
+	// specifically about structurally bad or mis-tokened label bytes.
+	a := loaded.lazy
+	a.edgeBytes[a.edgeOff[g.M()-1]] ^= 0xFF
+	a.vertBytes[a.vertOff[1]+1] ^= 0xFF
+	lastEdge := loaded.EdgeLabel(g.M() - 1)
+	if lastEdge.Token == loaded.Token() {
+		t.Fatal("corrupt edge label decoded with a valid token")
+	}
+	badVert := loaded.VertexLabel(1)
+	if badVert.Token == loaded.Token() {
+		t.Fatal("corrupt vertex label decoded with a valid token")
+	}
+	if lastEdge.Token == badVert.Token {
+		t.Fatal("distinct corrupt label slots share a poison token")
+	}
+	if _, err := Connected(loaded.VertexLabel(0), loaded.VertexLabel(2), []EdgeLabel{lastEdge}); !errors.Is(err, ErrLabelMismatch) {
+		t.Fatalf("query over corrupt edge label: got %v, want ErrLabelMismatch", err)
+	}
+	if _, err := Connected(loaded.VertexLabel(0), badVert, nil); !errors.Is(err, ErrLabelMismatch) {
+		t.Fatalf("query over corrupt vertex label: got %v, want ErrLabelMismatch", err)
+	}
+	// Uncorrupted labels in the same snapshot stay fully usable.
+	if !bytes.Equal(MarshalVertexLabel(s.VertexLabel(3)), MarshalVertexLabel(loaded.VertexLabel(3))) {
+		t.Fatal("clean vertex label differs under a corrupted neighbor")
+	}
+	if ok, err := Connected(loaded.VertexLabel(0), loaded.VertexLabel(2), []EdgeLabel{loaded.EdgeLabel(0)}); err != nil {
+		t.Fatalf("clean-label query failed: %v (connected=%v)", err, ok)
+	}
+}
+
+// TestLazyArenaConcurrentFirstTouch races many goroutines into the same
+// cold arena (run under -race in CI): every decode must agree with the
+// eager load of the same snapshot.
+func TestLazyArenaConcurrentFirstTouch(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := workload.ErdosRenyi(120, 0.06, true, rng)
+	s, err := Build(g, Params{MaxFaults: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := UnmarshalScheme(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < g.M(); i++ {
+				e := (i + w*7) % g.M()
+				if !bytes.Equal(MarshalEdgeLabel(s.EdgeLabel(e)), MarshalEdgeLabel(loaded.EdgeLabel(e))) {
+					errc <- fmt.Errorf("worker %d: edge %d decode disagrees", w, e)
+					return
+				}
+				v := (i + w*3) % g.N()
+				if !bytes.Equal(MarshalVertexLabel(s.VertexLabel(v)), MarshalVertexLabel(loaded.VertexLabel(v))) {
+					errc <- fmt.Errorf("worker %d: vertex %d decode disagrees", w, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if _, verts, edges := loaded.LazyLabels(); verts != g.N() || edges != g.M() {
+		t.Fatalf("arena not fully resident after touch-all (verts=%d edges=%d)", verts, edges)
 	}
 }
 

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestShardedCacheShapes(t *testing.T) {
+	for _, tc := range []struct {
+		capacity, shards int
+		wantShards       int
+		wantTotal        int
+	}{
+		{64, 4, 4, 64},
+		{64, 5, 4, 64},     // non-pow2 rounds down
+		{3, 8, 2, 3},       // shards clamped below capacity
+		{0, 0, 1, 1},       // minimum viable cache
+		{100, 64, 64, 100}, // remainder spread, total preserved
+		{1024, 64, 64, 1024},
+	} {
+		c := newShardedCache(tc.capacity, tc.shards)
+		if len(c.shards) != tc.wantShards {
+			t.Errorf("newShardedCache(%d,%d): %d shards, want %d",
+				tc.capacity, tc.shards, len(c.shards), tc.wantShards)
+		}
+		total, base := 0, c.shards[len(c.shards)-1].cap
+		for i, sh := range c.shards {
+			total += sh.cap
+			if sh.cap != base && sh.cap != base+1 {
+				t.Errorf("newShardedCache(%d,%d): shard %d capacity %d, want %d or %d",
+					tc.capacity, tc.shards, i, sh.cap, base, base+1)
+			}
+		}
+		if total != tc.wantTotal {
+			t.Errorf("newShardedCache(%d,%d): total capacity %d, want %d",
+				tc.capacity, tc.shards, total, tc.wantTotal)
+		}
+	}
+	// The default shard choice must always be a power of two between 1 and
+	// maxCacheShards, and small caches must collapse to the historical
+	// single-lock shape.
+	for _, capacity := range []int{1, 2, 8, 15, 16, 256, 4096} {
+		s := defaultCacheShards(capacity)
+		if s < 1 || s > maxCacheShards || s&(s-1) != 0 {
+			t.Errorf("defaultCacheShards(%d) = %d, want a power of two in [1,%d]",
+				capacity, s, maxCacheShards)
+		}
+		if capacity < 32 && s != 1 {
+			t.Errorf("defaultCacheShards(%d) = %d, want 1 for small caches", capacity, s)
+		}
+	}
+}
+
+// TestShardedCacheRouting: entries must land in the shard their key's low
+// bits select, hits must come back from the same shard, and the aggregate
+// stats must equal the per-shard sums.
+func TestShardedCacheRouting(t *testing.T) {
+	c := newShardedCache(64, 4)
+	canons := [][]int{{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}}
+	for _, canon := range canons {
+		key := cacheKey(canon)
+		if ent, hit := c.get(key, canon, 1); ent == nil || hit {
+			t.Fatalf("insert of %v failed (ent=%v hit=%v)", canon, ent, hit)
+		}
+		if _, hit := c.get(key, canon, 1); !hit {
+			t.Fatalf("repeat lookup of %v missed", canon)
+		}
+		// White-box: the owning shard holds the entry, the others don't.
+		for i, sh := range c.shards {
+			sh.mu.Lock()
+			_, ok := sh.items[key]
+			sh.mu.Unlock()
+			if want := uint64(i) == key&c.mask; ok != want {
+				t.Fatalf("canon %v (key %x): presence in shard %d = %v, want %v", canon, key, i, ok, want)
+			}
+		}
+	}
+	hits, misses, _, _, size, capacity, per := c.stats()
+	if hits != uint64(len(canons)) || misses != uint64(len(canons)) {
+		t.Fatalf("hits=%d misses=%d, want %d/%d", hits, misses, len(canons), len(canons))
+	}
+	if size != len(canons) || capacity != 64 {
+		t.Fatalf("size=%d capacity=%d, want %d/64", size, capacity, len(canons))
+	}
+	var perHits, perMisses uint64
+	var perSize int
+	for _, p := range per {
+		perHits += p.Hits
+		perMisses += p.Misses
+		perSize += p.Size
+	}
+	if perHits != hits || perMisses != misses || perSize != size {
+		t.Fatalf("per-shard stats do not sum to the aggregate: %+v", per)
+	}
+}
+
+// findCanonOnShard searches single-edge canonical fault sets for one whose
+// key maps to the wanted shard under the given mask.
+func findCanonOnShard(t *testing.T, mask, want uint64, exclude int) []int {
+	t.Helper()
+	for e := 0; e < 1<<16; e++ {
+		if e == exclude {
+			continue
+		}
+		if cacheKey([]int{e})&mask == want {
+			return []int{e}
+		}
+	}
+	t.Fatal("no canon found for shard")
+	return nil
+}
+
+// TestShardedApplyUpdateSweep: the sharded sweep must keep the selective
+// eviction semantics, and a rebased entry whose remapped key crosses
+// shards must be evicted (it cannot be re-homed into a shard whose lock is
+// not held), while a same-shard mover is rebased warm.
+func TestShardedApplyUpdateSweep(t *testing.T) {
+	c := newShardedCache(64, 2)
+	mk := func(canon []int) *cacheEntry {
+		ent, _ := c.get(cacheKey(canon), canon, 1)
+		ent.fs = &core.FaultSet{}
+		ent.compiled.Store(true)
+		return ent
+	}
+	// One entry per shard; the remap below maps each edge e → e+1, so an
+	// entry survives warm only if cacheKey({e+1}) stays on its shard.
+	a := findCanonOnShard(t, c.mask, 0, -1)
+	b := findCanonOnShard(t, c.mask, 1, a[0])
+	mk(a)
+	mk(b)
+	maxE := a[0]
+	if b[0] > maxE {
+		maxE = b[0]
+	}
+	remap := make([]int, maxE+1)
+	for e := range remap {
+		remap[e] = e + 1
+	}
+	rep := &core.CommitReport{Gen: 2, Token: 7, Incremental: true, Remap: remap}
+	evicted, rebased := c.applyUpdate(rep)
+	if evicted+rebased != 2 {
+		t.Fatalf("sweep lost entries: evicted=%d rebased=%d", evicted, rebased)
+	}
+	for _, canon := range [][]int{a, b} {
+		moved := []int{canon[0] + 1}
+		keyStays := cacheKey(moved)&c.mask == cacheKey(canon)&c.mask
+		_, hit := c.get(cacheKey(moved), moved, 2)
+		if hit != keyStays {
+			t.Fatalf("canon %v→%v: warm=%v, want %v (same-shard=%v)", canon, moved, hit, keyStays, keyStays)
+		}
+	}
+}

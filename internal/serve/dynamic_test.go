@@ -3,6 +3,7 @@ package serve_test
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -343,3 +344,185 @@ func TestUpdateChurnRace(t *testing.T) {
 	}
 }
 
+// TestShardedCacheChurnRace is the sharded-cache concurrency gate (run
+// under -race in CI): many distinct failure events — spread across cache
+// shards — are probed concurrently over both the HTTP handler and the raw
+// FaultSet path while /update commits churn the topology, so per-shard
+// sweeps, cross-shard rebase evictions, singleflight compiles, and the
+// stale-probe retry all interleave. HTTP answers are oracle-checked per
+// generation; raw probes assert that the only error a racing client can
+// ever see is ErrStaleLabel.
+func TestShardedCacheChurnRace(t *testing.T) {
+	const (
+		n, f      = 160, 3
+		events    = 12
+		probers   = 10
+		iters     = 30
+		updates   = 15
+		churnBase = 100 // updates only touch vertices >= churnBase
+	)
+	nw := openNetwork(t, n, f, 21)
+	srv := serve.NewDynamicWithShards(func() serve.Scheme { return nw.Snapshot() }, nw, 64, 8)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var genMu sync.Mutex
+	gens := map[uint64]*graph.Graph{1: nw.Snapshot().Graph()}
+	graphAt := func(gen uint64) *graph.Graph {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			genMu.Lock()
+			g := gens[gen]
+			genMu.Unlock()
+			if g != nil || time.Now().After(deadline) {
+				return g
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	// Distinct stable failure events (edges entirely below churnBase), so
+	// their cache entries spread across shards and survive updates warm.
+	g0 := nw.Snapshot().Graph()
+	var stable [][2]int
+	for _, e := range g0.Edges {
+		if e.U < churnBase && e.V < churnBase {
+			stable = append(stable, [2]int{e.U, e.V})
+		}
+	}
+	if len(stable) < events+f {
+		t.Fatalf("only %d stable edges, need %d", len(stable), events+f)
+	}
+	faultSets := make([][][2]int, events)
+	for i := range faultSets {
+		faultSets[i] = stable[i : i+f]
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, probers)
+	for w := 0; w < probers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			prng := rand.New(rand.NewSource(int64(2000 + worker)))
+			for it := 0; it < iters; it++ {
+				ev := prng.Intn(events)
+				if worker%3 == 2 {
+					// A third of the load exercises the raw FaultSet path,
+					// which surfaces cache races directly (callers own the
+					// stale retry there).
+					snap := nw.Snapshot()
+					edges := make([]int, 0, f)
+					g := snap.Graph()
+					ok := true
+					for _, uv := range faultSets[ev] {
+						e := g.EdgeIndex(uv[0], uv[1])
+						if e < 0 {
+							ok = false
+							break
+						}
+						edges = append(edges, e)
+					}
+					if !ok {
+						continue // raced a commit mid-resolution; next iter
+					}
+					fs, _, err := srv.FaultSet(edges)
+					if err != nil {
+						if errors.Is(err, ftc.ErrStaleLabel) {
+							continue
+						}
+						errc <- fmt.Errorf("worker %d: FaultSet: %w", worker, err)
+						return
+					}
+					sv, tv := prng.Intn(n), prng.Intn(n)
+					if _, err := fs.Connected(snap.VertexLabel(sv), snap.VertexLabel(tv)); err != nil && !errors.Is(err, ftc.ErrStaleLabel) {
+						errc <- fmt.Errorf("worker %d: probe: %w", worker, err)
+						return
+					}
+					continue
+				}
+				req := serve.ConnectedRequest{Faults: faultSets[ev]}
+				for q := 0; q < 4; q++ {
+					req.Pairs = append(req.Pairs, [2]int{prng.Intn(n), prng.Intn(n)})
+				}
+				body, _ := json.Marshal(req)
+				resp, err := http.Post(ts.URL+"/connected", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errc <- err
+					return
+				}
+				var out serve.ConnectedResponse
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				code := resp.StatusCode
+				resp.Body.Close()
+				if err != nil || code != http.StatusOK {
+					errc <- fmt.Errorf("worker %d: status %d err %v", worker, code, err)
+					return
+				}
+				gg := graphAt(out.Generation)
+				if gg == nil {
+					errc <- fmt.Errorf("worker %d: unknown generation %d", worker, out.Generation)
+					return
+				}
+				set := map[int]bool{}
+				for _, uv := range faultSets[ev] {
+					set[gg.EdgeIndex(uv[0], uv[1])] = true
+				}
+				for i, p := range req.Pairs {
+					if want := graph.ConnectedUnder(gg, set, p[0], p[1]); out.Connected[i] != want {
+						errc <- fmt.Errorf("worker %d: gen %d event %d pair %v: got %v, want %v",
+							worker, out.Generation, ev, p, out.Connected[i], want)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	urng := rand.New(rand.NewSource(77))
+	for i := 0; i < updates; i++ {
+		cur := nw.Snapshot().Graph()
+		var req serve.UpdateRequest
+		for try := 0; try < 200 && len(req.Add) == 0; try++ {
+			u := churnBase + urng.Intn(n-churnBase)
+			v := churnBase + urng.Intn(n-churnBase)
+			if u != v && !cur.HasEdge(u, v) {
+				req.Add = [][2]int{{u, v}}
+			}
+		}
+		if len(req.Add) == 0 {
+			continue
+		}
+		next := cur.Clone()
+		for _, uv := range req.Add {
+			if _, err := next.AddEdge(uv[0], uv[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		status, out := postJSON[serve.UpdateResponse](t, ts.URL+"/update", req)
+		if status != http.StatusOK {
+			t.Fatalf("update %d: status %d", i, status)
+		}
+		genMu.Lock()
+		gens[out.Generation] = next
+		genMu.Unlock()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if len(st.CacheShards) != 8 {
+		t.Fatalf("expected 8 shards in stats, got %d", len(st.CacheShards))
+	}
+	var spread int
+	for _, sh := range st.CacheShards {
+		if sh.Size > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("all cache entries landed in %d shard(s); churn test is not exercising sharding", spread)
+	}
+}

@@ -28,20 +28,22 @@ type cacheEntry struct {
 }
 
 // lruCache is a mutex-guarded LRU of compiled fault sets keyed by the
-// canonical fault-label hash. The lock covers only map/list bookkeeping;
-// compilation and probing happen outside it. Entries are generation-
-// stamped: an update sweep (applyUpdate) evicts exactly the entries whose
-// fault edges were relabeled or removed and rebases the rest in place,
-// keeping their warm closures.
+// canonical fault-label hash — one shard of the serving cache (see
+// shardedCache). The lock covers only map/list bookkeeping; compilation
+// and probing happen outside it. Entries are generation-stamped: an update
+// sweep (applyUpdate) evicts exactly the entries whose fault edges were
+// relabeled or removed and rebases the rest in place, keeping their warm
+// closures. The counters are atomic so the stats path can aggregate across
+// shards without taking every shard lock.
 type lruCache struct {
 	mu      sync.Mutex
 	cap     int
 	ll      *list.List // front = most recently used; values are *cacheEntry
 	items   map[uint64]*list.Element
-	hits    uint64
-	misses  uint64
-	evicted uint64 // entries dropped by update sweeps
-	rebased uint64 // entries carried across generations by update sweeps
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	evicted atomic.Uint64 // entries dropped by update sweeps
+	rebased atomic.Uint64 // entries carried across generations by update sweeps
 }
 
 func newLRUCache(capacity int) *lruCache {
@@ -80,12 +82,12 @@ func (c *lruCache) get(key uint64, canon []int, gen uint64) (ent *cacheEntry, hi
 		ent := el.Value.(*cacheEntry)
 		if !equalInts(ent.canon, canon) {
 			// Collision bypass: count as a miss so lookups == hits+misses.
-			c.misses++
+			c.misses.Add(1)
 			return nil, false
 		}
 		if ent.gen == gen {
 			c.ll.MoveToFront(el)
-			c.hits++
+			c.hits.Add(1)
 			return ent, true
 		}
 		if ent.gen > gen {
@@ -93,13 +95,13 @@ func (c *lruCache) get(key uint64, canon []int, gen uint64) (ent *cacheEntry, hi
 			// holding a superseded view must not evict the warm entry the
 			// update sweep just rebased. Bypass the cache, like the
 			// collision path.
-			c.misses++
+			c.misses.Add(1)
 			return nil, false
 		}
 		c.ll.Remove(el)
 		delete(c.items, key)
 	}
-	c.misses++
+	c.misses.Add(1)
 	ent = &cacheEntry{key: key, canon: append([]int(nil), canon...), gen: gen}
 	c.items[key] = c.ll.PushFront(ent)
 	for c.ll.Len() > c.cap {
@@ -124,6 +126,16 @@ func (c *lruCache) get(key uint64, canon []int, gen uint64) (ent *cacheEntry, hi
 // is evicted, because this report says nothing about the commits it
 // missed.
 func (c *lruCache) applyUpdate(rep *core.CommitReport) (evicted, rebased int) {
+	return c.applyUpdateSharded(rep, 0, 0)
+}
+
+// applyUpdateSharded is applyUpdate for a cache that is one shard of
+// shardMask+1: a rebased entry whose remapped key hashes to a different
+// shard cannot be re-homed there (that shard's lock is not held), so it is
+// evicted instead — strictly less warm state than the unsharded sweep,
+// never less sound. With mask 0 every key maps back to this shard and the
+// behavior is exactly the historical applyUpdate.
+func (c *lruCache) applyUpdateSharded(rep *core.CommitReport, shardMask, self uint64) (evicted, rebased int) {
 	if rep.Incremental && len(rep.Relabeled) == 0 && len(rep.Removed) == 0 && rep.Remap == nil {
 		return 0, 0 // no-op commit: no generation change, nothing to sweep
 	}
@@ -171,8 +183,15 @@ func (c *lruCache) applyUpdate(rep *core.CommitReport) (evicted, rebased int) {
 		// Clean entry: carry it into the new generation. Remapping can
 		// change the key, so re-home it in the map; a collision with
 		// another surviving entry is impossible (canonical index sets are
-		// unique per event) but a hash collision is handled by dropping.
+		// unique per event) but a hash collision is handled by dropping,
+		// as is a remapped key that now belongs to a different shard.
 		fresh := &cacheEntry{key: cacheKey(canon), canon: canon, gen: rep.Gen}
+		if fresh.key&shardMask != self {
+			c.ll.Remove(el)
+			delete(c.items, ent.key)
+			evicted++
+			continue
+		}
 		fresh.fs = ent.fs.Rebase(rep.Token, rep.Gen)
 		fresh.err = ent.err
 		fresh.once.Do(func() {}) // already compiled
@@ -187,15 +206,16 @@ func (c *lruCache) applyUpdate(rep *core.CommitReport) (evicted, rebased int) {
 		c.items[fresh.key] = el
 		rebased++
 	}
-	c.evicted += uint64(evicted)
-	c.rebased += uint64(rebased)
+	c.evicted.Add(uint64(evicted))
+	c.rebased.Add(uint64(rebased))
 	return evicted, rebased
 }
 
 func (c *lruCache) stats() (hits, misses, evicted, rebased uint64, size, capacity int) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.evicted, c.rebased, c.ll.Len(), c.cap
+	size = c.ll.Len()
+	c.mu.Unlock()
+	return c.hits.Load(), c.misses.Load(), c.evicted.Load(), c.rebased.Load(), size, c.cap
 }
 
 func equalInts(a, b []int) bool {

@@ -1,9 +1,13 @@
 // Package serve is the probe-serving layer behind cmd/ftcserve: an HTTP
 // handler that answers batched s–t connectivity probes against one scheme,
-// with an LRU of compiled core.FaultSets so that repeated probes of the
-// same failure event hit the zero-alloc steady-state path instead of
+// with a sharded LRU of compiled core.FaultSets so that repeated probes of
+// the same failure event hit the zero-alloc steady-state path instead of
 // re-compiling the fault labels per request (the "one failure event, many
-// probes" deployment pattern of §7).
+// probes" deployment pattern of §7), and so that concurrent probes of
+// different events scale with cores instead of funneling through one
+// global mutex (shardedCache). The request pipeline canonicalizes and
+// hashes each request body exactly once into pooled scratch and answers
+// the whole batch per cache stab (probeScratch).
 //
 // A server can also be generation-aware: opened over a mutable network
 // (ftc.Network) it additionally serves POST /update, committing a batch of
@@ -20,6 +24,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -56,7 +61,7 @@ type Updatable interface {
 type Server struct {
 	view  func() Scheme // consistent immutable snapshot per call
 	upd   Updatable     // nil for static schemes
-	cache *lruCache
+	cache *shardedCache
 	start time.Time
 
 	// updMu serializes commits with their cache sweeps so sweeps apply in
@@ -68,10 +73,18 @@ type Server struct {
 	updates  atomic.Uint64
 }
 
-// New returns a server over the static scheme sch with an LRU holding up
-// to cacheSize compiled fault sets (minimum 1).
+// New returns a server over the static scheme sch with a sharded LRU
+// holding up to cacheSize compiled fault sets (minimum 1). The shard count
+// is picked from the capacity (defaultCacheShards); NewWithShards pins it.
 func New(sch Scheme, cacheSize int) *Server {
-	return NewDynamic(func() Scheme { return sch }, nil, cacheSize)
+	return NewWithShards(sch, cacheSize, 0)
+}
+
+// NewWithShards is New with an explicit cache shard count (rounded down to
+// a power of two; 0 picks the default; 1 reproduces the historical
+// single-lock LRU, which is what the load benchmark compares against).
+func NewWithShards(sch Scheme, cacheSize, shards int) *Server {
+	return NewDynamicWithShards(func() Scheme { return sch }, nil, cacheSize, shards)
 }
 
 // NewDynamic returns a generation-aware server. view must return the
@@ -81,16 +94,22 @@ func New(sch Scheme, cacheSize int) *Server {
 // clients see either the old or the new topology, never an error from the
 // race itself.
 func NewDynamic(view func() Scheme, upd Updatable, cacheSize int) *Server {
+	return NewDynamicWithShards(view, upd, cacheSize, 0)
+}
+
+// NewDynamicWithShards is NewDynamic with an explicit cache shard count
+// (see NewWithShards).
+func NewDynamicWithShards(view func() Scheme, upd Updatable, cacheSize, shards int) *Server {
 	return &Server{
 		view:  view,
 		upd:   upd,
-		cache: newLRUCache(cacheSize),
+		cache: newShardedCache(cacheSize, shards),
 		start: time.Now(),
 	}
 }
 
 // FaultSet resolves the given fault edge indices against the current
-// snapshot to a compiled FaultSet, serving it from the LRU when the same
+// snapshot to a compiled FaultSet, serving it from the cache when the same
 // failure event was compiled before at the same generation. The cache key
 // is a hash of the canonical (sorted, deduplicated) fault edge indices —
 // for a fixed generation these determine the fault labels one-to-one, so
@@ -104,9 +123,22 @@ func (s *Server) FaultSet(faultEdges []int) (*core.FaultSet, bool, error) {
 // faultSetFor is FaultSet against one explicit snapshot, so a probe
 // resolves fault labels and vertex labels from the same generation.
 func (s *Server) faultSetFor(sch Scheme, faultEdges []int) (*core.FaultSet, bool, error) {
-	canon := append([]int(nil), faultEdges...)
-	sort.Ints(canon)
-	canon = dedupeSorted(canon)
+	return s.faultSetCanon(sch, canonicalize(append([]int(nil), faultEdges...)))
+}
+
+// canonicalize sorts and deduplicates a fault-edge slice in place — the
+// canonical form every cache key, collision check, and compile works from.
+func canonicalize(edges []int) []int {
+	sort.Ints(edges)
+	return dedupeSorted(edges)
+}
+
+// faultSetCanon resolves an already-canonicalized fault-edge slice: the
+// request pipeline canonicalizes (and hashes) each request body exactly
+// once into pooled scratch, then answers the whole batch off this one
+// cache stab. canon is not retained — the cache copies it on insert — so
+// callers may pool it.
+func (s *Server) faultSetCanon(sch Scheme, canon []int) (*core.FaultSet, bool, error) {
 	m := sch.Graph().M()
 	// Validate before touching the cache: invalid events must not insert
 	// permanently-erroring entries that evict compiled valid fault sets.
@@ -219,12 +251,36 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// probeScratch is the pooled per-request state of the /connected pipeline:
+// the decoded request (whose slices the JSON decoder refills in place), the
+// canonical fault slice reused across the batch, the answer slice, and the
+// response-encoding buffer. Pooling these drops the steady-state probe path
+// from one allocation per field per request to near-zero — the remaining
+// allocations are the JSON decoder itself and net/http's own bookkeeping
+// (see BenchmarkHandleConnected).
+type probeScratch struct {
+	req   ConnectedRequest
+	resp  ConnectedResponse
+	canon []int
+	out   []bool
+	enc   bytes.Buffer // encoded response bytes
+}
+
+var probeScratchPool = sync.Pool{New: func() any {
+	return &probeScratch{out: make([]bool, 0, 16)}
+}}
+
 func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	var req ConnectedRequest
+	sc := probeScratchPool.Get().(*probeScratch)
+	defer probeScratchPool.Put(sc)
+	sc.req.Faults = sc.req.Faults[:0]
+	sc.req.FaultEdges = sc.req.FaultEdges[:0]
+	sc.req.Pairs = sc.req.Pairs[:0]
+	sc.req.Generation = 0
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(&sc.req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
@@ -233,7 +289,7 @@ func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 	// fast with ErrStaleLabel; one retry against a fresh snapshot settles
 	// it on the new generation.
 	for attempt := 0; ; attempt++ {
-		resp, status, err := s.probeOnce(&req)
+		status, err := s.probeOnce(sc)
 		if err != nil && errors.Is(err, core.ErrStaleLabel) && attempt == 0 {
 			continue
 		}
@@ -241,38 +297,43 @@ func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, status, errorResponse{Error: err.Error()})
 			return
 		}
-		s.probes.Add(uint64(len(req.Pairs)))
-		writeJSON(w, http.StatusOK, resp)
+		s.probes.Add(uint64(len(sc.req.Pairs)))
+		writeJSONBuf(w, http.StatusOK, &sc.resp, &sc.enc)
 		return
 	}
 }
 
-// probeOnce answers one batch probe against one consistent snapshot.
-func (s *Server) probeOnce(req *ConnectedRequest) (*ConnectedResponse, int, error) {
+// probeOnce answers one batch probe against one consistent snapshot into
+// sc.resp: the request body is canonicalized and hashed exactly once, the
+// cache is stabbed exactly once, and the whole batch of pairs is answered
+// against that one compiled FaultSet over the pooled answer slice.
+func (s *Server) probeOnce(sc *probeScratch) (int, error) {
+	req := &sc.req
 	sch := s.view()
 	g := sch.Graph()
 	n := g.N()
 	if req.Generation != 0 && req.Generation != sch.Generation() {
-		return nil, http.StatusConflict, fmt.Errorf("request pinned to generation %d, server at %d (edge indices may have shifted)",
+		return http.StatusConflict, fmt.Errorf("request pinned to generation %d, server at %d (edge indices may have shifted)",
 			req.Generation, sch.Generation())
 	}
-	edges := append([]int(nil), req.FaultEdges...)
+	sc.canon = append(sc.canon[:0], req.FaultEdges...)
 	for _, uv := range req.Faults {
 		e := -1
 		if uv[0] >= 0 && uv[0] < n && uv[1] >= 0 && uv[1] < n {
 			e = g.EdgeIndex(uv[0], uv[1])
 		}
 		if e < 0 {
-			return nil, http.StatusBadRequest, fmt.Errorf("no edge (%d,%d)", uv[0], uv[1])
+			return http.StatusBadRequest, fmt.Errorf("no edge (%d,%d)", uv[0], uv[1])
 		}
-		edges = append(edges, e)
+		sc.canon = append(sc.canon, e)
 	}
 	for _, p := range req.Pairs {
 		if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
-			return nil, http.StatusBadRequest, fmt.Errorf("vertex pair (%d,%d) out of range (n=%d)", p[0], p[1], n)
+			return http.StatusBadRequest, fmt.Errorf("vertex pair (%d,%d) out of range (n=%d)", p[0], p[1], n)
 		}
 	}
-	fs, hit, err := s.faultSetFor(sch, edges)
+	sc.canon = canonicalize(sc.canon)
+	fs, hit, err := s.faultSetCanon(sch, sc.canon)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, core.ErrDecode) {
@@ -283,9 +344,9 @@ func (s *Server) probeOnce(req *ConnectedRequest) (*ConnectedResponse, int, erro
 		if errors.Is(err, core.ErrStaleLabel) {
 			status = http.StatusConflict
 		}
-		return nil, status, err
+		return status, err
 	}
-	out := make([]bool, len(req.Pairs))
+	sc.out = sc.out[:0]
 	for i, p := range req.Pairs {
 		ok, err := fs.Connected(sch.VertexLabel(p[0]), sch.VertexLabel(p[1]))
 		if err != nil {
@@ -293,16 +354,17 @@ func (s *Server) probeOnce(req *ConnectedRequest) (*ConnectedResponse, int, erro
 			if errors.Is(err, core.ErrStaleLabel) {
 				status = http.StatusConflict
 			}
-			return nil, status, fmt.Errorf("pair %d: %w", i, err)
+			return status, fmt.Errorf("pair %d: %w", i, err)
 		}
-		out[i] = ok
+		sc.out = append(sc.out, ok)
 	}
-	return &ConnectedResponse{
-		Connected:  out,
+	sc.resp = ConnectedResponse{
+		Connected:  sc.out,
 		Faults:     fs.Faults(),
 		CacheHit:   hit,
 		Generation: sch.Generation(),
-	}, http.StatusOK, nil
+	}
+	return http.StatusOK, nil
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
@@ -366,24 +428,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// Stats is the GET /stats payload.
+// Stats is the GET /stats payload. CacheShards breaks the aggregate cache
+// counters down per shard — occupancy skew across shards is the first
+// thing to look at when hit rates drop after an /update storm.
 type Stats struct {
-	Requests      uint64  `json:"requests"`
-	Probes        uint64  `json:"probes"`
-	Updates       uint64  `json:"updates"`
-	Generation    uint64  `json:"generation"`
-	CacheHits     uint64  `json:"cache_hits"`
-	CacheMisses   uint64  `json:"cache_misses"`
-	CacheEvicted  uint64  `json:"cache_evicted_by_update"`
-	CacheRebased  uint64  `json:"cache_rebased_by_update"`
-	CacheSize     int     `json:"cache_size"`
-	CacheCapacity int     `json:"cache_capacity"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      uint64       `json:"requests"`
+	Probes        uint64       `json:"probes"`
+	Updates       uint64       `json:"updates"`
+	Generation    uint64       `json:"generation"`
+	CacheHits     uint64       `json:"cache_hits"`
+	CacheMisses   uint64       `json:"cache_misses"`
+	CacheEvicted  uint64       `json:"cache_evicted_by_update"`
+	CacheRebased  uint64       `json:"cache_rebased_by_update"`
+	CacheSize     int          `json:"cache_size"`
+	CacheCapacity int          `json:"cache_capacity"`
+	CacheShards   []ShardStats `json:"cache_shards"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
 }
 
 // Stats snapshots the serving counters.
 func (s *Server) Stats() Stats {
-	hits, misses, evicted, rebased, size, capacity := s.cache.stats()
+	hits, misses, evicted, rebased, size, capacity, per := s.cache.stats()
 	return Stats{
 		Requests:      s.requests.Load(),
 		Probes:        s.probes.Load(),
@@ -395,6 +460,7 @@ func (s *Server) Stats() Stats {
 		CacheRebased:  rebased,
 		CacheSize:     size,
 		CacheCapacity: capacity,
+		CacheShards:   per,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
 }
@@ -407,4 +473,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONBuf is writeJSON over a pooled buffer: the hot /connected path
+// encodes into scratch and hands the kernel one contiguous write.
+func writeJSONBuf(w http.ResponseWriter, status int, v any, buf *bytes.Buffer) {
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
 }

@@ -39,6 +39,13 @@ func (s *Scheme) Save(w io.Writer) error {
 // read-side API of Scheme — VertexLabel, EdgeLabel, Stats, and producing
 // labels for NewFaultSet — and its per-label marshalings are byte-identical
 // to those of the scheme that was saved.
+//
+// A scheme loaded from a current-format (v3) snapshot is lazy: the label
+// sections are aliased zero-copy and each label is decoded the first time
+// it is touched, so loading is O(1) in label bytes and a serving replica
+// only ever pays for the labels its traffic actually probes. Laziness is
+// invisible to the API — labels, queries, and marshalings are identical to
+// an eager load — and concurrent first touches are safe.
 type LoadedScheme struct {
 	Scheme
 }
@@ -48,11 +55,23 @@ type LoadedScheme struct {
 // fingerprint, and fails with ErrBadSnapshot / ErrSnapshotVersion rather
 // than returning a scheme that answers queries differently from the one
 // saved.
+//
+// Load buffers the whole stream first; when the snapshot is already in
+// memory (or memory-mapped), LoadBytes skips that copy.
 func Load(r io.Reader) (*LoadedScheme, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("ftc: reading snapshot: %w", err)
 	}
+	return LoadBytes(data)
+}
+
+// LoadBytes is Load over an in-memory snapshot, without copying it. For a
+// v3 snapshot the returned scheme's label arena aliases data, so the
+// caller must not modify data for the lifetime of the scheme; this is what
+// makes loading O(1) in label bytes (cmd/ftcserve reads the snapshot file
+// with os.ReadFile and hands it straight here).
+func LoadBytes(data []byte) (*LoadedScheme, error) {
 	inner, err := core.UnmarshalScheme(data)
 	if err != nil {
 		return nil, fmt.Errorf("ftc: %w", err)

@@ -123,11 +123,13 @@ func TestLoadRejectsGarbage(t *testing.T) {
 // goldenPath is the checked-in current-version snapshot fixture. The test
 // guarantees that any change to the wire format either keeps old snapshots
 // loadable or bumps core.SnapshotVersion (making old readers fail loudly) —
-// it can never silently re-interpret old bytes. goldenV1Path is the legacy
-// version-1 fixture, kept to prove v1 snapshots still load.
+// it can never silently re-interpret old bytes. goldenV1Path and
+// goldenV2Path are the legacy fixtures, kept to prove old snapshots still
+// load.
 const (
-	goldenPath   = "testdata/golden_v2.ftcsnap"
+	goldenPath   = "testdata/golden_v3.ftcsnap"
 	goldenV1Path = "testdata/golden_v1.ftcsnap"
+	goldenV2Path = "testdata/golden_v2.ftcsnap"
 )
 
 func goldenScheme(t *testing.T) *Scheme {
@@ -187,34 +189,101 @@ func TestGoldenSnapshotCompatibility(t *testing.T) {
 	}
 }
 
-// TestGoldenV1SnapshotStillLoads pins the version-1 compatibility promise:
-// snapshots written before the dynamic-network extension (no generation /
-// aux-slack fields) keep loading, with both fields defaulting to zero, and
-// decode to exactly what a fresh static build produces today.
-func TestGoldenV1SnapshotStillLoads(t *testing.T) {
-	data, err := os.ReadFile(goldenV1Path)
-	if err != nil {
-		t.Fatalf("missing legacy v1 fixture: %v", err)
-	}
-	if got := data[6]; got != 1 {
-		t.Fatalf("legacy fixture carries version %d, want 1", got)
-	}
-	loaded, err := Load(bytes.NewReader(data))
-	if err != nil {
-		t.Fatalf("v1 snapshot no longer loads: %v", err)
-	}
-	if loaded.Generation() != 0 {
-		t.Fatalf("v1 snapshot restored generation %d, want 0", loaded.Generation())
-	}
+// TestGoldenLegacySnapshotsStillLoad pins the backward-compatibility
+// promise for every historical wire version: the v1 fixture (written
+// before the dynamic-network extension; generation and aux slack default
+// to zero) and the v2 fixture (eager length-prefixed label sections) keep
+// loading and decode to exactly what a fresh static build produces today.
+func TestGoldenLegacySnapshotsStillLoad(t *testing.T) {
 	s := goldenScheme(t)
-	for v := 0; v < s.N(); v++ {
-		if !bytes.Equal(MarshalVertexLabel(s.VertexLabel(v)), MarshalVertexLabel(loaded.VertexLabel(v))) {
-			t.Fatalf("v1 vertex %d label differs from fresh build", v)
+	for _, tc := range []struct {
+		path    string
+		version byte
+	}{
+		{goldenV1Path, 1},
+		{goldenV2Path, 2},
+	} {
+		data, err := os.ReadFile(tc.path)
+		if err != nil {
+			t.Fatalf("missing legacy fixture: %v", err)
+		}
+		if got := data[6]; got != tc.version {
+			t.Fatalf("%s carries version %d, want %d", tc.path, got, tc.version)
+		}
+		loaded, err := Load(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("v%d snapshot no longer loads: %v", tc.version, err)
+		}
+		if loaded.Generation() != 0 {
+			t.Fatalf("v%d snapshot restored generation %d, want 0", tc.version, loaded.Generation())
+		}
+		for v := 0; v < s.N(); v++ {
+			if !bytes.Equal(MarshalVertexLabel(s.VertexLabel(v)), MarshalVertexLabel(loaded.VertexLabel(v))) {
+				t.Fatalf("v%d vertex %d label differs from fresh build", tc.version, v)
+			}
+		}
+		for e := 0; e < s.M(); e++ {
+			if !bytes.Equal(MarshalEdgeLabel(s.EdgeLabelByIndex(e)), MarshalEdgeLabel(loaded.EdgeLabelByIndex(e))) {
+				t.Fatalf("v%d edge %d label differs from fresh build", tc.version, e)
+			}
 		}
 	}
-	for e := 0; e < s.M(); e++ {
-		if !bytes.Equal(MarshalEdgeLabel(s.EdgeLabelByIndex(e)), MarshalEdgeLabel(loaded.EdgeLabelByIndex(e))) {
-			t.Fatalf("v1 edge %d label differs from fresh build", e)
+}
+
+// TestSnapshotVersionMatrix is the cross-version equivalence gate: one
+// scheme written at every wire version this build speaks must load back —
+// eagerly for v1/v2, lazily for v3 — to byte-identical per-label
+// marshalings and identical metadata. It also pins the laziness itself:
+// loading a v3 snapshot decodes no labels until one is touched.
+func TestSnapshotVersionMatrix(t *testing.T) {
+	for name, s := range persistSchemes(t, 3) {
+		inner := s.Inner()
+		loads := map[byte]*LoadedScheme{}
+		for _, version := range []byte{1, 2, 3} {
+			data, err := inner.MarshalBinaryVersion(version)
+			if err != nil {
+				t.Fatalf("%s: marshal v%d: %v", name, version, err)
+			}
+			if got := data[6]; got != version {
+				t.Fatalf("%s: wrote version byte %d, want %d", name, got, version)
+			}
+			loaded, err := Load(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("%s: load v%d: %v", name, version, err)
+			}
+			loads[version] = loaded
+		}
+		if lazy, _, _ := loads[2].Inner().LazyLabels(); lazy {
+			t.Fatalf("%s: v2 load is lazy, want eager", name)
+		}
+		lazy, verts, edges := loads[3].Inner().LazyLabels()
+		if !lazy || verts != 0 || edges != 0 {
+			t.Fatalf("%s: v3 load not lazy-and-untouched (lazy=%v verts=%d edges=%d)",
+				name, lazy, verts, edges)
+		}
+		for v := 0; v < s.N(); v++ {
+			want := MarshalVertexLabel(s.VertexLabel(v))
+			for version, loaded := range loads {
+				if !bytes.Equal(want, MarshalVertexLabel(loaded.VertexLabel(v))) {
+					t.Fatalf("%s: v%d vertex %d label differs", name, version, v)
+				}
+			}
+		}
+		for e := 0; e < s.M(); e++ {
+			want := MarshalEdgeLabel(s.EdgeLabelByIndex(e))
+			for version, loaded := range loads {
+				if !bytes.Equal(want, MarshalEdgeLabel(loaded.EdgeLabelByIndex(e))) {
+					t.Fatalf("%s: v%d edge %d label differs", name, version, e)
+				}
+			}
+		}
+		if _, verts, edges := loads[3].Inner().LazyLabels(); verts != s.N() || edges != s.M() {
+			t.Fatalf("%s: v3 arena did not materialize on touch (verts=%d edges=%d)", name, verts, edges)
+		}
+		for version, loaded := range loads {
+			if loaded.Stats() != s.Stats() {
+				t.Fatalf("%s: v%d stats differ: %+v vs %+v", name, version, loaded.Stats(), s.Stats())
+			}
 		}
 	}
 }
