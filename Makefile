@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench bench-build bench-query bench-serve bench-update bench-load fuzz clean
+.PHONY: build test vet bench bench-build bench-query bench-serve bench-update bench-load bench-load-full fuzz clean
 
 build:
 	$(GO) build ./...
@@ -33,11 +33,17 @@ bench-serve:
 bench-update:
 	$(GO) run ./cmd/ftcbench update -json
 
-# Closed-loop serving load (concurrent-client probe QPS/latency, single-lock
-# vs sharded cache, v2-eager vs v3-lazy snapshot load) + BENCH_load.json
-# (E18). CI runs this with -smoke.
+# Closed-loop serving load in smoke mode, both protocol surfaces (E18 cache
+# grid + E19 json-vs-bin protocol grid) — seconds, suitable for CI and quick
+# local sanity. Writes a smoke-sized BENCH_load.json; use bench-load-full to
+# regenerate the checked-in one.
 bench-load:
-	$(GO) run ./cmd/ftcbench load -json
+	$(GO) run ./cmd/ftcbench load -smoke -proto both -json
+
+# The full E18+E19 load run that regenerates the checked-in BENCH_load.json
+# (1M warm ops, 10k requests per protocol cell; minutes, not seconds).
+bench-load-full:
+	$(GO) run ./cmd/ftcbench load -proto both -json
 
 # Short fuzz runs of the label and snapshot codecs (the CI smoke; drop the
 # -fuzztime to explore for real).
@@ -46,6 +52,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshalEdgeLabel' -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeOutgoing' -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshalScheme' -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz 'FuzzWireFrame' -fuzztime 10s ./internal/serve/wire
 
 clean:
 	$(GO) clean ./...

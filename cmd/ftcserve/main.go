@@ -8,6 +8,7 @@
 //	ftcserve -graph g.txt [-f 3] [-scheme det|greedy|rand|agm] [-seed 1] [-save scheme.ftcsnap]
 //	ftcserve -graph g.txt -dynamic [-headroom 8]
 //	ftcserve -snapshot scheme.ftcsnap -pprof localhost:6060
+//	ftcserve -snapshot scheme.ftcsnap -listen-bin :8338
 //
 // Loading a current-format (v3) snapshot is O(1) in label bytes: the label
 // arena is mapped lazily and each label is decoded on its first probe, so
@@ -22,6 +23,13 @@
 //	                 → {"generation":2, "incremental":true, "relabeled":5, ...}
 //	GET  /healthz    liveness, scheme shape, and generation
 //	GET  /stats      serving and cache counters, incl. per-shard occupancy/hits/misses
+//	GET  /metrics    the same counters in Prometheus text exposition format
+//
+// With -listen-bin the daemon additionally serves the binary frame protocol
+// (internal/serve/wire) on a second listener: length-prefixed probe frames
+// over persistent pipelined connections, sharing the fault-set cache and
+// generation semantics with the HTTP surface while skipping JSON entirely —
+// the hot path for probe-heavy clients (see ftcbench load -proto bin).
 //
 // With -pprof the daemon additionally serves net/http/pprof on a separate
 // side listener (keep it bound to localhost), so CPU and heap profiles can
@@ -50,10 +58,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"sync"
 	"syscall"
 	"time"
 
@@ -76,6 +87,7 @@ func main() {
 	dynamic := flag.Bool("dynamic", false, "serve a mutable network with POST /update (with -graph)")
 	headroom := flag.Int("headroom", 0, "per-vertex incremental insertion headroom (with -dynamic; 0 = default)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty = off)")
+	listenBin := flag.String("listen-bin", "", "additionally serve the binary frame protocol on this address (e.g. :8338; empty = off)")
 	flag.Parse()
 
 	srv, err := openServer(*snapshot, *graphPath, *f, *schemeKind, *seed, *savePath, *cacheSize, *cacheShards, *dynamic, *headroom)
@@ -89,10 +101,33 @@ func main() {
 	// Importing net/http/pprof registers its handlers on the default mux,
 	// which the main server below never uses.
 	if *pprofAddr != "" {
+		// With profiling on, also sample lock contention: the mutex and block
+		// profiles are what the load benchmark's contention proxy points at
+		// when a single-lock cache (or a saturated shard) is the bottleneck.
+		runtime.SetMutexProfileFraction(100)
+		runtime.SetBlockProfileRate(100_000) // sample blocks ≥100µs
 		go func() {
 			log.Printf("pprof listening on %s (/debug/pprof/)", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				log.Printf("ftcserve: pprof listener: %v", err)
+			}
+		}()
+	}
+
+	// The binary frame listener shares the Server — and therefore the
+	// fault-set cache, the generation-aware retry, and the update path —
+	// with the HTTP handler; it only swaps the serialization.
+	var binLn net.Listener
+	if *listenBin != "" {
+		var err error
+		binLn, err = net.Listen("tcp", *listenBin)
+		if err != nil {
+			log.Fatalf("ftcserve: bin listener: %v", err)
+		}
+		go func() {
+			log.Printf("binary protocol listening on %s", *listenBin)
+			if err := srv.ServeBin(binLn); err != nil {
+				log.Printf("ftcserve: bin listener: %v", err)
 			}
 		}()
 	}
@@ -123,10 +158,23 @@ func main() {
 		log.Printf("shutting down: draining in-flight requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		// Both protocol surfaces drain concurrently under one deadline: the
+		// bin side closes its listener, wakes idle connections, and lets
+		// frames already in flight finish and flush.
+		var wg sync.WaitGroup
+		if binLn != nil {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = binLn.Close()
+				srv.ShutdownBin(shutdownCtx)
+			}()
+		}
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("ftcserve: forced shutdown: %v", err)
 			_ = httpSrv.Close()
 		}
+		wg.Wait()
 	}
 	log.Printf("bye")
 }

@@ -1,0 +1,153 @@
+package difftest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	ftc "repro"
+	"repro/internal/graph"
+	"repro/internal/serve"
+	"repro/internal/serve/wireclient"
+)
+
+// TestProtocolEquivalence is the cross-protocol cell of the differential
+// layer: for every scheme kind, the JSON HTTP surface and the binary frame
+// surface of ONE server must return identical answers for identical seeded
+// (fault-set, query-batch) loads — and both must match the BFS oracle.
+// The two surfaces share the snapshot, the cache, and the compiled fault
+// sets, so a divergence here means the wire codec (canonicalization,
+// hashing, bitmap packing) corrupted a probe in one direction.
+func TestProtocolEquivalence(t *testing.T) {
+	const (
+		f             = 3
+		faultSets     = 25
+		queriesPerSet = 16
+	)
+	opts := map[string]ftc.Option{
+		"det-netfind": ftc.WithDeterministic(),
+		"rand-rs":     ftc.WithRandomized(29),
+		"agm-full":    ftc.WithAGM(29),
+	}
+	for name, opt := range opts {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(name))))
+			g := familyGraph(t, "erdos-renyi", 120, rng)
+			sch, err := ftc.NewFromGraph(g, ftc.WithMaxFaults(f), opt)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			srv := serve.New(sch, 32)
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			go srv.ServeBin(ln)
+			defer func() {
+				ln.Close()
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				srv.ShutdownBin(ctx)
+			}()
+			cl, err := wireclient.Dial(ln.Addr().String(), wireclient.Options{Conns: 2, Inflight: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+
+			for trial := 0; trial < faultSets; trial++ {
+				faults := make([]int, 1+rng.Intn(f))
+				for i := range faults {
+					faults[i] = rng.Intn(g.M())
+				}
+				pairs := make([][2]int, queriesPerSet)
+				for i := range pairs {
+					pairs[i] = [2]int{rng.Intn(g.N()), rng.Intn(g.N())}
+				}
+
+				httpAns, httpErr := postConnectedJSON(t, ts.URL, faults, pairs)
+				binAns, binErr := cl.Probe(faults, pairs)
+
+				// The AGM kind may detect a decode failure; both surfaces
+				// must then fail (same compiled fault set → same verdict),
+				// never answer differently.
+				if (httpErr == nil) != (binErr == nil) {
+					t.Fatalf("trial %d: surfaces disagree on error: http=%v bin=%v (faults %v)",
+						trial, httpErr, binErr, faults)
+				}
+				if httpErr != nil {
+					continue
+				}
+				set := map[int]bool{}
+				for _, e := range faults {
+					set[e] = true
+				}
+				for i := range pairs {
+					if binAns[i] != httpAns[i] {
+						t.Fatalf("trial %d pair %d: bin=%v http=%v (faults %v, pair %v)",
+							trial, i, binAns[i], httpAns[i], faults, pairs[i])
+					}
+					oracle := graph.ConnectedUnder(g, set, pairs[i][0], pairs[i][1])
+					if binAns[i] != oracle {
+						t.Fatalf("trial %d pair %d: both surfaces answer %v, oracle says %v (faults %v, pair %v)",
+							trial, i, binAns[i], oracle, faults, pairs[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// familyGraph resolves one of the workload families by name.
+func familyGraph(t *testing.T, name string, n int, rng *rand.Rand) *graph.Graph {
+	t.Helper()
+	for _, fam := range families {
+		if fam.name == name {
+			return fam.gen(n, rng)
+		}
+	}
+	t.Fatalf("unknown family %q", name)
+	return nil
+}
+
+// postConnectedJSON drives the HTTP surface with fault edge indices.
+func postConnectedJSON(t *testing.T, url string, faults []int, pairs [][2]int) ([]bool, error) {
+	t.Helper()
+	body, err := json.Marshal(serve.ConnectedRequest{FaultEdges: faults, Pairs: pairs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/connected", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, &probeError{status: resp.StatusCode, msg: e.Error}
+	}
+	var out serve.ConnectedResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Connected, nil
+}
+
+type probeError struct {
+	status int
+	msg    string
+}
+
+func (e *probeError) Error() string { return e.msg }

@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve/wire"
+)
+
+// The binary protocol surface: the same Server that answers JSON over
+// HTTP also accepts persistent framed connections (wire package), sharing
+// the sharded fault-set cache, the generation-aware retry, and the update
+// path. One connection is one goroutine reading frames in order and
+// writing responses in the same order — which is what lets clients
+// pipeline: responses match requests FIFO, so a client may keep any
+// number of batches in flight per connection.
+//
+// The frame hot path allocates nothing at steady state: the wire.Reader
+// peeks frames zero-copy out of the connection buffer, DecodeProbe
+// refills a per-connection FrameScratch in place (computing the cache key
+// incrementally from the canonical on-the-wire fault edges), the probe
+// rides the same compiled-FaultSet path as HTTP, and the response is
+// encoded into a reused buffer and handed to a buffered writer that only
+// flushes when the inbound queue is drained (so a pipelined burst of k
+// frames costs one syscall pair, not k).
+
+// binFlushEvery bounds how many responses may accumulate before a flush
+// even while requests keep arriving, so one greedy pipelining client
+// cannot defer its own responses indefinitely behind a saturated reader.
+const binFlushEvery = 64
+
+// FrameScratch is the reusable per-connection (or per-benchmark) state of
+// the binary probe path: the decoded request, the answer slice, and the
+// response encode buffer. A zero value is usable; reuse across calls is
+// what makes HandleFrame allocation-free at steady state.
+type FrameScratch struct {
+	req  wire.ProbeReq
+	out  []bool
+	resp []byte
+}
+
+// HandleFrame processes one frame payload against the server: decode,
+// probe (with the same one-retry ErrStaleLabel semantics as the HTTP
+// handler), encode. The returned response bytes alias sc.resp and are
+// valid until the next call with the same scratch. fatal reports a
+// protocol violation after which the connection must be closed (the
+// response, if any, should still be written first). It is exported so
+// benchmarks and fuzzers can drive the exact serving path without a
+// socket.
+func (s *Server) HandleFrame(sc *FrameScratch, op byte, payload []byte) (resp []byte, fatal bool) {
+	s.binRequests.Add(1)
+	if op != wire.OpProbe {
+		s.frameErrors.Add(1)
+		sc.resp = wire.AppendError(sc.resp[:0], 0, wire.CodeBadRequest, fmt.Sprintf("unknown opcode 0x%02x", op))
+		return sc.resp, true
+	}
+	if err := wire.DecodeProbe(payload, &sc.req); err != nil {
+		s.frameErrors.Add(1)
+		sc.resp = wire.AppendError(sc.resp[:0], sc.req.ID, wire.CodeBadRequest, err.Error())
+		return sc.resp, true
+	}
+	// Same race rule as the HTTP path: a probe that straddles a commit can
+	// observe two generations and fails fast with ErrStaleLabel; one retry
+	// against a fresh snapshot settles it.
+	for attempt := 0; ; attempt++ {
+		code, err := s.probeFrameOnce(sc)
+		if err != nil && errors.Is(err, core.ErrStaleLabel) && attempt == 0 {
+			continue
+		}
+		if err != nil {
+			sc.resp = wire.AppendError(sc.resp[:0], sc.req.ID, code, err.Error())
+			return sc.resp, false
+		}
+		s.probes.Add(uint64(len(sc.req.Pairs)))
+		return sc.resp, false
+	}
+}
+
+// probeFrameOnce answers one decoded probe frame against one consistent
+// snapshot, encoding the response into sc.resp. The fault edges arrived
+// canonical (wire.DecodeProbe enforces strictly ascending) with the cache
+// key already computed, so this is one cache stab and a batch of
+// zero-alloc probes.
+func (s *Server) probeFrameOnce(sc *FrameScratch) (uint16, error) {
+	sch := s.view()
+	n := sch.Graph().N()
+	if sc.req.GenPin != 0 && sc.req.GenPin != sch.Generation() {
+		return wire.CodeConflict, fmt.Errorf("request pinned to generation %d, server at %d (edge indices may have shifted)",
+			sc.req.GenPin, sch.Generation())
+	}
+	for _, p := range sc.req.Pairs {
+		if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
+			return wire.CodeBadRequest, fmt.Errorf("vertex pair (%d,%d) out of range (n=%d)", p[0], p[1], n)
+		}
+	}
+	fs, hit, err := s.faultSetCanonKey(sch, sc.req.Faults, sc.req.Key)
+	if err != nil {
+		code := wire.CodeUnprocessable
+		if errors.Is(err, core.ErrDecode) {
+			code = wire.CodeInternal
+		}
+		if errors.Is(err, core.ErrStaleLabel) {
+			code = wire.CodeConflict
+		}
+		return code, err
+	}
+	sc.out = sc.out[:0]
+	for i, p := range sc.req.Pairs {
+		ok, err := fs.Connected(sch.VertexLabel(p[0]), sch.VertexLabel(p[1]))
+		if err != nil {
+			code := wire.CodeInternal
+			if errors.Is(err, core.ErrStaleLabel) {
+				code = wire.CodeConflict
+			}
+			return code, fmt.Errorf("pair %d: %w", i, err)
+		}
+		sc.out = append(sc.out, ok)
+	}
+	sc.resp = wire.AppendProbeResp(sc.resp[:0], sc.req.ID, hit, sch.Generation(), fs.Faults(), sc.out)
+	return 0, nil
+}
+
+// ServeBin accepts framed-protocol connections until the listener is
+// closed, serving each connection on its own goroutine. It returns nil
+// once the listener reports closure (net.ErrClosed), any other accept
+// error otherwise. Pair it with ShutdownBin for a graceful stop.
+func (s *Server) ServeBin(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.serveBinConn(conn)
+	}
+}
+
+// registerBinConn tracks a live connection so ShutdownBin can wake and
+// close it; reports false when the server is already draining.
+func (s *Server) registerBinConn(conn net.Conn) bool {
+	s.binMu.Lock()
+	defer s.binMu.Unlock()
+	if s.binDraining {
+		return false
+	}
+	if s.binOpen == nil {
+		s.binOpen = make(map[net.Conn]struct{})
+	}
+	s.binOpen[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) unregisterBinConn(conn net.Conn) {
+	s.binMu.Lock()
+	delete(s.binOpen, conn)
+	s.binMu.Unlock()
+}
+
+func (s *Server) binIsDraining() bool {
+	s.binMu.Lock()
+	defer s.binMu.Unlock()
+	return s.binDraining
+}
+
+// ShutdownBin gracefully stops the framed-protocol side: new connections
+// are refused, existing connections finish the frames already in flight
+// (their read loops are woken via a read deadline, flush buffered
+// responses, and exit), and any connection still open when ctx expires is
+// force-closed. The caller is responsible for closing the listener first
+// so ServeBin stops accepting.
+func (s *Server) ShutdownBin(ctx context.Context) {
+	s.binMu.Lock()
+	s.binDraining = true
+	for conn := range s.binOpen {
+		// Wake blocked reads; the conn loop sees the draining flag, flushes,
+		// and closes cleanly.
+		_ = conn.SetReadDeadline(time.Now())
+	}
+	s.binMu.Unlock()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.binMu.Lock()
+		open := len(s.binOpen)
+		s.binMu.Unlock()
+		if open == 0 {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			s.binMu.Lock()
+			for conn := range s.binOpen {
+				_ = conn.Close()
+			}
+			s.binMu.Unlock()
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// binScratchPool recycles per-connection scratch across connection churn.
+var binScratchPool = sync.Pool{New: func() any { return &FrameScratch{} }}
+
+// serveBinConn runs one framed connection: handshake, then the frame
+// loop. Responses are flushed when the inbound buffer drains (or every
+// binFlushEvery frames), so pipelined bursts amortize syscalls.
+func (s *Server) serveBinConn(conn net.Conn) {
+	defer conn.Close()
+	if !s.registerBinConn(conn) {
+		return
+	}
+	defer s.unregisterBinConn(conn)
+	s.binConns.Add(1)
+	defer s.binConns.Add(-1)
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	var hello [wire.ClientHelloLen]byte
+	if _, err := io.ReadFull(br, hello[:]); err != nil {
+		return
+	}
+	if err := wire.ParseClientHello(hello[:]); err != nil {
+		s.frameErrors.Add(1)
+		return
+	}
+	if _, err := bw.Write(wire.AppendServerHello(nil, s.view().Generation())); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	rd := wire.NewReader(br)
+	sc := binScratchPool.Get().(*FrameScratch)
+	defer binScratchPool.Put(sc)
+	unflushed := 0
+	for {
+		if s.binIsDraining() {
+			_ = bw.Flush()
+			return
+		}
+		op, payload, err := rd.Next()
+		if err != nil {
+			// EOF, peer reset, or a deadline poke from ShutdownBin: flush
+			// whatever was answered and drop the connection. Framing errors
+			// (oversized/corrupt length) are counted — they are the protocol
+			// analog of the HTTP 400 path.
+			if errors.Is(err, wire.ErrFrame) {
+				s.frameErrors.Add(1)
+			}
+			_ = bw.Flush()
+			return
+		}
+		s.binInflight.Add(1)
+		resp, fatal := s.HandleFrame(sc, op, payload)
+		_, werr := bw.Write(resp)
+		s.binInflight.Add(-1)
+		if werr != nil || fatal {
+			_ = bw.Flush()
+			return
+		}
+		unflushed++
+		if rd.Buffered() == 0 || unflushed >= binFlushEvery {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			unflushed = 0
+		}
+	}
+}

@@ -2,12 +2,11 @@ package serve
 
 import (
 	"container/list"
-	"encoding/binary"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/serve/wire"
 )
 
 // cacheEntry is one compiled failure event at one scheme generation. The
@@ -58,15 +57,12 @@ func newLRUCache(capacity int) *lruCache {
 }
 
 // cacheKey hashes a canonical (sorted, deduplicated) fault-edge index
-// slice.
+// slice. It delegates to the wire protocol's FaultKey, which is the
+// single source of truth for this hash: the binary probe path computes
+// the same value incrementally while decoding a frame, so both protocol
+// surfaces address one cache with one hashing pass each.
 func cacheKey(canon []int) uint64 {
-	var buf [8]byte
-	h := fnv.New64a()
-	for _, e := range canon {
-		binary.LittleEndian.PutUint64(buf[:], uint64(e))
-		h.Write(buf[:])
-	}
-	return h.Sum64()
+	return wire.FaultKey(canon)
 }
 
 // get returns the entry for (key, canon) at generation gen, inserting (and

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The Prometheus-format metrics surface: GET /metrics renders the same
+// counters as /stats in the text exposition format, hand-rolled (no
+// client library dependency — the format is lines of `name{labels} value`
+// with # HELP / # TYPE preambles). This is the first piece of the
+// replicated-tier ops story: a fleet of ftcserve replicas becomes
+// scrapeable by any standard Prometheus/Grafana stack, and the per-shard
+// cache counters make occupancy skew after an /update storm visible
+// without shelling into the box.
+
+// metricsNamespace prefixes every exported series.
+const metricsNamespace = "ftcserve"
+
+// handleMetrics renders the serving counters in Prometheus text format.
+// The exposition is rebuilt per scrape from the same atomics /stats reads
+// — scrapes never take the cache shard locks beyond the size reads /stats
+// already performs.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	var b strings.Builder
+	b.Grow(2048)
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s %d\n",
+			metricsNamespace, name, help, metricsNamespace, name, metricsNamespace, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s_%s %s\n# TYPE %s_%s gauge\n%s_%s %s\n",
+			metricsNamespace, name, help, metricsNamespace, name, metricsNamespace, name,
+			strconv.FormatFloat(v, 'g', -1, 64))
+	}
+
+	counter("probes_total", "Connectivity probes answered (pairs, both protocols).", st.Probes)
+	counter("http_requests_total", "POST /connected requests received.", st.Requests)
+	counter("bin_requests_total", "Binary-protocol frames received.", st.BinRequests)
+	counter("updates_total", "POST /update batches committed.", st.Updates)
+	counter("frame_decode_errors_total", "Binary frames rejected as malformed.", st.FrameErrors)
+	counter("cache_evicted_by_update_total", "Cache entries evicted by update sweeps.", st.CacheEvicted)
+	counter("cache_rebased_by_update_total", "Cache entries rebased across generations by update sweeps.", st.CacheRebased)
+	gauge("generation", "Current scheme generation.", float64(st.Generation))
+	gauge("bin_connections", "Open binary-protocol connections.", float64(st.BinConns))
+	gauge("bin_inflight_batches", "Binary-protocol frames currently being served.", float64(st.BinInflight))
+	gauge("cache_capacity_entries", "Total fault-set cache capacity.", float64(st.CacheCapacity))
+	gauge("uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+
+	// Per-shard cache series: hit-rate collapse or occupancy skew across
+	// shards is the first thing to look at when latency regresses after an
+	// /update storm.
+	perShard := func(name, help, typ string, get func(ShardStats) float64) {
+		fmt.Fprintf(&b, "# HELP %s_%s %s\n# TYPE %s_%s %s\n",
+			metricsNamespace, name, help, metricsNamespace, name, typ)
+		for i, sh := range st.CacheShards {
+			fmt.Fprintf(&b, "%s_%s{shard=\"%d\"} %s\n",
+				metricsNamespace, name, i, strconv.FormatFloat(get(sh), 'g', -1, 64))
+		}
+	}
+	perShard("cache_hits_total", "Fault-set cache hits per shard.", "counter",
+		func(sh ShardStats) float64 { return float64(sh.Hits) })
+	perShard("cache_misses_total", "Fault-set cache misses per shard.", "counter",
+		func(sh ShardStats) float64 { return float64(sh.Misses) })
+	perShard("cache_entries", "Compiled fault sets held per shard.", "gauge",
+		func(sh ShardStats) float64 { return float64(sh.Size) })
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"sort"
 	"sync"
@@ -71,6 +72,16 @@ type Server struct {
 	probes   atomic.Uint64
 	requests atomic.Uint64
 	updates  atomic.Uint64
+
+	// Binary-protocol surface (binserver.go): frame counters plus the
+	// connection registry ShutdownBin drains.
+	binRequests atomic.Uint64
+	frameErrors atomic.Uint64
+	binInflight atomic.Int64
+	binConns    atomic.Int64
+	binMu       sync.Mutex
+	binOpen     map[net.Conn]struct{}
+	binDraining bool
 }
 
 // New returns a server over the static scheme sch with a sharded LRU
@@ -139,6 +150,13 @@ func canonicalize(edges []int) []int {
 // cache stab. canon is not retained — the cache copies it on insert — so
 // callers may pool it.
 func (s *Server) faultSetCanon(sch Scheme, canon []int) (*core.FaultSet, bool, error) {
+	return s.faultSetCanonKey(sch, canon, cacheKey(canon))
+}
+
+// faultSetCanonKey is faultSetCanon with the cache key precomputed — the
+// binary protocol hashes the canonical fault edges while decoding the
+// frame (wire.DecodeProbe), so the serving path never hashes twice.
+func (s *Server) faultSetCanonKey(sch Scheme, canon []int, key uint64) (*core.FaultSet, bool, error) {
 	m := sch.Graph().M()
 	// Validate before touching the cache: invalid events must not insert
 	// permanently-erroring entries that evict compiled valid fault sets.
@@ -159,7 +177,7 @@ func (s *Server) faultSetCanon(sch Scheme, canon []int) (*core.FaultSet, bool, e
 		}
 		return core.CompileFaults(labels)
 	}
-	ent, hit := s.cache.get(cacheKey(canon), canon, sch.Generation())
+	ent, hit := s.cache.get(key, canon, sch.Generation())
 	if ent == nil {
 		// Key collision with a different fault set: serve correctness over
 		// caching and compile a one-off set.
@@ -240,6 +258,7 @@ const maxRequestBytes = 1 << 20
 //	POST /update    — commit a topology batch (dynamic servers only)
 //	GET  /healthz   — liveness plus scheme shape
 //	GET  /stats     — serving and cache counters
+//	GET  /metrics   — the same counters in Prometheus text format
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /connected", s.handleConnected)
@@ -248,6 +267,7 @@ func (s *Server) Handler() http.Handler {
 	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -433,6 +453,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // thing to look at when hit rates drop after an /update storm.
 type Stats struct {
 	Requests      uint64       `json:"requests"`
+	BinRequests   uint64       `json:"bin_requests"`
+	BinConns      int64        `json:"bin_connections"`
+	BinInflight   int64        `json:"bin_inflight_batches"`
+	FrameErrors   uint64       `json:"frame_decode_errors"`
 	Probes        uint64       `json:"probes"`
 	Updates       uint64       `json:"updates"`
 	Generation    uint64       `json:"generation"`
@@ -451,6 +475,10 @@ func (s *Server) Stats() Stats {
 	hits, misses, evicted, rebased, size, capacity, per := s.cache.stats()
 	return Stats{
 		Requests:      s.requests.Load(),
+		BinRequests:   s.binRequests.Load(),
+		BinConns:      s.binConns.Load(),
+		BinInflight:   s.binInflight.Load(),
+		FrameErrors:   s.frameErrors.Load(),
 		Probes:        s.probes.Load(),
 		Updates:       s.updates.Load(),
 		Generation:    s.view().Generation(),

@@ -1,0 +1,326 @@
+// Package wireclient is the pipelined client side of the binary probe
+// protocol (internal/serve/wire): a fixed pool of persistent connections,
+// each carrying up to a bounded number of in-flight batches, with
+// responses matched to requests FIFO per connection (the server answers
+// in order by contract).
+//
+// Pipelining model: Probe/ProbeInto are synchronous per caller, but any
+// number of goroutines may call concurrently — calls are spread
+// round-robin over the connections, and each connection interleaves the
+// writes of every caller queued on it. With more callers than
+// connections, a connection's wire therefore carries several requests
+// before the first response returns, which is what amortizes syscalls and
+// keeps the server's frame loop fed (its response flush batches while
+// requests are buffered). The Inflight bound is enforced by the pending
+// queue: a caller blocks before writing once that many batches are
+// unanswered on its connection.
+//
+// The steady-state client path is allocation-light: calls, canonical
+// fault buffers, and encode buffers are pooled, and the caller may pass
+// its own answer slice to ProbeInto.
+//
+// The client does not reconnect: a connection error fails the calls in
+// flight on it and poisons the client (every later call returns the same
+// error). That is the right shape for the load generator and the tests —
+// a serving-tier client with retry/hedging policy belongs a layer up.
+package wireclient
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve/wire"
+)
+
+// Options shape a Client.
+type Options struct {
+	// Conns is the number of persistent connections (default 1).
+	Conns int
+	// Inflight is the per-connection bound on unanswered batches
+	// (default 32).
+	Inflight int
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+}
+
+// ServerError is a failure reported by the server in an error frame, with
+// the protocol's HTTP-aligned code preserved so callers can distinguish a
+// generation conflict (wire.CodeConflict) from an invalid request.
+type ServerError struct {
+	Code uint16
+	Msg  string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("server error %d: %s", e.Code, e.Msg)
+}
+
+// call is one in-flight probe. done is buffered so the reader never
+// blocks handing off a result.
+type call struct {
+	id    uint64
+	dst   []bool
+	resp  wire.ProbeResp
+	err   error
+	canon []int
+	frame []byte
+	done  chan struct{}
+}
+
+var callPool = sync.Pool{New: func() any {
+	return &call{done: make(chan struct{}, 1)}
+}}
+
+// conn is one persistent connection with its FIFO of unanswered calls.
+type conn struct {
+	c  net.Conn
+	bw *bufio.Writer
+	rd *wire.Reader
+
+	// wmu serializes frame writes AND pending enqueues: a call must enter
+	// the FIFO in the exact order its frame hits the wire, because the
+	// reader matches responses positionally.
+	wmu     sync.Mutex
+	nextID  uint64
+	pending chan *call
+
+	err  atomic.Pointer[error]
+	dead chan struct{}
+}
+
+// Client is a pool of pipelined connections to one server.
+type Client struct {
+	conns []*conn
+	rr    atomic.Uint64
+	gen   uint64
+}
+
+// Dial connects to a binary-protocol listener and performs the handshake
+// on every connection.
+func Dial(addr string, opts Options) (*Client, error) {
+	if opts.Conns <= 0 {
+		opts.Conns = 1
+	}
+	if opts.Inflight <= 0 {
+		opts.Inflight = 32
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	cl := &Client{}
+	for i := 0; i < opts.Conns; i++ {
+		c, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			// Frames are tiny; the bufio flush is the batching boundary.
+			_ = tc.SetNoDelay(true)
+		}
+		if _, err := c.Write(wire.AppendClientHello(nil)); err != nil {
+			c.Close()
+			cl.Close()
+			return nil, err
+		}
+		br := bufio.NewReaderSize(c, 64<<10)
+		var hello [wire.ServerHelloLen]byte
+		if _, err := io.ReadFull(br, hello[:]); err != nil {
+			c.Close()
+			cl.Close()
+			return nil, fmt.Errorf("wireclient: handshake: %w", err)
+		}
+		gen, err := wire.ParseServerHello(hello[:])
+		if err != nil {
+			c.Close()
+			cl.Close()
+			return nil, err
+		}
+		cl.gen = gen
+		cn := &conn{
+			c:       c,
+			bw:      bufio.NewWriterSize(c, 64<<10),
+			rd:      wire.NewReader(br),
+			pending: make(chan *call, opts.Inflight),
+			dead:    make(chan struct{}),
+		}
+		cl.conns = append(cl.conns, cn)
+		go cn.readLoop()
+	}
+	return cl, nil
+}
+
+// Generation reports the server generation observed at handshake time —
+// the natural pin for index-addressed fault edges against a dynamic
+// server.
+func (cl *Client) Generation() uint64 { return cl.gen }
+
+// Close tears down every connection, failing any calls still in flight.
+func (cl *Client) Close() error {
+	var first error
+	for _, cn := range cl.conns {
+		if err := cn.c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Probe answers one batch: one failure event (fault edge indices, any
+// order — canonicalized here, once) against a batch of s–t pairs. It is
+// the allocating convenience form of ProbeInto.
+func (cl *Client) Probe(faultEdges []int, pairs [][2]int) ([]bool, error) {
+	out, _, _, err := cl.ProbeInto(faultEdges, pairs, nil, 0)
+	return out, err
+}
+
+// ProbeInto is Probe with the answer slice and generation pin under
+// caller control: out is reused (grown as needed) and returned, hit
+// reports whether the server answered from an already-compiled cache
+// entry, gen is the generation the answer is valid for. genPin, when
+// nonzero, makes the server reject the probe with wire.CodeConflict if
+// its generation differs — the edge-index stability contract of the JSON
+// surface, kept identical here.
+func (cl *Client) ProbeInto(faultEdges []int, pairs [][2]int, out []bool, genPin uint64) ([]bool, bool, uint64, error) {
+	cn := cl.conns[int(cl.rr.Add(1))%len(cl.conns)]
+	if errp := cn.err.Load(); errp != nil {
+		return out, false, 0, *errp
+	}
+	ca := callPool.Get().(*call)
+	ca.dst = out
+	ca.err = nil
+	// Canonicalize once, client-side: the wire carries fault edges
+	// strictly ascending so the server validates (never sorts) and hashes
+	// in the same pass.
+	ca.canon = append(ca.canon[:0], faultEdges...)
+	sort.Ints(ca.canon)
+	w := 0
+	for i, e := range ca.canon {
+		if i == 0 || e != ca.canon[i-1] {
+			ca.canon[w] = e
+			w++
+		}
+	}
+	ca.canon = ca.canon[:w]
+
+	cn.wmu.Lock()
+	cn.nextID++
+	ca.id = cn.nextID
+	ca.frame = wire.AppendProbe(ca.frame[:0], ca.id, genPin, ca.canon, pairs)
+	// Enqueue before the bytes hit the wire so the reader's FIFO matches
+	// wire order; blocking here (Inflight reached) holds wmu, which is
+	// safe — the reader drains pending without ever taking wmu.
+	select {
+	case cn.pending <- ca:
+	case <-cn.dead:
+		cn.wmu.Unlock()
+		err := cn.failure()
+		callPool.Put(ca)
+		return out, false, 0, err
+	}
+	_, werr := cn.bw.Write(ca.frame)
+	if werr == nil {
+		werr = cn.bw.Flush()
+	}
+	cn.wmu.Unlock()
+	if werr != nil {
+		cn.fail(werr)
+	}
+
+	<-ca.done
+	out = ca.resp.Connected
+	hit, gen, err := ca.resp.CacheHit, ca.resp.Gen, ca.err
+	ca.dst = nil
+	ca.resp.Connected = nil
+	callPool.Put(ca)
+	return out, hit, gen, err
+}
+
+// failure returns the connection's terminal error.
+func (cn *conn) failure() error {
+	if errp := cn.err.Load(); errp != nil {
+		return *errp
+	}
+	return errors.New("wireclient: connection closed")
+}
+
+// fail poisons the connection and wakes everything blocked on it.
+func (cn *conn) fail(err error) {
+	wrapped := fmt.Errorf("wireclient: connection failed: %w", err)
+	if cn.err.CompareAndSwap(nil, &wrapped) {
+		close(cn.dead)
+		_ = cn.c.Close()
+	}
+}
+
+// readLoop matches responses to pending calls FIFO. It exits (failing all
+// in-flight calls) on any read error — including the server closing the
+// connection after a fatal protocol violation.
+func (cn *conn) readLoop() {
+	for {
+		op, payload, err := cn.rd.Next()
+		if err != nil {
+			cn.fail(err)
+			cn.drainPending()
+			return
+		}
+		var ca *call
+		select {
+		case ca = <-cn.pending:
+		default:
+			cn.fail(errors.New("unsolicited response frame"))
+			cn.drainPending()
+			return
+		}
+		switch op {
+		case wire.OpProbeResp:
+			ca.err = wire.DecodeProbeResp(payload, ca.dst[:0], &ca.resp)
+		case wire.OpError:
+			id, code, msg, derr := wire.DecodeError(payload)
+			if derr != nil {
+				ca.err = derr
+			} else {
+				ca.resp.ID = id
+				ca.err = &ServerError{Code: code, Msg: msg}
+			}
+		default:
+			ca.err = fmt.Errorf("%w: unexpected opcode 0x%02x", wire.ErrFrame, op)
+		}
+		if ca.err == nil && ca.resp.ID != ca.id {
+			ca.err = fmt.Errorf("%w: response id %d for request %d (pipeline desync)", wire.ErrFrame, ca.resp.ID, ca.id)
+		}
+		// Capture the verdict before the handoff: once done is signalled the
+		// caller may recycle ca through the pool, so ca must not be touched
+		// afterwards.
+		ferr := ca.err
+		ca.done <- struct{}{}
+		if ferr != nil && errors.Is(ferr, wire.ErrFrame) {
+			// A framing-level failure means the stream cannot be trusted
+			// (pipeline desync, undecodable response) — drop the connection.
+			cn.fail(ferr)
+			cn.drainPending()
+			return
+		}
+	}
+}
+
+// drainPending fails every call still queued after the connection died.
+func (cn *conn) drainPending() {
+	err := cn.failure()
+	for {
+		select {
+		case ca := <-cn.pending:
+			ca.err = err
+			ca.done <- struct{}{}
+		default:
+			return
+		}
+	}
+}
