@@ -23,9 +23,16 @@
 //	                      + E19: the protocol grid (JSON HTTP vs the binary
 //	                      frame protocol, pipelined, at 1/4/16 clients, with
 //	                      allocs/op and a mutex-wait contention proxy)
+//	ftcbench replicate  — E20: the replicated tier (generation-log shipping
+//	                      to tailing replicas, kill/restart catch-up from
+//	                      the log alone, hedged-front p99 vs a straggler)
 //	ftcbench binsmoke   — CI gate: drive a live ftcserve's binary listener
 //	                      (FTCSERVE_HTTP / FTCSERVE_BIN env) with pipelined
 //	                      probes and verify the /metrics counters moved
+//	ftcbench frontsmoke — CI gate: fan hedged probes across a live replica
+//	                      fleet (FTC_FRONT_REPLICAS env, comma-separated bin
+//	                      addresses) and cross-check answers against the
+//	                      primary's JSON surface (FTCSERVE_HTTP)
 //	ftcbench all        — everything above
 //
 // The -json flag makes the build section additionally write BENCH_build.json
@@ -70,6 +77,8 @@ import (
 	"repro/internal/ptsketch"
 	"repro/internal/routing"
 	"repro/internal/serve"
+	"repro/internal/serve/front"
+	"repro/internal/serve/genlog"
 	"repro/internal/serve/wire"
 	"repro/internal/serve/wireclient"
 	"repro/internal/workload"
@@ -108,21 +117,23 @@ func main() {
 		os.Exit(2)
 	}
 	sections := map[string]func(){
-		"table1":    table1,
-		"labelsize": labelSize,
-		"query":     queryTime,
-		"construct": constructTime,
-		"support":   support,
-		"distance":  distance,
-		"routing":   routingBench,
-		"congest":   congestBench,
-		"hierarchy": hierarchyBench,
-		"ablation":  ablation,
-		"build":     buildGrid,
-		"serve":     serveBench,
-		"update":    updateBench,
-		"load":      loadBench,
-		"binsmoke":  binSmoke,
+		"table1":     table1,
+		"labelsize":  labelSize,
+		"query":      queryTime,
+		"construct":  constructTime,
+		"support":    support,
+		"distance":   distance,
+		"routing":    routingBench,
+		"congest":    congestBench,
+		"hierarchy":  hierarchyBench,
+		"ablation":   ablation,
+		"build":      buildGrid,
+		"serve":      serveBench,
+		"update":     updateBench,
+		"load":       loadBench,
+		"binsmoke":   binSmoke,
+		"frontsmoke": frontSmoke,
+		"replicate":  replicateBench,
 	}
 	if which == "all" {
 		for _, name := range []string{"table1", "labelsize", "query", "construct", "support", "distance", "routing", "congest", "hierarchy", "ablation", "build", "serve", "update", "load"} {
@@ -133,7 +144,7 @@ func main() {
 	}
 	fn, ok := sections[which]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "usage: ftcbench [-json] [-smoke] [-proto json|bin|both] [table1|labelsize|query|construct|support|distance|routing|congest|hierarchy|build|serve|update|load|binsmoke|all]\n")
+		fmt.Fprintf(os.Stderr, "usage: ftcbench [-json] [-smoke] [-proto json|bin|both] [table1|labelsize|query|construct|support|distance|routing|congest|hierarchy|build|serve|update|load|binsmoke|frontsmoke|replicate|all]\n")
 		os.Exit(2)
 	}
 	fn()
@@ -1069,6 +1080,32 @@ func serveBench() {
 			"on shared hardware are noisy — compare like-for-like runs.",
 		Results: records,
 	}
+	mergeBenchServe(func(out map[string]json.RawMessage) {
+		raw, err := json.Marshal(doc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftcbench: marshal BENCH_serve.json: %v\n", err)
+			os.Exit(1)
+		}
+		var top map[string]json.RawMessage
+		_ = json.Unmarshal(raw, &top)
+		for k, v := range top {
+			out[k] = v
+		}
+	})
+}
+
+// mergeBenchServe read-modify-writes BENCH_serve.json as a generic JSON
+// object, so sections that own different top-level keys (serve → results,
+// replicate → replication) never clobber each other's data.
+func mergeBenchServe(update func(doc map[string]json.RawMessage)) {
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile("BENCH_serve.json"); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "ftcbench: BENCH_serve.json exists but is not a JSON object (%v); rewriting\n", err)
+			doc = map[string]json.RawMessage{}
+		}
+	}
+	update(doc)
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ftcbench: marshal BENCH_serve.json: %v\n", err)
@@ -1735,6 +1772,91 @@ func binSmoke() {
 		workers*probesPer, qps)
 }
 
+// frontSmoke is the CI gate for the replicated tier's probe front: it fans
+// hedged probes across a live replica fleet (FTC_FRONT_REPLICAS, a
+// comma-separated list of binary-listener addresses) and cross-checks a
+// sample of answers against the primary's JSON surface (FTCSERVE_HTTP).
+func frontSmoke() {
+	httpBase := os.Getenv("FTCSERVE_HTTP")
+	replicaList := os.Getenv("FTC_FRONT_REPLICAS")
+	if httpBase == "" || replicaList == "" {
+		fmt.Fprintln(os.Stderr, "ftcbench frontsmoke: set FTCSERVE_HTTP (primary, e.g. http://127.0.0.1:8337) and FTC_FRONT_REPLICAS (e.g. 127.0.0.1:8348,127.0.0.1:8358)")
+		os.Exit(2)
+	}
+	die := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ftcbench frontsmoke: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	addrs := strings.Split(replicaList, ",")
+
+	var health serve.Healthz
+	resp, err := http.Get(httpBase + "/healthz")
+	if err != nil {
+		die("healthz: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		die("healthz decode: %v", err)
+	}
+	resp.Body.Close()
+	if health.N < 2 || health.M < 1 {
+		die("healthz reports n=%d m=%d — nothing to probe", health.N, health.M)
+	}
+
+	f, err := front.Dial(addrs, front.Options{})
+	if err != nil {
+		die("dial fleet %v: %v", addrs, err)
+	}
+	defer f.Close()
+
+	prng := rand.New(rand.NewSource(61))
+	nFaults := 1
+	if health.MaxFaults < 1 {
+		nFaults = 0
+	}
+	const probes = 200
+	for i := 0; i < probes; i++ {
+		faults := make([]int, nFaults)
+		for j := range faults {
+			faults[j] = prng.Intn(health.M)
+		}
+		pairs := [][2]int{{prng.Intn(health.N), prng.Intn(health.N)}, {prng.Intn(health.N), prng.Intn(health.N)}}
+		out, _, err := f.ConnectedBatch(faults, pairs)
+		if err != nil {
+			die("probe %d: %v", i, err)
+		}
+		if len(out) != len(pairs) {
+			die("probe %d returned %d answers for %d pairs", i, len(out), len(pairs))
+		}
+		// Cross-check a sample against the primary's JSON surface: the
+		// replicas must answer exactly as the primary would.
+		if i%40 != 0 {
+			continue
+		}
+		body, _ := json.Marshal(serve.ConnectedRequest{FaultEdges: faults, Pairs: pairs})
+		hresp, err := http.Post(httpBase+"/connected", "application/json", bytes.NewReader(body))
+		if err != nil {
+			die("cross-check probe %d: %v", i, err)
+		}
+		var conn serve.ConnectedResponse
+		if err := json.NewDecoder(hresp.Body).Decode(&conn); err != nil {
+			die("cross-check decode (status %d): %v", hresp.StatusCode, err)
+		}
+		hresp.Body.Close()
+		for j := range pairs {
+			if conn.Connected[j] != out[j] {
+				die("probe %d pair %d: front=%v primary=%v (faults=%v pairs=%v)", i, j, out[j], conn.Connected[j], faults, pairs)
+			}
+		}
+	}
+
+	st := f.Stats()
+	if st.Probes != probes {
+		die("front counted %d probes, want %d", st.Probes, probes)
+	}
+	fmt.Printf("frontsmoke ok: %d probes across %d replicas, answers match primary (p50 %v, p99 %v, %d hedges, %d hedge wins)\n",
+		probes, f.Replicas(), st.P50, st.P99, st.Hedges, st.HedgeWins)
+}
+
 // closedLoop runs totalOps across the given number of client goroutines,
 // returning aggregate ops/sec and per-client latency samples (every 16th
 // op is timed, so the timer overhead does not distort throughput).
@@ -2098,4 +2220,330 @@ func percentile(xs []float64, p float64) float64 {
 	}
 	idx := int(p * float64(len(sorted)-1))
 	return sorted[idx]
+}
+
+// -------------------------------------------------------------- replicate
+
+// replicateRecord is the "replication" entry of BENCH_serve.json: the
+// replicated-tier scenario — log shipping under load, replica kill/restart
+// catch-up, and the hedged probe front's tail latency against a straggler.
+type replicateRecord struct {
+	N              int   `json:"n"`
+	M              int   `json:"m"`
+	F              int   `json:"f"`
+	Replicas       int   `json:"replicas"`
+	GensShipped    int   `json:"generations_shipped"`
+	CatchupGens    int   `json:"catchup_generations"`
+	CatchupMs      int64 `json:"catchup_ms"`
+	SnapshotLoads  int64 `json:"snapshot_loads_during_catchup"`
+	FinalLagGens   int64 `json:"final_lag_generations"`
+	ProbesPerMode  int   `json:"probes_per_mode"`
+	UnhedgedP99Ns  int64 `json:"unhedged_p99_ns"`
+	HedgedP99Ns    int64 `json:"hedged_p99_ns"`
+	Hedges         int64 `json:"hedges"`
+	HedgeWins      int64 `json:"hedge_wins"`
+	StragglerStall int64 `json:"straggler_stall_ns"`
+}
+
+// replicateBench runs the replicated serving tier in-process: a dynamic
+// primary with a generation log, two tailing replicas, and the hedged
+// probe front. Phase 1 ships generations under concurrent probe load;
+// phase 2 kills one replica, commits more generations, restarts it, and
+// times log-only catch-up (no snapshot refetch); phase 3 measures the
+// front's p99 with one replica stalled behind a slow proxy, hedged vs
+// unhedged. With -json the record merges into BENCH_serve.json under
+// "replication", preserving the serve section's keys.
+func replicateBench() {
+	const (
+		n = 192
+		f = 3
+	)
+	gens, probes := 24, 300
+	if smokeMode {
+		gens, probes = 8, 60
+	}
+	fmt.Println("E20 — replicated tier: genlog shipping, replica catch-up, hedged front")
+
+	rng := rand.New(rand.NewSource(40))
+	g := workload.ErdosRenyi(n, 8.0/n, true, rng)
+	edges := make([][2]int, g.M())
+	for i, e := range g.Edges {
+		edges[i] = [2]int{e.U, e.V}
+	}
+	nw, err := ftc.Open(n, edges, ftc.WithMaxFaults(f), ftc.WithHeadroom(64))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: replicate open: %v\n", err)
+		os.Exit(1)
+	}
+	primary := serve.NewDynamic(func() serve.Scheme { return nw.Snapshot() }, nw, 64)
+	dir, err := os.MkdirTemp("", "ftcbench-replicate")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: replicate tmp: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	glog, err := genlog.Open(dir + "/gen.log")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: replicate genlog: %v\n", err)
+		os.Exit(1)
+	}
+	defer glog.Close()
+	if err := primary.AttachGenLog(glog); err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: replicate attach: %v\n", err)
+		os.Exit(1)
+	}
+	binLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: replicate listen: %v\n", err)
+		os.Exit(1)
+	}
+	go primary.ServeBin(binLn)
+	defer binLn.Close()
+	primary.SetBinAddr(binLn.Addr().String())
+	ts := httptest.NewServer(primary.Handler())
+	defer ts.Close()
+
+	newReplica := func() *serve.Replicator {
+		rep, err := serve.NewReplicator(ts.URL, serve.ReplicatorOptions{
+			CacheSize:  64,
+			RedialBase: 2 * time.Millisecond,
+			RedialMax:  20 * time.Millisecond,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftcbench: replicate replica: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "ftcbench: replicate replica: %v\n", err)
+			os.Exit(1)
+		}
+		return rep
+	}
+	serveReplicaBin := func(rep *serve.Replicator) (string, net.Listener) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftcbench: replicate listen: %v\n", err)
+			os.Exit(1)
+		}
+		go rep.Server().ServeBin(ln)
+		return ln.Addr().String(), ln
+	}
+	rep1, rep2 := newReplica(), newReplica()
+	defer rep1.Stop()
+	defer rep2.Stop()
+	addr1, ln1 := serveReplicaBin(rep1)
+	addr2, ln2 := serveReplicaBin(rep2)
+	defer ln1.Close()
+	defer ln2.Close()
+
+	commitOne := func() bool {
+		inner := nw.Snapshot().Inner()
+		cg, forest := inner.Graph(), inner.Forest
+		var add, remove [][2]int
+		for try := 0; try < 300; try++ {
+			u, v := rng.Intn(cg.N()), rng.Intn(cg.N())
+			if u != v && !cg.HasEdge(u, v) && forest.Comp[u] == forest.Comp[v] {
+				add = append(add, [2]int{u, v})
+				break
+			}
+		}
+		for try := 0; try < 300; try++ {
+			e := rng.Intn(cg.M())
+			if !forest.IsTreeEdge[e] {
+				remove = append(remove, [2]int{cg.Edges[e].U, cg.Edges[e].V})
+				break
+			}
+		}
+		if len(add) == 0 && len(remove) == 0 {
+			return false
+		}
+		// Commit through POST /update — the path that appends to the
+		// generation log — not the network directly.
+		body, _ := json.Marshal(serve.UpdateRequest{Add: add, Remove: remove})
+		resp, err := http.Post(ts.URL+"/update", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftcbench: replicate commit: %v\n", err)
+			os.Exit(1)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "ftcbench: replicate commit: status %d\n", resp.StatusCode)
+			os.Exit(1)
+		}
+		return true
+	}
+	waitReplica := func(rep *serve.Replicator) {
+		want := nw.Generation()
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			if rep.Scheme().Generation() >= want {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		fmt.Fprintf(os.Stderr, "ftcbench: replicate: replica stuck at %d, primary %d\n",
+			rep.Scheme().Generation(), want)
+		os.Exit(1)
+	}
+
+	// Phase 1: ship generations while the front keeps probing.
+	fr, err := front.Dial([]string{addr1, addr2}, front.Options{NoHedge: true})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: replicate front: %v\n", err)
+		os.Exit(1)
+	}
+	shipped := 0
+	for i := 0; i < gens; i++ {
+		if commitOne() {
+			shipped++
+		}
+		cg := nw.Snapshot().Graph()
+		faults := workload.RandomFaults(cg, 1+rng.Intn(f), rng)
+		if _, _, err := fr.ConnectedBatch(faults, [][2]int{{rng.Intn(n), rng.Intn(n)}}); err != nil {
+			fmt.Fprintf(os.Stderr, "ftcbench: replicate probe: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	waitReplica(rep1)
+	waitReplica(rep2)
+	fr.Close()
+	fmt.Printf("   shipped %d generations to 2 replicas (log %d records)\n", shipped, glog.Len())
+
+	// Phase 2: kill replica 2, drift the primary, restart, time catch-up.
+	// The incremental path has a churn budget (hierarchy.UpdateBudget):
+	// crossing it forces a full rebuild, which ships as a marker that
+	// legitimately sends replicas back to /snapshot. Phase 2 asserts
+	// log-only catch-up, so it stays inside the remaining budget.
+	budget := hierarchy.UpdateBudget(nw.Snapshot().Inner().Spec().K)
+	loadsBefore := rep2.Status().SnapshotLoads
+	rep2.Stop()
+	catchupGens := 0
+	for i := 0; i < gens/2 && nw.Churn()+2 <= budget; i++ {
+		if commitOne() {
+			catchupGens++
+		}
+	}
+	if catchupGens == 0 {
+		fmt.Fprintf(os.Stderr, "ftcbench: replicate: churn budget exhausted before the kill/restart phase (shrink gens)\n")
+		os.Exit(1)
+	}
+	t0 := time.Now()
+	if err := rep2.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: replicate restart: %v\n", err)
+		os.Exit(1)
+	}
+	waitReplica(rep2)
+	catchup := time.Since(t0)
+	loadsAfter := rep2.Status().SnapshotLoads
+	if loadsAfter != loadsBefore {
+		fmt.Fprintf(os.Stderr, "ftcbench: replicate: restart refetched a snapshot (%d -> %d)\n",
+			loadsBefore, loadsAfter)
+		os.Exit(1)
+	}
+	fmt.Printf("   kill/restart: caught up %d generations in %s from the log alone (snapshot loads unchanged)\n",
+		catchupGens, round(catchup))
+
+	// Phase 3: tail latency with one replica stalled, hedged vs unhedged.
+	const stall = 25 * time.Millisecond
+	slowAddr := slowBinProxy(addr2, stall)
+	measure := func(opts front.Options) (p99 time.Duration, st front.Stats) {
+		fr, err := front.Dial([]string{slowAddr, addr1}, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftcbench: replicate front: %v\n", err)
+			os.Exit(1)
+		}
+		defer fr.Close()
+		cg := nw.Snapshot().Graph()
+		lats := make([]time.Duration, 0, probes)
+		prng := rand.New(rand.NewSource(41))
+		for i := 0; i < probes; i++ {
+			faults := workload.RandomFaults(cg, 1, prng)
+			t := time.Now()
+			if _, _, err := fr.ConnectedBatch(faults, [][2]int{{prng.Intn(n), prng.Intn(n)}}); err != nil {
+				fmt.Fprintf(os.Stderr, "ftcbench: replicate probe: %v\n", err)
+				os.Exit(1)
+			}
+			lats = append(lats, time.Since(t))
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		return lats[len(lats)*99/100], fr.Stats()
+	}
+	unhedgedP99, _ := measure(front.Options{NoHedge: true})
+	hedgedP99, hst := measure(front.Options{HedgeAfter: 2 * time.Millisecond})
+	fmt.Printf("   straggler (%s stall): p99 unhedged %s vs hedged %s (%d hedges, %d wins)\n",
+		round(stall), round(unhedgedP99), round(hedgedP99), hst.Hedges, hst.HedgeWins)
+	fmt.Println("   (single-CPU caveat: hedging adds goroutines; its p99 win is only")
+	fmt.Println("    representative when replicas have their own cores — see README)")
+
+	if !jsonOut {
+		return
+	}
+	rec := replicateRecord{
+		N:              n,
+		M:              g.M(),
+		F:              f,
+		Replicas:       2,
+		GensShipped:    shipped,
+		CatchupGens:    catchupGens,
+		CatchupMs:      catchup.Milliseconds(),
+		SnapshotLoads:  int64(loadsAfter - loadsBefore),
+		FinalLagGens:   int64(rep2.Status().LagGenerations()),
+		ProbesPerMode:  probes,
+		UnhedgedP99Ns:  unhedgedP99.Nanoseconds(),
+		HedgedP99Ns:    hedgedP99.Nanoseconds(),
+		Hedges:         int64(hst.Hedges),
+		HedgeWins:      int64(hst.HedgeWins),
+		StragglerStall: stall.Nanoseconds(),
+	}
+	mergeBenchServe(func(doc map[string]json.RawMessage) {
+		raw, err := json.Marshal(rec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftcbench: marshal replication record: %v\n", err)
+			os.Exit(1)
+		}
+		doc["replication"] = raw
+	})
+}
+
+// slowBinProxy forwards a TCP stream to backend, stalling every
+// backend-to-client write — an in-process straggling replica for the
+// hedging measurement.
+func slowBinProxy(backend string, stall time.Duration) string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: replicate proxy: %v\n", err)
+		os.Exit(1)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			up, err := net.Dial("tcp", backend)
+			if err != nil {
+				c.Close()
+				continue
+			}
+			go func() { io.Copy(up, c); up.Close() }()
+			go func() {
+				defer c.Close()
+				buf := make([]byte, 32<<10)
+				for {
+					n, err := up.Read(buf)
+					if n > 0 {
+						time.Sleep(stall)
+						if _, werr := c.Write(buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
 }

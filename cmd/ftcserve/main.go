@@ -9,6 +9,8 @@
 //	ftcserve -graph g.txt -dynamic [-headroom 8]
 //	ftcserve -snapshot scheme.ftcsnap -pprof localhost:6060
 //	ftcserve -snapshot scheme.ftcsnap -listen-bin :8338
+//	ftcserve -graph g.txt -dynamic -genlog gen.log -listen-bin :8338   (primary)
+//	ftcserve -replica-of http://primary:8337 [-listen-bin :8339]       (replica)
 //
 // Loading a current-format (v3) snapshot is O(1) in label bytes: the label
 // arena is mapped lazily and each label is decoded on its first probe, so
@@ -48,6 +50,15 @@
 // pattern is: build once, -save the snapshot, then start any number of
 // ftcserve replicas from it.
 //
+// Replication (DESIGN.md §3.13): a dynamic daemon started with -genlog
+// becomes a primary — every committed generation is appended to the log
+// file as a replayable delta and streamed to subscribers over the binary
+// listener (OpLogSub), so -genlog wants -listen-bin. A daemon started with
+// -replica-of bootstraps from the primary's GET /snapshot and tails its
+// generation log, replaying each delta to byte-identical labels; its
+// /healthz reports role "replica" with the replication lag, and /metrics
+// exports it as ftcserve_replica_lag_generations.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes
 // immediately and in-flight batch probes drain for up to 10 seconds.
 package main
@@ -64,6 +75,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -72,6 +84,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graphio"
 	"repro/internal/serve"
+	"repro/internal/serve/genlog"
 )
 
 func main() {
@@ -88,11 +101,58 @@ func main() {
 	headroom := flag.Int("headroom", 0, "per-vertex incremental insertion headroom (with -dynamic; 0 = default)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty = off)")
 	listenBin := flag.String("listen-bin", "", "additionally serve the binary frame protocol on this address (e.g. :8338; empty = off)")
+	genlogPath := flag.String("genlog", "", "append committed generations to this log file and stream them to replicas (primary role; requires -dynamic and wants -listen-bin)")
+	replicaOf := flag.String("replica-of", "", "tail this primary's generation log (HTTP base URL, e.g. http://host:8337); mutually exclusive with -snapshot/-graph")
 	flag.Parse()
 
-	srv, err := openServer(*snapshot, *graphPath, *f, *schemeKind, *seed, *savePath, *cacheSize, *cacheShards, *dynamic, *headroom)
-	if err != nil {
-		log.Fatalf("ftcserve: %v", err)
+	var srv *serve.Server
+	var replicator *serve.Replicator
+	if *replicaOf != "" {
+		if *snapshot != "" || *graphPath != "" || *dynamic || *genlogPath != "" {
+			log.Fatalf("ftcserve: -replica-of is mutually exclusive with -snapshot/-graph/-dynamic/-genlog")
+		}
+		primary := *replicaOf
+		if !strings.Contains(primary, "://") {
+			primary = "http://" + primary
+		}
+		rep, err := serve.NewReplicator(primary, serve.ReplicatorOptions{
+			CacheSize:   *cacheSize,
+			CacheShards: *cacheShards,
+		})
+		if err != nil {
+			log.Fatalf("ftcserve: %v", err)
+		}
+		replicator = rep
+		srv = rep.Server()
+		s := rep.Scheme()
+		log.Printf("replica of %s: bootstrapped at generation %d (n=%d m=%d f=%d)",
+			primary, s.Generation(), s.N(), s.Graph().M(), s.MaxFaults())
+		if err := rep.Start(); err != nil {
+			log.Fatalf("ftcserve: %v", err)
+		}
+	} else {
+		var err error
+		srv, err = openServer(*snapshot, *graphPath, *f, *schemeKind, *seed, *savePath, *cacheSize, *cacheShards, *dynamic, *headroom)
+		if err != nil {
+			log.Fatalf("ftcserve: %v", err)
+		}
+		if *genlogPath != "" {
+			if !*dynamic {
+				log.Fatalf("ftcserve: -genlog requires -dynamic (a static scheme never commits generations)")
+			}
+			l, err := genlog.Open(*genlogPath)
+			if err != nil {
+				log.Fatalf("ftcserve: genlog: %v", err)
+			}
+			if err := srv.AttachGenLog(l); err != nil {
+				log.Fatalf("ftcserve: genlog: %v", err)
+			}
+			if *listenBin == "" {
+				log.Printf("warning: -genlog without -listen-bin: replicas tail the log over the binary listener")
+			}
+			first, last := l.Bounds()
+			log.Printf("generation log %s: %d records (generations %d..%d)", *genlogPath, l.Len(), first, last)
+		}
 	}
 
 	// The profiling listener is deliberately separate from the serving
@@ -124,6 +184,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("ftcserve: bin listener: %v", err)
 		}
+		// Advertise the concrete listener address on /healthz so replicas
+		// pointed at the HTTP address can find the log-tail endpoint.
+		srv.SetBinAddr(binLn.Addr().String())
 		go func() {
 			log.Printf("binary protocol listening on %s", *listenBin)
 			if err := srv.ServeBin(binLn); err != nil {
@@ -170,11 +233,17 @@ func main() {
 				srv.ShutdownBin(shutdownCtx)
 			}()
 		}
+		if replicator != nil {
+			replicator.Stop()
+		}
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("ftcserve: forced shutdown: %v", err)
 			_ = httpSrv.Close()
 		}
 		wg.Wait()
+		if l := srv.GenLog(); l != nil {
+			_ = l.Close()
+		}
 	}
 	log.Printf("bye")
 }

@@ -208,6 +208,74 @@ func (s *Server) ShutdownBin(ctx context.Context) {
 	}
 }
 
+// logSubPollInterval bounds how long a quiescent OpLogSub connection goes
+// between liveness/draining checks.
+const logSubPollInterval = 100 * time.Millisecond
+
+// streamLog serves one OpLogSub subscription: backlog records after the
+// subscriber's generation, then live records as commits append them. The
+// loop wakes on the append hub (coalesced — a wakeup means "re-scan the
+// log", so a slow subscriber batches however many records accumulated) and
+// polls for draining and subscriber hangup in between.
+func (s *Server) streamLog(conn net.Conn, bw *bufio.Writer, payload []byte) {
+	fail := func(code uint16, msg string) {
+		resp := wire.AppendError(nil, 0, code, msg)
+		_, _ = bw.Write(resp)
+		_ = bw.Flush()
+	}
+	afterGen, err := wire.DecodeLogSub(payload)
+	if err != nil {
+		s.frameErrors.Add(1)
+		fail(wire.CodeBadRequest, err.Error())
+		return
+	}
+	if s.genlog == nil {
+		fail(wire.CodeBadRequest, "no generation log attached (not a primary)")
+		return
+	}
+	ch, cancel := s.subscribeLog()
+	defer cancel()
+	cur := afterGen
+	var frame []byte
+	var peek [1]byte
+	for {
+		recs, ok := s.genlog.After(cur)
+		if !ok {
+			// The log no longer covers the subscriber's generation: it
+			// must bootstrap from a snapshot instead.
+			fail(wire.CodeGone, fmt.Sprintf("generation log starts after %d; refetch a snapshot", cur))
+			return
+		}
+		for _, rec := range recs {
+			frame = wire.AppendLogRecord(frame[:0], rec.Payload)
+			if _, err := bw.Write(frame); err != nil {
+				return
+			}
+			cur = rec.Gen
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		select {
+		case <-ch:
+		case <-time.After(logSubPollInterval):
+			// Idle: check the subscriber is still there. Replicas never
+			// send after OpLogSub, so a successful read is a protocol
+			// violation and any error other than a timeout is a hangup.
+			_ = conn.SetReadDeadline(time.Now().Add(time.Millisecond))
+			if _, err := conn.Read(peek[:]); err == nil {
+				return
+			} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+				return
+			}
+			_ = conn.SetReadDeadline(time.Time{})
+		}
+		if s.binIsDraining() {
+			return
+		}
+	}
+}
+
 // binScratchPool recycles per-connection scratch across connection churn.
 var binScratchPool = sync.Pool{New: func() any { return &FrameScratch{} }}
 
@@ -259,6 +327,13 @@ func (s *Server) serveBinConn(conn net.Conn) {
 				s.frameErrors.Add(1)
 			}
 			_ = bw.Flush()
+			return
+		}
+		if op == wire.OpLogSub {
+			// The connection switches to push mode: stream generation-log
+			// records until the subscriber hangs up or the server drains.
+			s.binRequests.Add(1)
+			s.streamLog(conn, bw, payload)
 			return
 		}
 		s.binInflight.Add(1)

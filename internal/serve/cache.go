@@ -135,15 +135,16 @@ type ShardStats struct {
 	Misses   uint64 `json:"misses"`
 }
 
-func (c *shardedCache) stats() (hits, misses, evicted, rebased uint64, size, capacity int, per []ShardStats) {
+func (c *shardedCache) stats() (hits, misses, evicted, rebased, capEvicted uint64, size, capacity int, per []ShardStats) {
 	per = make([]ShardStats, len(c.shards))
 	for i, sh := range c.shards {
-		h, m, e, r, s, cp := sh.stats()
+		h, m, e, r, ce, s, cp := sh.stats()
 		per[i] = ShardStats{Size: s, Capacity: cp, Hits: h, Misses: m}
 		hits += h
 		misses += m
 		evicted += e
 		rebased += r
+		capEvicted += ce
 		size += s
 		capacity += cp
 	}

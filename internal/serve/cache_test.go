@@ -76,7 +76,7 @@ func TestShardedCacheRouting(t *testing.T) {
 			}
 		}
 	}
-	hits, misses, _, _, size, capacity, per := c.stats()
+	hits, misses, _, _, _, size, capacity, per := c.stats()
 	if hits != uint64(len(canons)) || misses != uint64(len(canons)) {
 		t.Fatalf("hits=%d misses=%d, want %d/%d", hits, misses, len(canons), len(canons))
 	}

@@ -1,0 +1,348 @@
+// Package front is the probe front of the replicated serving tier: one
+// client-side fan-out point that spreads ConnectedBatch probes across a
+// fleet of replicas over pooled binary-protocol connections (wireclient)
+// and hedges the latency tail.
+//
+// Every probe goes to one replica picked round-robin. If no answer has
+// arrived after the hedge delay — derived from the front's own observed
+// p99 so it adapts to the fleet's real latency profile — the same probe is
+// resent to the next replica and the first answer wins; the straggler's
+// answer is discarded when it eventually lands (probes are read-only and
+// idempotent, so duplicates are harmless). Hedging converts a stuck or
+// GC-pausing replica from a p99 disaster into one extra in-flight probe.
+//
+// Generation pins thread through: a pinned probe answered with
+// wire.CodeConflict (the replica is at a different generation — typically
+// lagging the primary) is retried on the other replicas rather than
+// failed, because replication lag is a per-replica, transient condition.
+package front
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve/wire"
+	"repro/internal/serve/wireclient"
+)
+
+// Options tunes a Front. The zero value is usable.
+type Options struct {
+	// Conns / Inflight are passed through to each replica's wireclient
+	// (defaults: 1 connection, 32 in-flight batches per connection).
+	Conns    int
+	Inflight int
+
+	// HedgeAfter fixes the hedge delay. Zero means adaptive: the delay
+	// tracks the front's observed p99 probe latency, clamped to
+	// [HedgeMin, HedgeMax].
+	HedgeAfter time.Duration
+	// HedgeMin / HedgeMax clamp the adaptive delay (defaults 500µs / 50ms).
+	// The lower clamp stops a fast fleet from hedging every probe into
+	// double load; the upper stops a cold ring from never hedging.
+	HedgeMin time.Duration
+	HedgeMax time.Duration
+	// NoHedge disables hedging entirely (the unhedged baseline the
+	// replicate benchmark compares against).
+	NoHedge bool
+
+	// DialerFor overrides connection establishment per replica address
+	// (tests inject slow or flaky transports). Nil uses TCP.
+	DialerFor func(addr string) func() (net.Conn, error)
+
+	// Reconnect tuning, passed through to wireclient.
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+}
+
+// Stats is a snapshot of the front's counters.
+type Stats struct {
+	Probes    uint64 // ConnectedBatch calls
+	Hedges    uint64 // hedge requests actually sent
+	HedgeWins uint64 // probes whose hedge answered first
+	Conflicts uint64 // generation-pin conflicts retried on another replica
+	Failovers uint64 // probes retried on another replica after an error
+
+	// P50 / P99 are the current latency quantiles over the sliding
+	// observation window (zero until enough samples).
+	P50 time.Duration
+	P99 time.Duration
+}
+
+// ErrNoReplicas is returned when a probe has exhausted every replica.
+var ErrNoReplicas = errors.New("front: no replica answered")
+
+// latWindow is the sliding latency window size (power of two).
+const latWindow = 512
+
+// latRing records recent probe latencies and answers quantile queries.
+// Quantiles are recomputed at most once per refreshEvery observations and
+// cached, so the hot path pays one mutexed append.
+type latRing struct {
+	mu     sync.Mutex
+	buf    [latWindow]time.Duration
+	n      int // total observations (min(n, latWindow) valid entries)
+	sinceQ int // observations since last quantile refresh
+	p50    time.Duration
+	p99    time.Duration
+}
+
+const refreshEvery = 64
+
+func (l *latRing) observe(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.n%latWindow] = d
+	l.n++
+	l.sinceQ++
+	if l.sinceQ >= refreshEvery || (l.p99 == 0 && l.n >= 16) {
+		l.refreshLocked()
+	}
+	l.mu.Unlock()
+}
+
+func (l *latRing) refreshLocked() {
+	n := l.n
+	if n > latWindow {
+		n = latWindow
+	}
+	if n == 0 {
+		return
+	}
+	tmp := make([]time.Duration, n)
+	copy(tmp, l.buf[:n])
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	l.p50 = tmp[n/2]
+	l.p99 = tmp[(n*99)/100]
+	l.sinceQ = 0
+}
+
+func (l *latRing) quantiles() (p50, p99 time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.p50, l.p99
+}
+
+// Front fans probes across a replica fleet. Safe for concurrent use.
+type Front struct {
+	clients []*wireclient.Client
+	addrs   []string
+	opts    Options
+	rr      atomic.Uint64
+	lat     latRing
+
+	probes    atomic.Uint64
+	hedges    atomic.Uint64
+	hedgeWins atomic.Uint64
+	conflicts atomic.Uint64
+	failovers atomic.Uint64
+}
+
+// Dial connects to every replica address. It fails only if every replica
+// is unreachable; reachable clients reconnect to the rest in the
+// background (wireclient's redial loop).
+func Dial(addrs []string, opts Options) (*Front, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("front: no replica addresses")
+	}
+	if opts.HedgeMin <= 0 {
+		opts.HedgeMin = 500 * time.Microsecond
+	}
+	if opts.HedgeMax < opts.HedgeMin {
+		opts.HedgeMax = 50 * time.Millisecond
+		if opts.HedgeMax < opts.HedgeMin {
+			opts.HedgeMax = opts.HedgeMin
+		}
+	}
+	f := &Front{addrs: addrs, opts: opts}
+	var firstErr error
+	up := 0
+	for _, addr := range addrs {
+		wopts := wireclient.Options{
+			Conns:         opts.Conns,
+			Inflight:      opts.Inflight,
+			ReconnectBase: opts.ReconnectBase,
+			ReconnectMax:  opts.ReconnectMax,
+		}
+		if opts.DialerFor != nil {
+			wopts.Dialer = opts.DialerFor(addr)
+		}
+		cl, err := wireclient.Dial(addr, wopts)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("front: dial %s: %w", addr, err)
+			}
+			f.clients = append(f.clients, nil)
+			continue
+		}
+		f.clients = append(f.clients, cl)
+		up++
+	}
+	if up == 0 {
+		return nil, firstErr
+	}
+	return f, nil
+}
+
+// Close tears down every replica client.
+func (f *Front) Close() error {
+	var first error
+	for _, cl := range f.clients {
+		if cl == nil {
+			continue
+		}
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Replicas is how many replica addresses the front spreads over.
+func (f *Front) Replicas() int { return len(f.addrs) }
+
+// Stats snapshots the front's counters and latency quantiles.
+func (f *Front) Stats() Stats {
+	p50, p99 := f.lat.quantiles()
+	return Stats{
+		Probes:    f.probes.Load(),
+		Hedges:    f.hedges.Load(),
+		HedgeWins: f.hedgeWins.Load(),
+		Conflicts: f.conflicts.Load(),
+		Failovers: f.failovers.Load(),
+		P50:       p50,
+		P99:       p99,
+	}
+}
+
+// hedgeDelay picks the current hedge delay.
+func (f *Front) hedgeDelay() time.Duration {
+	if f.opts.HedgeAfter > 0 {
+		return f.opts.HedgeAfter
+	}
+	_, p99 := f.lat.quantiles()
+	if p99 == 0 {
+		// Cold ring: hedge conservatively until quantiles exist.
+		return f.opts.HedgeMax
+	}
+	if p99 < f.opts.HedgeMin {
+		return f.opts.HedgeMin
+	}
+	if p99 > f.opts.HedgeMax {
+		return f.opts.HedgeMax
+	}
+	return p99
+}
+
+// ConnectedBatch answers one failure event against a batch of s–t pairs,
+// unpinned: any replica's current generation is acceptable. Returns the
+// answers and the generation they are valid for.
+func (f *Front) ConnectedBatch(faultEdges []int, pairs [][2]int) ([]bool, uint64, error) {
+	return f.ConnectedBatchPinned(faultEdges, pairs, 0)
+}
+
+// probeResult carries one replica's answer through the hedging select.
+type probeResult struct {
+	out     []bool
+	gen     uint64
+	err     error
+	replica int
+	hedge   bool
+}
+
+// ConnectedBatchPinned is ConnectedBatch with a generation pin: nonzero
+// genPin makes replicas at any other generation answer wire.CodeConflict,
+// and the front retries those on the remaining replicas (replication lag
+// is per-replica and transient). All errors from one attempt chain fail
+// over to the next replica until the fleet is exhausted.
+func (f *Front) ConnectedBatchPinned(faultEdges []int, pairs [][2]int, genPin uint64) ([]bool, uint64, error) {
+	f.probes.Add(1)
+	n := len(f.clients)
+	first := int(f.rr.Add(1)-1) % n
+
+	// resCh is buffered for every possible sender so stragglers never
+	// leak a goroutine.
+	resCh := make(chan probeResult, n)
+	launch := func(idx int, hedge bool) {
+		cl := f.clients[idx]
+		if cl == nil {
+			resCh <- probeResult{err: ErrNoReplicas, replica: idx, hedge: hedge}
+			return
+		}
+		go func() {
+			start := time.Now()
+			out, _, gen, err := cl.ProbeInto(faultEdges, pairs, nil, genPin)
+			if err == nil {
+				f.lat.observe(time.Since(start))
+			}
+			resCh <- probeResult{out: out, gen: gen, err: err, replica: idx, hedge: hedge}
+		}()
+	}
+
+	launch(first, false)
+	pending := 1
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if !f.opts.NoHedge && n > 1 {
+		hedgeTimer = time.NewTimer(f.hedgeDelay())
+		hedgeC = hedgeTimer.C
+		defer hedgeTimer.Stop()
+	}
+
+	tried := map[int]bool{first: true}
+	var lastErr error
+	for pending > 0 {
+		select {
+		case r := <-resCh:
+			pending--
+			if r.err == nil {
+				if r.hedge {
+					f.hedgeWins.Add(1)
+				}
+				return r.out, r.gen, nil
+			}
+			lastErr = r.err
+			var se *wireclient.ServerError
+			conflict := errors.As(r.err, &se) && se.Code == wire.CodeConflict
+			if conflict {
+				f.conflicts.Add(1)
+			} else {
+				f.failovers.Add(1)
+			}
+			// Fail over to an untried replica, if any.
+			if next, ok := f.nextUntried(tried, r.replica); ok {
+				tried[next] = true
+				launch(next, false)
+				pending++
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if next, ok := f.nextUntried(tried, first); ok {
+				tried[next] = true
+				f.hedges.Add(1)
+				launch(next, true)
+				pending++
+			}
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrNoReplicas
+	}
+	return nil, 0, fmt.Errorf("front: all %d replicas failed: %w", n, lastErr)
+}
+
+// nextUntried picks the next replica index after from that has not been
+// tried yet.
+func (f *Front) nextUntried(tried map[int]bool, from int) (int, bool) {
+	n := len(f.clients)
+	for d := 1; d <= n; d++ {
+		idx := (from + d) % n
+		if !tried[idx] {
+			return idx, true
+		}
+	}
+	return 0, false
+}

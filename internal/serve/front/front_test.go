@@ -1,0 +1,256 @@
+package front_test
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	ftc "repro"
+	"repro/internal/serve"
+	"repro/internal/serve/front"
+	"repro/internal/workload"
+)
+
+// startBinServer serves one scheme over the binary protocol on a loopback
+// listener and returns its address.
+func startBinServer(t *testing.T, sch serve.Scheme) (addr string, srv *serve.Server) {
+	t.Helper()
+	srv = serve.New(sch, 64)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.ServeBin(ln)
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String(), srv
+}
+
+func staticScheme(t *testing.T) *ftc.Scheme {
+	t.Helper()
+	s, err := ftc.NewFromGraph(workload.Petersen(), ftc.WithMaxFaults(2))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return s
+}
+
+// slowProxy forwards a TCP stream to backend, delaying every
+// backend-to-client write by delay — a straggling replica.
+func slowProxy(t *testing.T, backend string, delay time.Duration) (addr string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("proxy listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			up, err := net.Dial("tcp", backend)
+			if err != nil {
+				c.Close()
+				continue
+			}
+			go func() { io.Copy(up, c); up.Close() }()
+			go func() {
+				defer c.Close()
+				buf := make([]byte, 32<<10)
+				for {
+					n, err := up.Read(buf)
+					if n > 0 {
+						time.Sleep(delay)
+						if _, werr := c.Write(buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestFanOutAnswersMatch(t *testing.T) {
+	sch := staticScheme(t)
+	a1, _ := startBinServer(t, sch)
+	a2, _ := startBinServer(t, sch)
+	f, err := front.Dial([]string{a1, a2}, front.Options{NoHedge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	g := sch.Graph()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 12; i++ {
+		faults := workload.RandomFaults(g, 1+rng.Intn(2), rng)
+		pairs := [][2]int{{rng.Intn(g.N()), rng.Intn(g.N())}, {0, rng.Intn(g.N())}}
+		got, gen, err := f.ConnectedBatch(faults, pairs)
+		if err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+		if gen != sch.Generation() {
+			t.Fatalf("probe %d: gen %d, want %d", i, gen, sch.Generation())
+		}
+		labels := make([]ftc.EdgeLabel, len(faults))
+		for j, e := range faults {
+			labels[j] = sch.EdgeLabelByIndex(e)
+		}
+		fs, err := ftc.NewFaultSet(labels)
+		if err != nil {
+			t.Fatalf("oracle fault set: %v", err)
+		}
+		for j, p := range pairs {
+			want, err := fs.Connected(sch.VertexLabel(p[0]), sch.VertexLabel(p[1]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[j] != want {
+				t.Fatalf("probe %d pair %d: got %v, want %v", i, j, got[j], want)
+			}
+		}
+	}
+	st := f.Stats()
+	if st.Probes != 12 {
+		t.Fatalf("probes = %d, want 12", st.Probes)
+	}
+	if st.Hedges != 0 {
+		t.Fatalf("hedges = %d with NoHedge", st.Hedges)
+	}
+}
+
+// TestHedgeBeatsSlowReplica puts one replica behind a 150ms proxy: hedged
+// probes that land on it first must be answered by the fast replica well
+// before the straggler responds.
+func TestHedgeBeatsSlowReplica(t *testing.T) {
+	sch := staticScheme(t)
+	fastAddr, _ := startBinServer(t, sch)
+	slowBackend, _ := startBinServer(t, sch)
+	const stall = 150 * time.Millisecond
+	slowAddr := slowProxy(t, slowBackend, stall)
+
+	f, err := front.Dial([]string{slowAddr, fastAddr}, front.Options{
+		HedgeAfter: 3 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	g := sch.Graph()
+	rng := rand.New(rand.NewSource(5))
+	start := time.Now()
+	const probes = 8
+	for i := 0; i < probes; i++ {
+		faults := workload.RandomFaults(g, 1, rng)
+		if _, _, err := f.ConnectedBatch(faults, [][2]int{{0, 5}}); err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	st := f.Stats()
+	if st.Hedges == 0 {
+		t.Fatal("no hedges fired against a stalled replica")
+	}
+	if st.HedgeWins == 0 {
+		t.Fatal("no hedge won against a stalled replica")
+	}
+	// Unhedged, every probe routed to the slow replica would eat the full
+	// stall; hedged, each such probe costs ~HedgeAfter + fast RTT. Half
+	// the probes start on the slow replica, so the unhedged floor is
+	// probes/2 * stall. Allow generous slack for CI noise.
+	if unhedgedFloor := stall * probes / 2; elapsed >= unhedgedFloor {
+		t.Fatalf("hedged run took %v, not faster than unhedged floor %v", elapsed, unhedgedFloor)
+	}
+}
+
+// TestPinnedConflictFailsOver pins probes to a generation only one replica
+// has reached: probes landing on the stale replica must fail over and
+// still answer.
+func TestPinnedConflictFailsOver(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := workload.ErdosRenyi(40, 8.0/40, true, rng)
+	edges := make([][2]int, g.M())
+	for i, e := range g.Edges {
+		edges[i] = [2]int{e.U, e.V}
+	}
+	open := func() *ftc.Network {
+		nw, err := ftc.Open(g.N(), edges, ftc.WithMaxFaults(2), ftc.WithHeadroom(8))
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		return nw
+	}
+	ahead, stale := open(), open()
+
+	// Advance only one network, to a generation the other never sees.
+	u, v := findNonEdge(t, ahead.Graph())
+	if _, err := ahead.CommitBatch([][2]int{{u, v}}, nil); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if ahead.Generation() == stale.Generation() {
+		t.Fatal("generations did not diverge")
+	}
+
+	aheadAddr, _ := startBinServer(t, serveView(ahead))
+	staleAddr, _ := startBinServer(t, serveView(stale))
+	f, err := front.Dial([]string{staleAddr, aheadAddr}, front.Options{NoHedge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	pin := ahead.Generation()
+	for i := 0; i < 8; i++ {
+		_, gen, err := f.ConnectedBatchPinned([]int{0}, [][2]int{{0, 1}}, pin)
+		if err != nil {
+			t.Fatalf("pinned probe %d: %v", i, err)
+		}
+		if gen != pin {
+			t.Fatalf("pinned probe %d answered at gen %d, want %d", i, gen, pin)
+		}
+	}
+	if st := f.Stats(); st.Conflicts == 0 {
+		t.Fatal("no conflicts recorded: round-robin should have hit the stale replica")
+	}
+}
+
+func TestDialAllDownFails(t *testing.T) {
+	_, err := front.Dial([]string{"127.0.0.1:1", "127.0.0.1:2"}, front.Options{})
+	if err == nil {
+		t.Fatal("dial of unreachable fleet succeeded")
+	}
+	if !strings.Contains(err.Error(), "dial") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// serveView adapts a network to the server's static-view constructor while
+// staying generation-aware (the network's snapshot moves under it).
+func serveView(nw *ftc.Network) serve.Scheme { return nw }
+
+func findNonEdge(t *testing.T, g interface {
+	N() int
+	HasEdge(u, v int) bool
+}) (int, int) {
+	t.Helper()
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if !g.HasEdge(u, v) {
+				return u, v
+			}
+		}
+	}
+	t.Fatal("complete graph")
+	return 0, 0
+}

@@ -1,0 +1,455 @@
+// Package genlog is the append-only generation log behind the replicated
+// serving tier: the primary appends one record per committed Network
+// generation — the GenDelta exported by the commit, or a full-rebuild
+// marker — and replicas tail the records (from the file, or shipped
+// verbatim over the wire) to replay the primary's generations
+// byte-for-byte without snapshot reloads.
+//
+// File layout (all integers little-endian):
+//
+//	magic   [4]byte  "FTCG"
+//	version u8       1
+//	records ...
+//
+// Each record:
+//
+//	length   u32   payload byte count
+//	checksum u32   IEEE CRC-32 of the payload
+//	payload  bytes (self-describing; see EncodeDelta)
+//
+// Record payload, version 1:
+//
+//	prevGen u64
+//	gen     u64
+//	token   u64
+//	flags   u8    bit 0: full-rebuild marker
+//
+// then, for a full marker:
+//
+//	reasonLen u16, reason bytes
+//
+// or, for an incremental delta:
+//
+//	nOps    u32, nOps × { add u8, u u32, v u32 }
+//	words   u32   payload words per XOR mask
+//	nDirty  u32, nDirty × { idx u32, mask words×u64 }
+//	nAdded  u32, nAdded × { idx u32, blobLen u32, MarshalEdgeLabel blob }
+//
+// The payload is the unit shipped over the wire (OpLogRecord frames carry
+// it verbatim), so wire subscribers and file readers decode identically.
+// Any change to this layout must bump the version byte and the record
+// version constant — the golden-fixture test enforces it.
+//
+// Durability model: records are written with a single Write call and
+// fsynced before Append returns, so a record is either fully present or
+// (after a crash mid-append) detectably torn. Open scans the file,
+// validates every checksum, and truncates a torn or corrupt tail rather
+// than serving doubtful records; corruption below the tail is an error.
+package genlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Version is the log format version, bumped on any layout change.
+const Version = 1
+
+var magic = [4]byte{'F', 'T', 'C', 'G'}
+
+const headerLen = 5 // magic + version byte
+const recHeaderLen = 8
+
+// MaxRecordBytes bounds a single record payload. An incremental delta
+// whose encoding exceeds it is demoted to a full-rebuild marker on append
+// — replicas refetch a snapshot instead of streaming an unbounded frame —
+// so wire frames and reader buffers stay bounded.
+const MaxRecordBytes = 16 << 20
+
+// Sentinel errors; test with errors.Is.
+var (
+	ErrBadMagic   = errors.New("genlog: bad magic")
+	ErrBadVersion = errors.New("genlog: unsupported version")
+	ErrCorrupt    = errors.New("genlog: corrupt record")
+	ErrBadRecord  = errors.New("genlog: malformed record payload")
+	ErrGenOrder   = errors.New("genlog: generations out of order")
+)
+
+// Record is one log entry held in memory: the generation it produces plus
+// its encoded payload, shipped verbatim to wire subscribers.
+type Record struct {
+	PrevGen uint64
+	Gen     uint64
+	Payload []byte
+}
+
+// Log is an append-only generation log backed by one file. All records are
+// kept in memory (they are deltas, small by construction) so subscription
+// backfill never seeks the file; the file is the durable copy.
+//
+// A Log is safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	f       *os.File
+	records []Record
+}
+
+// Open opens or creates the log at path, validating every existing record
+// and truncating a torn tail left by a crashed append.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{f: f}
+	if err := l.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// scan loads and validates the whole file, writing the header if the file
+// is empty and truncating a torn tail.
+func (l *Log) scan() error {
+	data, err := io.ReadAll(l.f)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		var hdr [headerLen]byte
+		copy(hdr[:], magic[:])
+		hdr[4] = Version
+		if _, err := l.f.Write(hdr[:]); err != nil {
+			return err
+		}
+		return l.f.Sync()
+	}
+	if len(data) < headerLen || [4]byte(data[:4]) != magic {
+		return ErrBadMagic
+	}
+	if data[4] != Version {
+		return fmt.Errorf("%w: file version %d, want %d", ErrBadVersion, data[4], Version)
+	}
+	off := headerLen
+	good := off
+	for off < len(data) {
+		if len(data)-off < recHeaderLen {
+			break // torn tail: header cut short
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n > MaxRecordBytes {
+			return fmt.Errorf("%w: record at offset %d claims %d bytes", ErrCorrupt, off, n)
+		}
+		if len(data)-off-recHeaderLen < n {
+			break // torn tail: payload cut short
+		}
+		payload := data[off+recHeaderLen : off+recHeaderLen+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			// A checksum mismatch on the last record is a torn write and
+			// is dropped; anything with records after it is corruption.
+			if off+recHeaderLen+n == len(data) {
+				break
+			}
+			return fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
+		}
+		prevGen, gen, err := peekGens(payload)
+		if err != nil {
+			return err
+		}
+		if err := l.checkOrder(prevGen, gen); err != nil {
+			return err
+		}
+		l.records = append(l.records, Record{PrevGen: prevGen, Gen: gen, Payload: append([]byte(nil), payload...)})
+		off += recHeaderLen + n
+		good = off
+	}
+	if good < len(data) {
+		if err := l.f.Truncate(int64(good)); err != nil {
+			return err
+		}
+	}
+	if _, err := l.f.Seek(int64(good), io.SeekStart); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkOrder enforces that a record extends the log's last generation.
+func (l *Log) checkOrder(prevGen, gen uint64) error {
+	if gen != prevGen+1 {
+		return fmt.Errorf("%w: record %d -> %d is not one generation", ErrGenOrder, prevGen, gen)
+	}
+	if n := len(l.records); n > 0 && prevGen != l.records[n-1].Gen {
+		return fmt.Errorf("%w: record extends generation %d, log ends at %d",
+			ErrGenOrder, prevGen, l.records[n-1].Gen)
+	}
+	return nil
+}
+
+// Append encodes and durably appends one committed delta. A delta whose
+// encoding exceeds MaxRecordBytes is demoted to a full-rebuild marker.
+// Append returns the record as kept in memory (shipped verbatim to
+// subscribers).
+func (l *Log) Append(d *core.GenDelta) (Record, error) {
+	payload := EncodeDelta(d)
+	if len(payload) > MaxRecordBytes {
+		payload = EncodeDelta(&core.GenDelta{
+			PrevGen: d.PrevGen, Gen: d.Gen, Token: d.Token,
+			Full: true, Reason: "record too large for log shipping",
+		})
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOrder(d.PrevGen, d.Gen); err != nil {
+		return Record{}, err
+	}
+	buf := make([]byte, recHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	copy(buf[recHeaderLen:], payload)
+	if _, err := l.f.Write(buf); err != nil {
+		return Record{}, err
+	}
+	if err := l.f.Sync(); err != nil {
+		return Record{}, err
+	}
+	rec := Record{PrevGen: d.PrevGen, Gen: d.Gen, Payload: payload}
+	l.records = append(l.records, rec)
+	return rec, nil
+}
+
+// Len returns the record count.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Bounds returns the first and last generation the log can produce (0, 0
+// when empty). A subscriber at generation g can be served iff
+// first-1 ≤ g; anything older must refetch a snapshot.
+func (l *Log) Bounds() (first, last uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.records) == 0 {
+		return 0, 0
+	}
+	return l.records[0].Gen, l.records[len(l.records)-1].Gen
+}
+
+// After returns the records with Gen > gen, oldest first. The returned
+// slice aliases the log's immutable in-memory records; callers must not
+// modify payloads. ok is false when gen is below the log's coverage (the
+// subscriber must refetch a snapshot instead).
+func (l *Log) After(gen uint64) (recs []Record, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.records) == 0 {
+		return nil, true
+	}
+	if gen+1 < l.records[0].PrevGen+1 { // gen < firstPrevGen, overflow-safe
+		return nil, false
+	}
+	lo, hi := 0, len(l.records)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.records[mid].Gen <= gen {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return l.records[lo:len(l.records):len(l.records)], true
+}
+
+// Close closes the backing file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// --- payload codec ---
+
+const (
+	flagFull = 1 << 0
+)
+
+// EncodeDelta encodes one delta as a version-1 record payload.
+func EncodeDelta(d *core.GenDelta) []byte {
+	var b []byte
+	b = binary.LittleEndian.AppendUint64(b, d.PrevGen)
+	b = binary.LittleEndian.AppendUint64(b, d.Gen)
+	b = binary.LittleEndian.AppendUint64(b, d.Token)
+	if d.Full {
+		b = append(b, flagFull)
+		b = binary.LittleEndian.AppendUint16(b, uint16(min(len(d.Reason), 1<<16-1)))
+		b = append(b, d.Reason[:min(len(d.Reason), 1<<16-1)]...)
+		return b
+	}
+	b = append(b, 0)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(d.Ops)))
+	for _, op := range d.Ops {
+		add := byte(0)
+		if op.Add {
+			add = 1
+		}
+		b = append(b, add)
+		b = binary.LittleEndian.AppendUint32(b, uint32(op.U))
+		b = binary.LittleEndian.AppendUint32(b, uint32(op.V))
+	}
+	words := 0
+	if len(d.DirtyXor) > 0 {
+		words = len(d.DirtyXor[0])
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(words))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(d.DirtyIdx)))
+	for i, idx := range d.DirtyIdx {
+		b = binary.LittleEndian.AppendUint32(b, uint32(idx))
+		for _, w := range d.DirtyXor[i] {
+			b = binary.LittleEndian.AppendUint64(b, w)
+		}
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(d.AddedIdx)))
+	for i, idx := range d.AddedIdx {
+		b = binary.LittleEndian.AppendUint32(b, uint32(idx))
+		blob := core.MarshalEdgeLabel(d.AddedLabels[i])
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(blob)))
+		b = append(b, blob...)
+	}
+	return b
+}
+
+// DecodeDelta decodes a version-1 record payload.
+func DecodeDelta(payload []byte) (*core.GenDelta, error) {
+	p := payload
+	need := func(n int) error {
+		if len(p) < n {
+			return fmt.Errorf("%w: truncated", ErrBadRecord)
+		}
+		return nil
+	}
+	if err := need(25); err != nil {
+		return nil, err
+	}
+	d := &core.GenDelta{
+		PrevGen: binary.LittleEndian.Uint64(p),
+		Gen:     binary.LittleEndian.Uint64(p[8:]),
+		Token:   binary.LittleEndian.Uint64(p[16:]),
+	}
+	flags := p[24]
+	p = p[25:]
+	if flags&^byte(flagFull) != 0 {
+		return nil, fmt.Errorf("%w: unknown flags %#x", ErrBadRecord, flags)
+	}
+	if flags&flagFull != 0 {
+		d.Full = true
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		n := int(binary.LittleEndian.Uint16(p))
+		p = p[2:]
+		if err := need(n); err != nil {
+			return nil, err
+		}
+		d.Reason = string(p[:n])
+		p = p[n:]
+		if len(p) != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadRecord, len(p))
+		}
+		return d, nil
+	}
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	nOps := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if err := need(nOps * 9); err != nil {
+		return nil, err
+	}
+	d.Ops = make([]core.Update, nOps)
+	for i := range d.Ops {
+		d.Ops[i] = core.Update{
+			Add: p[0] != 0,
+			U:   int(binary.LittleEndian.Uint32(p[1:])),
+			V:   int(binary.LittleEndian.Uint32(p[5:])),
+		}
+		if p[0] > 1 {
+			return nil, fmt.Errorf("%w: op %d has add byte %d", ErrBadRecord, i, p[0])
+		}
+		p = p[9:]
+	}
+	if err := need(8); err != nil {
+		return nil, err
+	}
+	words := int(binary.LittleEndian.Uint32(p))
+	nDirty := int(binary.LittleEndian.Uint32(p[4:]))
+	p = p[8:]
+	if words > 1<<20 || nDirty > 1<<28 {
+		return nil, fmt.Errorf("%w: implausible dirty shape (%d × %d words)", ErrBadRecord, nDirty, words)
+	}
+	if err := need(nDirty * (4 + 8*words)); err != nil {
+		return nil, err
+	}
+	d.DirtyIdx = make([]int, nDirty)
+	d.DirtyXor = make([][]uint64, nDirty)
+	for i := 0; i < nDirty; i++ {
+		d.DirtyIdx[i] = int(binary.LittleEndian.Uint32(p))
+		p = p[4:]
+		mask := make([]uint64, words)
+		for w := range mask {
+			mask[w] = binary.LittleEndian.Uint64(p)
+			p = p[8:]
+		}
+		d.DirtyXor[i] = mask
+	}
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	nAdded := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if nAdded > 1<<28 {
+		return nil, fmt.Errorf("%w: implausible added count %d", ErrBadRecord, nAdded)
+	}
+	d.AddedIdx = make([]int, 0, nAdded)
+	d.AddedLabels = make([]core.EdgeLabel, 0, nAdded)
+	for i := 0; i < nAdded; i++ {
+		if err := need(8); err != nil {
+			return nil, err
+		}
+		idx := int(binary.LittleEndian.Uint32(p))
+		blobLen := int(binary.LittleEndian.Uint32(p[4:]))
+		p = p[8:]
+		if err := need(blobLen); err != nil {
+			return nil, err
+		}
+		l, err := core.UnmarshalEdgeLabel(p[:blobLen])
+		if err != nil {
+			return nil, fmt.Errorf("%w: added label %d: %v", ErrBadRecord, i, err)
+		}
+		p = p[blobLen:]
+		d.AddedIdx = append(d.AddedIdx, idx)
+		d.AddedLabels = append(d.AddedLabels, l)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadRecord, len(p))
+	}
+	return d, nil
+}
+
+// peekGens extracts (prevGen, gen) from a payload without a full decode.
+func peekGens(payload []byte) (prevGen, gen uint64, err error) {
+	if len(payload) < 25 {
+		return 0, 0, fmt.Errorf("%w: truncated", ErrBadRecord)
+	}
+	return binary.LittleEndian.Uint64(payload), binary.LittleEndian.Uint64(payload[8:]), nil
+}

@@ -43,6 +43,10 @@ type lruCache struct {
 	misses  atomic.Uint64
 	evicted atomic.Uint64 // entries dropped by update sweeps
 	rebased atomic.Uint64 // entries carried across generations by update sweeps
+	// capEvicted counts entries displaced by capacity pressure (the LRU
+	// eviction proper, as opposed to update-sweep drops) — the signal that
+	// the cache is undersized for the working set.
+	capEvicted atomic.Uint64
 }
 
 func newLRUCache(capacity int) *lruCache {
@@ -104,6 +108,7 @@ func (c *lruCache) get(key uint64, canon []int, gen uint64) (ent *cacheEntry, hi
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.capEvicted.Add(1)
 	}
 	return ent, false
 }
@@ -207,11 +212,11 @@ func (c *lruCache) applyUpdateSharded(rep *core.CommitReport, shardMask, self ui
 	return evicted, rebased
 }
 
-func (c *lruCache) stats() (hits, misses, evicted, rebased uint64, size, capacity int) {
+func (c *lruCache) stats() (hits, misses, evicted, rebased, capEvicted uint64, size, capacity int) {
 	c.mu.Lock()
 	size = c.ll.Len()
 	c.mu.Unlock()
-	return c.hits.Load(), c.misses.Load(), c.evicted.Load(), c.rebased.Load(), size, c.cap
+	return c.hits.Load(), c.misses.Load(), c.evicted.Load(), c.rebased.Load(), c.capEvicted.Load(), size, c.cap
 }
 
 func equalInts(a, b []int) bool {

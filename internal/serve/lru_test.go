@@ -24,7 +24,7 @@ func TestLRUEvictionAndStats(t *testing.T) {
 		// 1 was evicted by re-inserting 2 above; keys 2 and 1 now rotate.
 		t.Fatal("expected 1 to have been evicted after reinserting 2")
 	}
-	hits, misses, _, _, size, capacity := c.stats()
+	hits, misses, _, _, _, size, capacity := c.stats()
 	if capacity != 2 || size != 2 {
 		t.Fatalf("size=%d capacity=%d, want 2/2", size, capacity)
 	}
@@ -49,7 +49,7 @@ func TestLRUMinimumCapacity(t *testing.T) {
 	c := newLRUCache(0)
 	c.get(1, []int{1}, 1)
 	c.get(2, []int{2}, 1)
-	if _, _, _, _, size, capacity := c.stats(); size != 1 || capacity != 1 {
+	if _, _, _, _, _, size, capacity := c.stats(); size != 1 || capacity != 1 {
 		t.Fatalf("size=%d capacity=%d, want 1/1", size, capacity)
 	}
 }

@@ -44,13 +44,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("bin_requests_total", "Binary-protocol frames received.", st.BinRequests)
 	counter("updates_total", "POST /update batches committed.", st.Updates)
 	counter("frame_decode_errors_total", "Binary frames rejected as malformed.", st.FrameErrors)
+	counter("update_commits_total", "Generations committed (local /update commits plus replayed replica records).", st.Commits)
+	counter("genlog_records_appended_total", "Generation-log records appended by this primary.", st.LogAppended)
 	counter("cache_evicted_by_update_total", "Cache entries evicted by update sweeps.", st.CacheEvicted)
 	counter("cache_rebased_by_update_total", "Cache entries rebased across generations by update sweeps.", st.CacheRebased)
+	counter("cache_evictions_total", "Cache entries displaced by capacity pressure (LRU evictions).", st.CacheCapEvict)
 	gauge("generation", "Current scheme generation.", float64(st.Generation))
 	gauge("bin_connections", "Open binary-protocol connections.", float64(st.BinConns))
 	gauge("bin_inflight_batches", "Binary-protocol frames currently being served.", float64(st.BinInflight))
 	gauge("cache_capacity_entries", "Total fault-set cache capacity.", float64(st.CacheCapacity))
 	gauge("uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+
+	// Replication series, present only on a tailing replica.
+	if st.Replica != nil {
+		rs := *st.Replica
+		gauge("replica_lag_generations", "Generations behind the primary's observed head.", float64(rs.LagGenerations()))
+		gauge("replica_lag_bytes", "Log-record bytes received but not yet applied.", float64(rs.BytesReceived-rs.BytesApplied))
+		counter("replica_records_applied_total", "Generation-log records replayed onto the serving scheme.", rs.RecordsApplied)
+		counter("replica_snapshot_loads_total", "Full snapshot (re)fetches from the primary.", rs.SnapshotLoads)
+	}
 
 	// Per-shard cache series: hit-rate collapse or occupancy skew across
 	// shards is the first thing to look at when latency regresses after an

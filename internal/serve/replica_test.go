@@ -1,0 +1,401 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	ftc "repro"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/serve"
+	"repro/internal/serve/genlog"
+	"repro/internal/workload"
+)
+
+// primaryRig is a replication primary under test: a dynamic network served
+// over both protocols with a generation log attached.
+type primaryRig struct {
+	nw    *ftc.Network
+	srv   *serve.Server
+	ts    *httptest.Server
+	binLn net.Listener
+	log   *genlog.Log
+}
+
+func startPrimary(t *testing.T, g *graph.Graph, f int) *primaryRig {
+	t.Helper()
+	edges := make([][2]int, g.M())
+	for i, e := range g.Edges {
+		edges[i] = [2]int{e.U, e.V}
+	}
+	nw, err := ftc.Open(g.N(), edges, ftc.WithMaxFaults(f), ftc.WithHeadroom(64))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	srv := serve.NewDynamic(func() serve.Scheme { return nw.Snapshot() }, nw, 64)
+	l, err := genlog.Open(filepath.Join(t.TempDir(), "gen.log"))
+	if err != nil {
+		t.Fatalf("genlog: %v", err)
+	}
+	if err := srv.AttachGenLog(l); err != nil {
+		t.Fatalf("attach genlog: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.ServeBin(ln)
+	srv.SetBinAddr(ln.Addr().String())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ln.Close()
+		l.Close()
+	})
+	return &primaryRig{nw: nw, srv: srv, ts: ts, binLn: ln, log: l}
+}
+
+// commit posts one /update batch through the primary's HTTP surface — the
+// path that appends to the generation log.
+func (p *primaryRig) commit(t *testing.T, add, remove [][2]int) serve.UpdateResponse {
+	t.Helper()
+	code, resp := postJSON[serve.UpdateResponse](t, p.ts.URL+"/update",
+		serve.UpdateRequest{Add: add, Remove: remove})
+	if code != http.StatusOK {
+		t.Fatalf("POST /update: status %d (add=%v remove=%v)", code, add, remove)
+	}
+	return resp
+}
+
+// pickAddableEdge returns a non-edge whose endpoints are already connected
+// (so the insertion is incremental-eligible).
+func pickAddableEdge(g *graph.Graph, forest *graph.Forest, rng *rand.Rand) (int, int, bool) {
+	for try := 0; try < 300; try++ {
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		if u == v || g.HasEdge(u, v) || forest.Comp[u] != forest.Comp[v] {
+			continue
+		}
+		return u, v, true
+	}
+	return 0, 0, false
+}
+
+// pickNonTreeEdge returns a random non-tree edge (whose removal is
+// incremental-eligible).
+func pickNonTreeEdge(g *graph.Graph, forest *graph.Forest, rng *rand.Rand) (int, int, bool) {
+	for try := 0; try < 300; try++ {
+		e := rng.Intn(g.M())
+		if forest.IsTreeEdge[e] {
+			continue
+		}
+		return g.Edges[e].U, g.Edges[e].V, true
+	}
+	return 0, 0, false
+}
+
+// drift commits rounds of small incremental-eligible batches and returns
+// how many commits were made.
+func (p *primaryRig) drift(t *testing.T, rng *rand.Rand, rounds int) int {
+	t.Helper()
+	committed := 0
+	for i := 0; i < rounds; i++ {
+		inner := p.nw.Snapshot().Inner()
+		g, forest := inner.Graph(), inner.Forest
+		var add, remove [][2]int
+		if u, v, ok := pickAddableEdge(g, forest, rng); ok {
+			add = append(add, [2]int{u, v})
+		}
+		if i%2 == 1 {
+			if u, v, ok := pickNonTreeEdge(g, forest, rng); ok {
+				remove = append(remove, [2]int{u, v})
+			}
+		}
+		if len(add) == 0 && len(remove) == 0 {
+			continue
+		}
+		p.commit(t, add, remove)
+		committed++
+	}
+	return committed
+}
+
+// waitCaughtUp polls until the replica's generation reaches the primary's.
+func waitCaughtUp(t *testing.T, p *primaryRig, r *serve.Replicator) {
+	t.Helper()
+	want := p.nw.Generation()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := r.Scheme(); s != nil && s.Generation() >= want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := r.Status()
+	t.Fatalf("replica stuck at generation %d (state %q), primary at %d",
+		st.LocalGen, st.State, want)
+}
+
+func replicaFor(t *testing.T, p *primaryRig) *serve.Replicator {
+	t.Helper()
+	r, err := serve.NewReplicator(p.ts.URL, serve.ReplicatorOptions{
+		CacheSize:  64,
+		RedialBase: 5 * time.Millisecond,
+		RedialMax:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("replicator: %v", err)
+	}
+	t.Cleanup(r.Stop)
+	return r
+}
+
+func assertSchemesByteIdentical(t *testing.T, want, got *core.Scheme) {
+	t.Helper()
+	if got.Token() != want.Token() || got.Generation() != want.Generation() {
+		t.Fatalf("token/gen: got (%#x, %d), want (%#x, %d)",
+			got.Token(), got.Generation(), want.Token(), want.Generation())
+	}
+	if got.N() != want.N() || got.Graph().M() != want.Graph().M() {
+		t.Fatalf("shape: got (%d, %d), want (%d, %d)",
+			got.N(), got.Graph().M(), want.N(), want.Graph().M())
+	}
+	for v := 0; v < want.N(); v++ {
+		if !bytes.Equal(core.MarshalVertexLabel(got.VertexLabel(v)),
+			core.MarshalVertexLabel(want.VertexLabel(v))) {
+			t.Fatalf("vertex %d label bytes diverge", v)
+		}
+	}
+	for e := 0; e < want.Graph().M(); e++ {
+		if !bytes.Equal(core.MarshalEdgeLabel(got.EdgeLabel(e)),
+			core.MarshalEdgeLabel(want.EdgeLabel(e))) {
+			t.Fatalf("edge %d label bytes diverge", e)
+		}
+	}
+}
+
+// TestReplicaTailByteIdentical runs the full replication loop over three
+// graph families: a replica bootstrapped from the primary's snapshot tails
+// the generation log while the primary commits incremental updates, and
+// after catching up its labels are byte-for-byte the primary's. Warm
+// fault-set cache entries on the replica are rebased (FaultSet.Rebase)
+// by the replayed deltas, and rebased entries answer exactly like the
+// primary's freshly compiled ones.
+func TestReplicaTailByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"erdos-renyi", workload.ErdosRenyi(90, 8.0/90, true, rng)},
+		{"grid", workload.Grid(8, 10)},
+		{"power-law", workload.PowerLawCluster(80, 3, 0.3, rng)},
+	}
+	for _, fam := range families {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			const f = 3
+			p := startPrimary(t, fam.g, f)
+			rep := replicaFor(t, p)
+			if err := rep.Start(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Warm replica cache entries before the drift so the replayed
+			// deltas exercise the rebase path, not just recompilation.
+			frng := rand.New(rand.NewSource(11))
+			var warmFaults [][]int
+			for i := 0; i < 6; i++ {
+				faults := workload.RandomFaults(rep.Scheme().Graph(), 1+frng.Intn(f), frng)
+				warmFaults = append(warmFaults, faults)
+				if _, _, err := rep.Server().FaultSet(faults); err != nil {
+					t.Fatalf("warm probe: %v", err)
+				}
+			}
+
+			drng := rand.New(rand.NewSource(13))
+			if n := p.drift(t, drng, 8); n == 0 {
+				t.Fatal("no drift commits made")
+			}
+			waitCaughtUp(t, p, rep)
+
+			assertSchemesByteIdentical(t, p.nw.Snapshot().Inner(), rep.Scheme())
+
+			st := rep.Status()
+			if st.SnapshotLoads != 1 {
+				t.Fatalf("snapshot loads = %d, want 1 (log tail only)", st.SnapshotLoads)
+			}
+			if st.RecordsApplied == 0 {
+				t.Fatal("no log records applied")
+			}
+			if got := rep.Server().Stats().CacheRebased; got == 0 {
+				t.Fatal("no cache entries rebased by replayed deltas")
+			}
+
+			// Every warm fault set that survived the drift (its edges may
+			// have been removed) must answer identically on primary and
+			// replica at the converged generation.
+			g := p.nw.Snapshot().Graph()
+			for _, faults := range warmFaults {
+				valid := true
+				for _, e := range faults {
+					if e >= g.M() {
+						valid = false
+						break
+					}
+				}
+				if !valid {
+					continue
+				}
+				pfs, _, perr := p.srv.FaultSet(faults)
+				rfs, _, rerr := rep.Server().FaultSet(faults)
+				if (perr == nil) != (rerr == nil) {
+					t.Fatalf("faults %v: primary err=%v, replica err=%v", faults, perr, rerr)
+				}
+				if perr != nil {
+					continue
+				}
+				for trial := 0; trial < 20; trial++ {
+					u, v := frng.Intn(g.N()), frng.Intn(g.N())
+					pc, err1 := pfs.Connected(p.nw.VertexLabel(u), p.nw.VertexLabel(v))
+					rc, err2 := rfs.Connected(rep.Scheme().VertexLabel(u), rep.Scheme().VertexLabel(v))
+					if err1 != nil || err2 != nil {
+						t.Fatalf("connected(%d,%d): %v / %v", u, v, err1, err2)
+					}
+					if pc != rc {
+						t.Fatalf("faults %v: connected(%d,%d) primary=%v replica=%v",
+							faults, u, v, pc, rc)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReplicaKillRestartCatchUp stops a caught-up replica, commits more
+// generations on the primary, restarts the tail, and checks that the
+// replica converges from the log alone — no snapshot refetch — with
+// /healthz flipping from syncing back to ok.
+func TestReplicaKillRestartCatchUp(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p := startPrimary(t, workload.ErdosRenyi(70, 8.0/70, true, rng), 3)
+	rep := replicaFor(t, p)
+	if err := rep.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rep.Server().Handler())
+	defer rts.Close()
+
+	drng := rand.New(rand.NewSource(22))
+	p.drift(t, drng, 4)
+	waitCaughtUp(t, p, rep)
+	loadsBefore := rep.Status().SnapshotLoads
+
+	// Kill the tail. The replica keeps serving its last generation.
+	rep.Stop()
+	genAtStop := rep.Scheme().Generation()
+	if n := p.drift(t, drng, 6); n == 0 {
+		t.Fatal("no drift while replica down")
+	}
+	if rep.Scheme().Generation() != genAtStop {
+		t.Fatal("stopped replica moved generations")
+	}
+
+	var h serve.Healthz
+	getJSON(t, rts.URL+"/healthz", &h)
+	if h.Role != "replica" {
+		t.Fatalf("role = %q, want replica", h.Role)
+	}
+	if h.Status != "syncing" {
+		t.Fatalf("stopped lagging replica /healthz status = %q, want syncing", h.Status)
+	}
+
+	// Restart: catch-up must come from the log alone.
+	if err := rep.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, p, rep)
+	assertSchemesByteIdentical(t, p.nw.Snapshot().Inner(), rep.Scheme())
+	if loads := rep.Status().SnapshotLoads; loads != loadsBefore {
+		t.Fatalf("snapshot loads %d -> %d: restart refetched a snapshot", loadsBefore, loads)
+	}
+
+	waitHealthzStatus(t, rts.URL, "ok")
+}
+
+// TestReplicaFullRebuildRefetchesSnapshot forces a full-rebuild marker
+// (tree-edge removal) into the log and checks the replica recovers by
+// refetching a snapshot and keeps tailing after it.
+func TestReplicaFullRebuildRefetchesSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	p := startPrimary(t, workload.ErdosRenyi(60, 8.0/60, true, rng), 2)
+	rep := replicaFor(t, p)
+	if err := rep.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remove a tree edge: the commit falls back to a full rebuild, which
+	// the log ships as a marker the replica cannot replay.
+	inner := p.nw.Snapshot().Inner()
+	g := inner.Graph()
+	tree := -1
+	for e := 0; e < g.M(); e++ {
+		if inner.Forest.IsTreeEdge[e] {
+			tree = e
+			break
+		}
+	}
+	if tree < 0 {
+		t.Fatal("no tree edge")
+	}
+	resp := p.commit(t, nil, [][2]int{{g.Edges[tree].U, g.Edges[tree].V}})
+	if resp.Incremental {
+		t.Fatal("tree-edge removal committed incrementally")
+	}
+
+	waitCaughtUp(t, p, rep)
+	assertSchemesByteIdentical(t, p.nw.Snapshot().Inner(), rep.Scheme())
+	if loads := rep.Status().SnapshotLoads; loads != 2 {
+		t.Fatalf("snapshot loads = %d, want 2 (bootstrap + full-rebuild refetch)", loads)
+	}
+
+	// The tail must still be live after the refetch.
+	drng := rand.New(rand.NewSource(32))
+	p.drift(t, drng, 3)
+	waitCaughtUp(t, p, rep)
+	assertSchemesByteIdentical(t, p.nw.Snapshot().Inner(), rep.Scheme())
+}
+
+func getJSON(t *testing.T, url string, dst any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+func waitHealthzStatus(t *testing.T, base, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var last string
+	for time.Now().Before(deadline) {
+		var h serve.Healthz
+		getJSON(t, base+"/healthz", &h)
+		last = h.Status
+		if h.Status == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("/healthz status stuck at %q, want %q", last, want)
+}

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sort"
@@ -37,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/serve/genlog"
 )
 
 // Scheme is the read-side surface the server needs: label access plus the
@@ -57,6 +59,54 @@ type Updatable interface {
 	CommitBatch(add, remove [][2]int) (*core.CommitReport, error)
 }
 
+// UpdatableWithDelta is the replication-capable superset: a commit that
+// additionally exports the generation delta for log shipping. *ftc.Network
+// satisfies it; a server with a generation log attached uses this path so
+// every committed generation lands in the log.
+type UpdatableWithDelta interface {
+	Updatable
+	CommitBatchWithDelta(add, remove [][2]int) (*core.CommitReport, *core.GenDelta, error)
+}
+
+// Snapshotter is the optional scheme surface behind GET /snapshot: any
+// view whose schemes can serialize themselves (ftc.Scheme, ftc.Network
+// snapshots, the replica adapter) makes the server a snapshot source for
+// replica bootstrap.
+type Snapshotter interface {
+	Save(w io.Writer) error
+}
+
+// ReplicaStatus is the replication telemetry a tailing replica feeds its
+// server for /healthz and /metrics (see the Replicator in replica.go).
+type ReplicaStatus struct {
+	// State is "syncing" (bootstrapping or catching up), "ok" (streaming
+	// at the primary's head), or "disconnected" (redialing the primary).
+	State string `json:"state"`
+	// SourceGen is the newest generation observed from the primary;
+	// LocalGen the replica's serving generation. Lag in generations is
+	// SourceGen - LocalGen.
+	SourceGen uint64 `json:"source_generation"`
+	LocalGen  uint64 `json:"local_generation"`
+	// BytesReceived / BytesApplied are cumulative log-record payload
+	// bytes; their difference is the replication lag in bytes.
+	BytesReceived uint64 `json:"bytes_received"`
+	BytesApplied  uint64 `json:"bytes_applied"`
+	// RecordsApplied counts delta records replayed onto the serving
+	// scheme; SnapshotLoads counts full snapshot (re)fetches — 1 after a
+	// clean boot, unchanged across a kill/restart that caught up from the
+	// log alone.
+	RecordsApplied uint64 `json:"records_applied"`
+	SnapshotLoads  uint64 `json:"snapshot_loads"`
+}
+
+// LagGenerations is the replication lag in generations.
+func (rs ReplicaStatus) LagGenerations() uint64 {
+	if rs.SourceGen < rs.LocalGen {
+		return 0
+	}
+	return rs.SourceGen - rs.LocalGen
+}
+
 // Server serves connectivity probes for one scheme — static, or dynamic
 // with generation-aware cache invalidation.
 type Server struct {
@@ -72,6 +122,19 @@ type Server struct {
 	probes   atomic.Uint64
 	requests atomic.Uint64
 	updates  atomic.Uint64
+
+	// Replication surface: the generation log this (primary) server
+	// appends to and streams from, the subscriber hub waking OpLogSub
+	// connections on append, and the status callback a tailing replica
+	// installs. commits counts committed generations from any source —
+	// local /update commits and replayed replica records alike.
+	genlog        *genlog.Log
+	commits       atomic.Uint64
+	logAppended   atomic.Uint64
+	logMu         sync.Mutex
+	logSubs       map[chan struct{}]struct{}
+	binAddr       atomic.Pointer[string]
+	replicaStatus atomic.Pointer[func() ReplicaStatus]
 
 	// Binary-protocol surface (binserver.go): frame counters plus the
 	// connection registry ShutdownBin drains.
@@ -117,6 +180,74 @@ func NewDynamicWithShards(view func() Scheme, upd Updatable, cacheSize, shards i
 		cache: newShardedCache(cacheSize, shards),
 		start: time.Now(),
 	}
+}
+
+// AttachGenLog makes the server a replication primary: every /update
+// commit is exported as a generation delta, appended to l, and pushed to
+// OpLogSub subscribers on the binary listener. The server's Updatable must
+// implement UpdatableWithDelta (ftc.Network does); attach before serving.
+func (s *Server) AttachGenLog(l *genlog.Log) error {
+	if s.upd == nil {
+		return errors.New("serve: generation log requires a dynamic server")
+	}
+	if _, ok := s.upd.(UpdatableWithDelta); !ok {
+		return errors.New("serve: updatable does not export generation deltas")
+	}
+	s.genlog = l
+	return nil
+}
+
+// GenLog returns the attached generation log (nil on non-primaries).
+func (s *Server) GenLog() *genlog.Log { return s.genlog }
+
+// SetBinAddr advertises the binary listener's address in /healthz, so a
+// replica pointed at the HTTP address alone can discover where to tail the
+// log, and a front can discover where to probe.
+func (s *Server) SetBinAddr(addr string) { s.binAddr.Store(&addr) }
+
+// SetReplicaStatusFn installs the telemetry callback a tailing replica
+// feeds /healthz and /metrics from.
+func (s *Server) SetReplicaStatusFn(fn func() ReplicaStatus) { s.replicaStatus.Store(&fn) }
+
+// subscribeLog registers an OpLogSub connection for append wakeups. The
+// channel has capacity 1 and is signalled with a non-blocking send, so an
+// arbitrarily slow subscriber coalesces notifications instead of blocking
+// the update path.
+func (s *Server) subscribeLog() (ch chan struct{}, cancel func()) {
+	ch = make(chan struct{}, 1)
+	s.logMu.Lock()
+	if s.logSubs == nil {
+		s.logSubs = make(map[chan struct{}]struct{})
+	}
+	s.logSubs[ch] = struct{}{}
+	s.logMu.Unlock()
+	return ch, func() {
+		s.logMu.Lock()
+		delete(s.logSubs, ch)
+		s.logMu.Unlock()
+	}
+}
+
+// notifyLogSubs wakes every OpLogSub connection after an append.
+func (s *Server) notifyLogSubs() {
+	s.logMu.Lock()
+	for ch := range s.logSubs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	s.logMu.Unlock()
+}
+
+// ApplyReplicatedCommit runs the selective cache sweep for a commit report
+// replayed from the generation log — the replica-side twin of the /update
+// path's sweep, under the same lock so sweeps apply in generation order.
+func (s *Server) ApplyReplicatedCommit(rep *core.CommitReport) (evicted, rebased int) {
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+	s.commits.Add(1)
+	return s.cache.applyUpdate(rep)
 }
 
 // FaultSet resolves the given fault edge indices against the current
@@ -268,7 +399,31 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	return mux
+}
+
+// handleSnapshot streams the current generation's binary snapshot — the
+// replica bootstrap path. Served from the immutable snapshot the view
+// returns, so it is consistent under concurrent commits.
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	sch := s.view()
+	sv, ok := sch.(Snapshotter)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "scheme does not support snapshots"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Ftc-Generation", fmt.Sprint(sch.Generation()))
+	if err := sv.Save(w); err != nil {
+		// Headers are gone; all we can do is cut the stream so the client
+		// sees a short/invalid body instead of a silent truncation.
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+			}
+		}
+	}
 }
 
 // probeScratch is the pooled per-request state of the /connected pipeline:
@@ -403,9 +558,27 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	rep, evicted, rebased, err := func() (*core.CommitReport, int, int, error) {
 		s.updMu.Lock()
 		defer s.updMu.Unlock()
-		rep, err := s.upd.CommitBatch(req.Add, req.Remove)
+		var rep *core.CommitReport
+		var delta *core.GenDelta
+		var err error
+		if s.genlog != nil {
+			rep, delta, err = s.upd.(UpdatableWithDelta).CommitBatchWithDelta(req.Add, req.Remove)
+		} else {
+			rep, err = s.upd.CommitBatch(req.Add, req.Remove)
+		}
 		if err != nil {
 			return nil, 0, 0, err
+		}
+		if delta != nil {
+			// Append before the sweep so a subscriber woken by the notify
+			// can never observe a generation the log does not yet carry.
+			if _, err := s.genlog.Append(delta); err != nil {
+				// The commit is already published; an unloggable commit is
+				// an operator-level failure (disk). Report it loudly — the
+				// local server keeps serving the new generation either way.
+				return nil, 0, 0, fmt.Errorf("generation %d committed but genlog append failed: %w", rep.Gen, err)
+			}
+			s.logAppended.Add(1)
 		}
 		evicted, rebased := s.cache.applyUpdate(rep)
 		return rep, evicted, rebased, nil
@@ -414,7 +587,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
 		return
 	}
+	if s.genlog != nil {
+		s.notifyLogSubs()
+	}
 	s.updates.Add(1)
+	s.commits.Add(1)
 	writeJSON(w, http.StatusOK, UpdateResponse{
 		Generation:   rep.Gen,
 		Incremental:  rep.Incremental,
@@ -426,26 +603,52 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// Healthz is the GET /healthz payload.
+// Healthz is the GET /healthz payload. Role is "static", "primary" (a
+// generation log is attached), or "replica" (tailing one); Replication is
+// present only on replicas and carries the catch-up state — a replica
+// reports status "syncing" until it is streaming at the primary's head, so
+// fleet tooling can gate traffic on status == "ok".
 type Healthz struct {
-	Status     string `json:"status"`
-	N          int    `json:"n"`
-	M          int    `json:"m"`
-	MaxFaults  int    `json:"max_faults"`
-	Generation uint64 `json:"generation"`
-	Dynamic    bool   `json:"dynamic"`
+	Status      string         `json:"status"`
+	N           int            `json:"n"`
+	M           int            `json:"m"`
+	MaxFaults   int            `json:"max_faults"`
+	Generation  uint64         `json:"generation"`
+	Dynamic     bool           `json:"dynamic"`
+	Role        string         `json:"role"`
+	BinAddr     string         `json:"bin_addr,omitempty"`
+	LogFirstGen uint64         `json:"log_first_generation,omitempty"`
+	LogLastGen  uint64         `json:"log_last_generation,omitempty"`
+	Replication *ReplicaStatus `json:"replication,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	sch := s.view()
-	writeJSON(w, http.StatusOK, Healthz{
+	h := Healthz{
 		Status:     "ok",
 		N:          sch.Graph().N(),
 		M:          sch.Graph().M(),
 		MaxFaults:  sch.MaxFaults(),
 		Generation: sch.Generation(),
 		Dynamic:    s.upd != nil,
-	})
+		Role:       "static",
+	}
+	if addr := s.binAddr.Load(); addr != nil {
+		h.BinAddr = *addr
+	}
+	if s.genlog != nil {
+		h.Role = "primary"
+		h.LogFirstGen, h.LogLastGen = s.genlog.Bounds()
+	}
+	if fnp := s.replicaStatus.Load(); fnp != nil {
+		h.Role = "replica"
+		rs := (*fnp)()
+		h.Replication = &rs
+		if rs.State != "ok" {
+			h.Status = "syncing"
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // Stats is the GET /stats payload. CacheShards breaks the aggregate cache
@@ -459,21 +662,27 @@ type Stats struct {
 	FrameErrors   uint64       `json:"frame_decode_errors"`
 	Probes        uint64       `json:"probes"`
 	Updates       uint64       `json:"updates"`
+	Commits       uint64       `json:"update_commits"`
+	LogAppended   uint64       `json:"genlog_records_appended"`
 	Generation    uint64       `json:"generation"`
 	CacheHits     uint64       `json:"cache_hits"`
 	CacheMisses   uint64       `json:"cache_misses"`
 	CacheEvicted  uint64       `json:"cache_evicted_by_update"`
 	CacheRebased  uint64       `json:"cache_rebased_by_update"`
+	CacheCapEvict uint64       `json:"cache_evictions"`
 	CacheSize     int          `json:"cache_size"`
 	CacheCapacity int          `json:"cache_capacity"`
 	CacheShards   []ShardStats `json:"cache_shards"`
 	UptimeSeconds float64      `json:"uptime_seconds"`
+
+	// Replica is non-nil when this server tails a primary.
+	Replica *ReplicaStatus `json:"replica,omitempty"`
 }
 
 // Stats snapshots the serving counters.
 func (s *Server) Stats() Stats {
-	hits, misses, evicted, rebased, size, capacity, per := s.cache.stats()
-	return Stats{
+	hits, misses, evicted, rebased, capEvicted, size, capacity, per := s.cache.stats()
+	st := Stats{
 		Requests:      s.requests.Load(),
 		BinRequests:   s.binRequests.Load(),
 		BinConns:      s.binConns.Load(),
@@ -481,16 +690,24 @@ func (s *Server) Stats() Stats {
 		FrameErrors:   s.frameErrors.Load(),
 		Probes:        s.probes.Load(),
 		Updates:       s.updates.Load(),
+		Commits:       s.commits.Load(),
+		LogAppended:   s.logAppended.Load(),
 		Generation:    s.view().Generation(),
 		CacheHits:     hits,
 		CacheMisses:   misses,
 		CacheEvicted:  evicted,
 		CacheRebased:  rebased,
+		CacheCapEvict: capEvicted,
 		CacheSize:     size,
 		CacheCapacity: capacity,
 		CacheShards:   per,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
+	if fnp := s.replicaStatus.Load(); fnp != nil {
+		rs := (*fnp)()
+		st.Replica = &rs
+	}
+	return st
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

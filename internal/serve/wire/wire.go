@@ -48,8 +48,22 @@
 //	OpError payload:
 //	  u64 id | u16 code (HTTP-aligned) | message bytes
 //
+//	OpLogSub payload (replication tailing, client → server):
+//	  u64 afterGen — stream generation-log records with gen > afterGen
+//
+//	OpLogRecord payload (server → client):
+//	  one genlog record payload, verbatim (self-describing; see the
+//	  genlog package for its layout and versioning)
+//
+// A connection that sends OpLogSub switches to push mode: the server
+// streams OpLogRecord frames (backlog, then live appends) and accepts no
+// further requests on that connection. Log records may exceed the normal
+// frame cap; a tailing client raises its Reader cap via SetMaxFrame.
+//
 // Any layout change must bump Version; a mismatched hello fails the
-// handshake instead of misparsing frames.
+// handshake instead of misparsing frames. New opcodes are additive: a
+// server that predates one answers OpError CodeBadRequest and drops the
+// connection, which a client treats as "feature unsupported".
 package wire
 
 import (
@@ -73,6 +87,8 @@ const (
 	OpProbe     byte = 0x01 // client → server batch probe
 	OpProbeResp byte = 0x02 // server → client batch answer
 	OpError     byte = 0x03 // server → client failure report
+	OpLogSub    byte = 0x04 // client → server genlog subscription
+	OpLogRecord byte = 0x05 // server → client genlog record push
 )
 
 // Error codes carried by OpError frames, aligned with the HTTP handler's
@@ -80,6 +96,7 @@ const (
 const (
 	CodeBadRequest    uint16 = 400
 	CodeConflict      uint16 = 409 // generation pin mismatch / stale label
+	CodeGone          uint16 = 410 // genlog no longer covers the requested gen
 	CodeUnprocessable uint16 = 422 // invalid fault set (budget, range)
 	CodeInternal      uint16 = 500
 )
@@ -344,14 +361,39 @@ func DecodeError(payload []byte) (id uint64, code uint16, msg string, err error)
 		string(payload[10:]), nil
 }
 
+// AppendLogSub appends a framed OpLogSub subscription request: stream
+// genlog records with gen > afterGen.
+func AppendLogSub(b []byte, afterGen uint64) []byte {
+	b = binary.LittleEndian.AppendUint32(b, 8)
+	b = append(b, OpLogSub)
+	return binary.LittleEndian.AppendUint64(b, afterGen)
+}
+
+// DecodeLogSub decodes an OpLogSub payload.
+func DecodeLogSub(payload []byte) (afterGen uint64, err error) {
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("%w: log-sub payload %d bytes, want 8", ErrFrame, len(payload))
+	}
+	return binary.LittleEndian.Uint64(payload), nil
+}
+
+// AppendLogRecord appends a framed OpLogRecord carrying one genlog record
+// payload verbatim. The payload is self-describing; no inner envelope.
+func AppendLogRecord(b []byte, record []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(record)))
+	b = append(b, OpLogRecord)
+	return append(b, record...)
+}
+
 // Reader reads frames off a connection. Frames that fit the bufio buffer
 // are returned as direct aliases of it (zero-copy): the payload is valid
 // only until the next call to Next, which discards it. Oversized frames
 // fall back to one reused scratch buffer.
 type Reader struct {
-	br      *bufio.Reader
-	scratch []byte
-	pending int // bytes of the previously returned frame still to discard
+	br       *bufio.Reader
+	scratch  []byte
+	pending  int // bytes of the previously returned frame still to discard
+	maxFrame int // payload cap; 0 = MaxFrameBytes
 }
 
 // NewReader wraps an existing bufio.Reader (so the caller controls buffer
@@ -359,6 +401,11 @@ type Reader struct {
 func NewReader(br *bufio.Reader) *Reader {
 	return &Reader{br: br}
 }
+
+// SetMaxFrame raises (or lowers) the per-frame payload cap from the
+// default MaxFrameBytes. Genlog-tailing connections raise it to the log's
+// record bound; request/response connections keep the default.
+func (r *Reader) SetMaxFrame(n int) { r.maxFrame = n }
 
 // Buffered reports how many bytes are ready without blocking — the frame
 // loop uses it to batch response flushes while requests are still queued
@@ -387,7 +434,11 @@ func (r *Reader) Next() (op byte, payload []byte, err error) {
 	}
 	n := binary.LittleEndian.Uint32(hdr)
 	op = hdr[4]
-	if n > MaxFrameBytes {
+	limit := uint32(MaxFrameBytes)
+	if r.maxFrame > 0 {
+		limit = uint32(r.maxFrame)
+	}
+	if n > limit {
 		return 0, nil, ErrTooLarge
 	}
 	total := frameHeaderLen + int(n)

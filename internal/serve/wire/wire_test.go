@@ -278,3 +278,41 @@ func FuzzWireFrame(f *testing.F) {
 		}
 	})
 }
+
+func TestLogSubRoundTrip(t *testing.T) {
+	frame := AppendLogSub(nil, 0xdeadbeefcafe)
+	r := NewReader(bufio.NewReader(bytes.NewReader(frame)))
+	op, payload, err := r.Next()
+	if err != nil || op != OpLogSub {
+		t.Fatalf("Next = (%#x, %v)", op, err)
+	}
+	after, err := DecodeLogSub(payload)
+	if err != nil || after != 0xdeadbeefcafe {
+		t.Fatalf("DecodeLogSub = (%#x, %v)", after, err)
+	}
+	if _, err := DecodeLogSub(payload[:4]); err == nil {
+		t.Fatal("short log-sub payload accepted")
+	}
+}
+
+func TestLogRecordFrameAndMaxFrame(t *testing.T) {
+	// A record above the default cap must be rejected at the default cap
+	// and accepted once the tailing client raises it.
+	record := bytes.Repeat([]byte{0x5a}, MaxFrameBytes+512)
+	frame := AppendLogRecord(nil, record)
+
+	r := NewReader(bufio.NewReader(bytes.NewReader(frame)))
+	if _, _, err := r.Next(); err == nil {
+		t.Fatal("oversized log record passed the default frame cap")
+	}
+
+	r = NewReader(bufio.NewReader(bytes.NewReader(frame)))
+	r.SetMaxFrame(MaxFrameBytes * 2)
+	op, payload, err := r.Next()
+	if err != nil || op != OpLogRecord {
+		t.Fatalf("Next with raised cap = (%#x, %v)", op, err)
+	}
+	if !bytes.Equal(payload, record) {
+		t.Fatal("log record payload mangled in framing")
+	}
+}

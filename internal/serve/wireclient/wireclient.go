@@ -19,10 +19,15 @@
 // fault buffers, and encode buffers are pooled, and the caller may pass
 // its own answer slice to ProbeInto.
 //
-// The client does not reconnect: a connection error fails the calls in
-// flight on it and poisons the client (every later call returns the same
-// error). That is the right shape for the load generator and the tests —
-// a serving-tier client with retry/hedging policy belongs a layer up.
+// A dropped connection — the server closing on a malformed/desynced
+// frame, a network fault, a restart — fails the calls in flight on it and
+// is then redialed in the background with capped exponential backoff plus
+// jitter. Calls issued while a slot is down spill to the pool's live
+// connections (and only fail when every slot is down), so a client
+// survives server restarts without caller-side dial logic. Retry policy
+// for the failed calls themselves still belongs a layer up (see
+// internal/serve/front): the client never re-sends a frame whose fate is
+// unknown.
 package wireclient
 
 import (
@@ -30,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
@@ -48,7 +54,27 @@ type Options struct {
 	Inflight int
 	// DialTimeout bounds each connection attempt (default 5s).
 	DialTimeout time.Duration
+
+	// Dialer overrides how raw connections are made (tests inject flaky
+	// in-memory listeners here). Defaults to TCP to the Dial address with
+	// DialTimeout and TCP_NODELAY.
+	Dialer func() (net.Conn, error)
+
+	// ReconnectBase and ReconnectMax bound the redial backoff: attempt n
+	// waits min(ReconnectBase·2ⁿ, ReconnectMax) ± 50% jitter. Defaults
+	// 10ms and 2s. NoReconnect disables redialing entirely (a dead slot
+	// stays dead), which is what short-lived test clients want.
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	NoReconnect   bool
 }
+
+// ErrAllDown is returned by a probe when every connection slot is down and
+// awaiting redial.
+var ErrAllDown = errors.New("wireclient: all connections down (reconnecting)")
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("wireclient: client closed")
 
 // ServerError is a failure reported by the server in an error frame, with
 // the protocol's HTTP-aligned code preserved so callers can distinguish a
@@ -93,13 +119,32 @@ type conn struct {
 
 	err  atomic.Pointer[error]
 	dead chan struct{}
+
+	// onDead, when set, runs exactly once as the connection is poisoned —
+	// the slot's hook that schedules the redial.
+	onDead func()
+}
+
+// slot is one position in the connection pool: the live connection (nil
+// while down) plus the redial state machine.
+type slot struct {
+	cl  *Client
+	cur atomic.Pointer[conn]
+	// redialing guards against stacking redial goroutines when the dead
+	// hook and a probing caller race.
+	redialing atomic.Bool
 }
 
 // Client is a pool of pipelined connections to one server.
 type Client struct {
-	conns []*conn
-	rr    atomic.Uint64
-	gen   uint64
+	slots  []*slot
+	rr     atomic.Uint64
+	gen    atomic.Uint64
+	opts   Options
+	closed atomic.Bool
+	// wg tracks redial goroutines so Close can be followed by test
+	// teardown without leaks.
+	wg sync.WaitGroup
 }
 
 // Dial connects to a binary-protocol listener and performs the handshake
@@ -114,63 +159,165 @@ func Dial(addr string, opts Options) (*Client, error) {
 	if opts.DialTimeout <= 0 {
 		opts.DialTimeout = 5 * time.Second
 	}
-	cl := &Client{}
+	if opts.ReconnectBase <= 0 {
+		opts.ReconnectBase = 10 * time.Millisecond
+	}
+	if opts.ReconnectMax <= 0 {
+		opts.ReconnectMax = 2 * time.Second
+	}
+	if opts.Dialer == nil {
+		opts.Dialer = func() (net.Conn, error) {
+			c, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+			if err != nil {
+				return nil, err
+			}
+			if tc, ok := c.(*net.TCPConn); ok {
+				// Frames are tiny; the bufio flush is the batching boundary.
+				_ = tc.SetNoDelay(true)
+			}
+			return c, nil
+		}
+	}
+	cl := &Client{opts: opts}
 	for i := 0; i < opts.Conns; i++ {
-		c, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+		sl := &slot{cl: cl}
+		cn, err := cl.connect(sl)
 		if err != nil {
 			cl.Close()
 			return nil, err
 		}
-		if tc, ok := c.(*net.TCPConn); ok {
-			// Frames are tiny; the bufio flush is the batching boundary.
-			_ = tc.SetNoDelay(true)
-		}
-		if _, err := c.Write(wire.AppendClientHello(nil)); err != nil {
-			c.Close()
-			cl.Close()
-			return nil, err
-		}
-		br := bufio.NewReaderSize(c, 64<<10)
-		var hello [wire.ServerHelloLen]byte
-		if _, err := io.ReadFull(br, hello[:]); err != nil {
-			c.Close()
-			cl.Close()
-			return nil, fmt.Errorf("wireclient: handshake: %w", err)
-		}
-		gen, err := wire.ParseServerHello(hello[:])
-		if err != nil {
-			c.Close()
-			cl.Close()
-			return nil, err
-		}
-		cl.gen = gen
-		cn := &conn{
-			c:       c,
-			bw:      bufio.NewWriterSize(c, 64<<10),
-			rd:      wire.NewReader(br),
-			pending: make(chan *call, opts.Inflight),
-			dead:    make(chan struct{}),
-		}
-		cl.conns = append(cl.conns, cn)
-		go cn.readLoop()
+		sl.cur.Store(cn)
+		cl.slots = append(cl.slots, sl)
 	}
 	return cl, nil
 }
 
-// Generation reports the server generation observed at handshake time —
-// the natural pin for index-addressed fault edges against a dynamic
-// server.
-func (cl *Client) Generation() uint64 { return cl.gen }
+// connect dials and handshakes one connection for sl, starting its read
+// loop. The caller (or the redial loop) publishes it into the slot.
+func (cl *Client) connect(sl *slot) (*conn, error) {
+	c, err := cl.opts.Dialer()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Write(wire.AppendClientHello(nil)); err != nil {
+		c.Close()
+		return nil, err
+	}
+	br := bufio.NewReaderSize(c, 64<<10)
+	var hello [wire.ServerHelloLen]byte
+	if _, err := io.ReadFull(br, hello[:]); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("wireclient: handshake: %w", err)
+	}
+	gen, err := wire.ParseServerHello(hello[:])
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	cl.gen.Store(gen)
+	cn := &conn{
+		c:       c,
+		bw:      bufio.NewWriterSize(c, 64<<10),
+		rd:      wire.NewReader(br),
+		pending: make(chan *call, cl.opts.Inflight),
+		dead:    make(chan struct{}),
+		onDead:  func() { cl.scheduleRedial(sl) },
+	}
+	go cn.readLoop()
+	return cn, nil
+}
 
-// Close tears down every connection, failing any calls still in flight.
+// scheduleRedial starts the background redial loop for sl unless one is
+// already running, reconnect is disabled, or the client is closed.
+func (cl *Client) scheduleRedial(sl *slot) {
+	if cl.opts.NoReconnect || cl.closed.Load() {
+		return
+	}
+	if !sl.redialing.CompareAndSwap(false, true) {
+		return
+	}
+	cl.wg.Add(1)
+	go func() {
+		defer cl.wg.Done()
+		defer sl.redialing.Store(false)
+		backoff := cl.opts.ReconnectBase
+		for !cl.closed.Load() {
+			cn, err := cl.connect(sl)
+			if err == nil {
+				if cl.closed.Load() {
+					cn.fail(ErrClosed)
+					return
+				}
+				sl.cur.Store(cn)
+				return
+			}
+			// Capped exponential backoff ± 50% jitter, so a restarted
+			// server is not greeted by synchronized redial storms.
+			sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+			time.Sleep(sleep)
+			if backoff < cl.opts.ReconnectMax {
+				backoff *= 2
+				if backoff > cl.opts.ReconnectMax {
+					backoff = cl.opts.ReconnectMax
+				}
+			}
+		}
+	}()
+}
+
+// Generation reports the server generation observed at the most recent
+// handshake — the natural pin for index-addressed fault edges against a
+// dynamic server.
+func (cl *Client) Generation() uint64 { return cl.gen.Load() }
+
+// Close tears down every connection, failing any calls still in flight,
+// and stops redialing.
 func (cl *Client) Close() error {
-	var first error
-	for _, cn := range cl.conns {
-		if err := cn.c.Close(); err != nil && first == nil {
-			first = err
+	cl.closed.Store(true)
+	for _, sl := range cl.slots {
+		if cn := sl.cur.Load(); cn != nil {
+			cn.fail(ErrClosed)
 		}
 	}
-	return first
+	cl.wg.Wait()
+	// A redial may have landed between the sweep and wg.Wait's return.
+	for _, sl := range cl.slots {
+		if cn := sl.cur.Load(); cn != nil {
+			cn.fail(ErrClosed)
+		}
+	}
+	return nil
+}
+
+// pick returns a live connection, scanning every slot round-robin and
+// kicking redials for dead ones it passes over.
+func (cl *Client) pick() (*conn, error) {
+	if cl.closed.Load() {
+		return nil, ErrClosed
+	}
+	start := int(cl.rr.Add(1))
+	var lastErr error
+	for i := 0; i < len(cl.slots); i++ {
+		sl := cl.slots[(start+i)%len(cl.slots)]
+		cn := sl.cur.Load()
+		if cn == nil {
+			cl.scheduleRedial(sl)
+			continue
+		}
+		if errp := cn.err.Load(); errp != nil {
+			lastErr = *errp
+			// Unpublish the dead conn so later picks skip it fast; its
+			// onDead hook has already scheduled the redial.
+			sl.cur.CompareAndSwap(cn, nil)
+			cl.scheduleRedial(sl)
+			continue
+		}
+		return cn, nil
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w: last failure: %v", ErrAllDown, lastErr)
+	}
+	return nil, ErrAllDown
 }
 
 // Probe answers one batch: one failure event (fault edge indices, any
@@ -189,9 +336,9 @@ func (cl *Client) Probe(faultEdges []int, pairs [][2]int) ([]bool, error) {
 // its generation differs — the edge-index stability contract of the JSON
 // surface, kept identical here.
 func (cl *Client) ProbeInto(faultEdges []int, pairs [][2]int, out []bool, genPin uint64) ([]bool, bool, uint64, error) {
-	cn := cl.conns[int(cl.rr.Add(1))%len(cl.conns)]
-	if errp := cn.err.Load(); errp != nil {
-		return out, false, 0, *errp
+	cn, err := cl.pick()
+	if err != nil {
+		return out, false, 0, err
 	}
 	ca := callPool.Get().(*call)
 	ca.dst = out
@@ -251,12 +398,16 @@ func (cn *conn) failure() error {
 	return errors.New("wireclient: connection closed")
 }
 
-// fail poisons the connection and wakes everything blocked on it.
+// fail poisons the connection, wakes everything blocked on it, and fires
+// the slot's redial hook.
 func (cn *conn) fail(err error) {
 	wrapped := fmt.Errorf("wireclient: connection failed: %w", err)
 	if cn.err.CompareAndSwap(nil, &wrapped) {
 		close(cn.dead)
 		_ = cn.c.Close()
+		if cn.onDead != nil {
+			cn.onDead()
+		}
 	}
 }
 

@@ -185,6 +185,34 @@ func (nw *Network) CommitBatch(add, remove [][2]int) (*CommitReport, error) {
 	return rep, nil
 }
 
+// GenDelta is a committed generation exported for replication log
+// shipping: the op batch plus the XOR label deltas (or a full-rebuild
+// marker) a replica replays to reproduce the generation byte-for-byte.
+type GenDelta = core.GenDelta
+
+// CommitBatchWithDelta is CommitBatch, additionally exporting the commit as
+// a GenDelta for a generation log. The delta is nil for a no-op batch.
+func (nw *Network) CommitBatchWithDelta(add, remove [][2]int) (*CommitReport, *GenDelta, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if len(nw.staged) > 0 {
+		return nil, nil, fmt.Errorf("ftc: %d mutations already staged; commit or discard them first", len(nw.staged))
+	}
+	batch := make([]core.Update, 0, len(add)+len(remove))
+	for _, e := range add {
+		batch = append(batch, core.Update{Add: true, U: e[0], V: e[1]})
+	}
+	for _, e := range remove {
+		batch = append(batch, core.Update{U: e[0], V: e[1]})
+	}
+	rep, delta, _, err := nw.dyn.CommitWithDelta(batch)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ftc: %w", err)
+	}
+	nw.publish()
+	return rep, delta, nil
+}
+
 // Churn returns the incremental updates absorbed since the last full
 // rebuild — the budget consumed against the hierarchy invalidation
 // predicate.
