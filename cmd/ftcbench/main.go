@@ -2243,6 +2243,15 @@ type replicateRecord struct {
 	Hedges         int64 `json:"hedges"`
 	HedgeWins      int64 `json:"hedge_wins"`
 	StragglerStall int64 `json:"straggler_stall_ns"`
+
+	// Phase 4 — retention/compaction: the bounded-log scenario.
+	RetainedRecords  int    `json:"genlog_retained_records"`
+	GenlogFileBytes  int64  `json:"genlog_file_bytes"`
+	Compactions      uint64 `json:"genlog_compactions"`
+	BytesReclaimed   uint64 `json:"genlog_bytes_reclaimed"`
+	CheckpointGen    uint64 `json:"genlog_checkpoint_generation"`
+	CompactCatchupMs int64  `json:"compaction_catchup_ms"`
+	CompactRefetches int64  `json:"compaction_snapshot_refetches"`
 }
 
 // replicateBench runs the replicated serving tier in-process: a dynamic
@@ -2305,9 +2314,11 @@ func replicateBench() {
 
 	newReplica := func() *serve.Replicator {
 		rep, err := serve.NewReplicator(ts.URL, serve.ReplicatorOptions{
-			CacheSize:  64,
-			RedialBase: 2 * time.Millisecond,
-			RedialMax:  20 * time.Millisecond,
+			CacheSize:       64,
+			RedialBase:      2 * time.Millisecond,
+			RedialMax:       20 * time.Millisecond,
+			SnapRefetchBase: 10 * time.Millisecond,
+			SnapRefetchMax:  100 * time.Millisecond,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ftcbench: replicate replica: %v\n", err)
@@ -2476,6 +2487,47 @@ func replicateBench() {
 	fmt.Println("   (single-CPU caveat: hedging adds goroutines; its p99 win is only")
 	fmt.Println("    representative when replicas have their own cores — see README)")
 
+	// Phase 4: retention + compaction. Enable the policy, stop replica 1,
+	// churn the primary across at least two compaction boundaries (so the
+	// stopped replica falls below the retained window), restart it, and
+	// time convergence through checkpoint + CodeGone-triggered snapshot
+	// refetch — the bounded-log acceptance path.
+	glog.SetRetention(genlog.Retention{MaxRecords: 6, MinRetain: 2})
+	loads1Before := rep1.Status().SnapshotLoads
+	rep1.Stop()
+	genAtStop := rep1.Scheme().Generation()
+	compactBefore := glog.Stats().Compactions
+	for i := 0; i < 8*gens; i++ {
+		st := glog.Stats()
+		if st.Compactions >= compactBefore+2 && genAtStop+1 < st.FirstGen {
+			break
+		}
+		commitOne()
+	}
+	lst := glog.Stats()
+	if lst.Compactions < compactBefore+2 || genAtStop+1 >= lst.FirstGen {
+		fmt.Fprintf(os.Stderr, "ftcbench: replicate: could not push the stopped replica below the retained window (window [%d,%d], %d compactions)\n",
+			lst.FirstGen, lst.LastGen, lst.Compactions-compactBefore)
+		os.Exit(1)
+	}
+	t1 := time.Now()
+	if err := rep1.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: replicate restart: %v\n", err)
+		os.Exit(1)
+	}
+	waitReplica(rep1)
+	compactCatchup := time.Since(t1)
+	compactRefetches := int64(rep1.Status().SnapshotLoads - loads1Before)
+	if compactRefetches == 0 {
+		fmt.Fprintf(os.Stderr, "ftcbench: replicate: replica below the retained window converged without a snapshot refetch\n")
+		os.Exit(1)
+	}
+	waitReplica(rep2) // rep2 tailed (or refetched) through the same churn
+	fmt.Printf("   compaction: %d compactions reclaimed %d bytes, window bounded at %d records (%d bytes on disk, checkpoint gen %d);\n",
+		lst.Compactions, lst.BytesReclaimed, lst.Records, lst.FileBytes, lst.CheckpointGen)
+	fmt.Printf("   fell-behind replica converged in %s via %d snapshot refetch(es)\n",
+		round(compactCatchup), compactRefetches)
+
 	if !jsonOut {
 		return
 	}
@@ -2495,6 +2547,14 @@ func replicateBench() {
 		Hedges:         int64(hst.Hedges),
 		HedgeWins:      int64(hst.HedgeWins),
 		StragglerStall: stall.Nanoseconds(),
+
+		RetainedRecords:  lst.Records,
+		GenlogFileBytes:  lst.FileBytes,
+		Compactions:      lst.Compactions,
+		BytesReclaimed:   lst.BytesReclaimed,
+		CheckpointGen:    lst.CheckpointGen,
+		CompactCatchupMs: compactCatchup.Milliseconds(),
+		CompactRefetches: compactRefetches,
 	}
 	mergeBenchServe(func(doc map[string]json.RawMessage) {
 		raw, err := json.Marshal(rec)

@@ -59,6 +59,13 @@
 // /healthz reports role "replica" with the replication lag, and /metrics
 // exports it as ftcserve_replica_lag_generations.
 //
+// Retention (DESIGN.md §3.14): -genlog-retain-records / -genlog-retain-bytes
+// bound the log. When either trips after a commit, the primary writes a
+// checkpoint (its current snapshot, to <log>.ckpt) and truncates the log
+// down to the newest -genlog-retain-min records; /snapshot then serves the
+// checkpoint, and a replica that fell behind the retained window refetches
+// it (CodeGone) and tails from there.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes
 // immediately and in-flight batch probes drain for up to 10 seconds.
 package main
@@ -102,6 +109,9 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty = off)")
 	listenBin := flag.String("listen-bin", "", "additionally serve the binary frame protocol on this address (e.g. :8338; empty = off)")
 	genlogPath := flag.String("genlog", "", "append committed generations to this log file and stream them to replicas (primary role; requires -dynamic and wants -listen-bin)")
+	retainRecords := flag.Int("genlog-retain-records", 0, "compact the generation log when it holds more than this many records (0 = unbounded; with -genlog)")
+	retainBytes := flag.Int64("genlog-retain-bytes", 0, "compact the generation log when the file exceeds this many bytes (0 = unbounded; with -genlog)")
+	retainMin := flag.Int("genlog-retain-min", 16, "generations kept in the log across a compaction (with -genlog-retain-*)")
 	replicaOf := flag.String("replica-of", "", "tail this primary's generation log (HTTP base URL, e.g. http://host:8337); mutually exclusive with -snapshot/-graph")
 	flag.Parse()
 
@@ -136,6 +146,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("ftcserve: %v", err)
 		}
+		if *genlogPath == "" && (*retainRecords > 0 || *retainBytes > 0) {
+			log.Fatalf("ftcserve: -genlog-retain-* requires -genlog")
+		}
 		if *genlogPath != "" {
 			if !*dynamic {
 				log.Fatalf("ftcserve: -genlog requires -dynamic (a static scheme never commits generations)")
@@ -144,14 +157,27 @@ func main() {
 			if err != nil {
 				log.Fatalf("ftcserve: genlog: %v", err)
 			}
+			l.SetRetention(genlog.Retention{
+				MaxRecords: *retainRecords,
+				MaxBytes:   *retainBytes,
+				MinRetain:  *retainMin,
+			})
 			if err := srv.AttachGenLog(l); err != nil {
 				log.Fatalf("ftcserve: genlog: %v", err)
 			}
 			if *listenBin == "" {
 				log.Printf("warning: -genlog without -listen-bin: replicas tail the log over the binary listener")
 			}
-			first, last := l.Bounds()
-			log.Printf("generation log %s: %d records (generations %d..%d)", *genlogPath, l.Len(), first, last)
+			// A pre-existing log may already exceed the policy; compact it
+			// now rather than waiting for the first commit.
+			srv.MaybeCompactGenLog()
+			st := l.Stats()
+			if st.CheckpointGen > 0 {
+				log.Printf("generation log %s: %d records (generations %d..%d), checkpoint at generation %d, retention {records>%d bytes>%d keep %d}",
+					*genlogPath, st.Records, st.FirstGen, st.LastGen, st.CheckpointGen, *retainRecords, *retainBytes, *retainMin)
+			} else {
+				log.Printf("generation log %s: %d records (generations %d..%d)", *genlogPath, st.Records, st.FirstGen, st.LastGen)
+			}
 		}
 	}
 

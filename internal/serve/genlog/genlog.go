@@ -45,6 +45,35 @@
 // (after a crash mid-append) detectably torn. Open scans the file,
 // validates every checksum, and truncates a torn or corrupt tail rather
 // than serving doubtful records; corruption below the tail is an error.
+//
+// # Compaction
+//
+// Left alone, the log grows without bound in two dimensions: the file
+// gains a record per commit and the in-memory window keeps every record.
+// A Retention policy bounds both: when the window exceeds MaxRecords (or
+// the file exceeds MaxBytes), the serve layer compacts the log — it first
+// writes a checkpoint (the primary's binary scheme snapshot at the current
+// generation) to a sidecar file at path+".ckpt", then truncates the
+// compacted prefix from both the file and memory, keeping the newest
+// MinRetain records.
+//
+// Checkpoint sidecar layout (all integers little-endian):
+//
+//	magic   [4]byte "FTCC"
+//	version u8      1
+//	gen     u64     generation the snapshot captures
+//	length  u64     snapshot payload byte count
+//	crc     u32     IEEE CRC-32 of the payload
+//	payload bytes   core scheme snapshot (ftc.Save / MarshalBinary bytes)
+//
+// Both the checkpoint and the rewritten log are written to a temp file,
+// fsynced, and renamed into place — each is atomically either the old or
+// the new version. The checkpoint is committed BEFORE the log is
+// truncated, so at every instant (including across a crash between the
+// two renames) the invariant holds that After(checkpointGen) is within
+// the log's coverage: a replica bootstrapping from the checkpoint can
+// always tail the remaining records. See DESIGN.md §3.14 for the full
+// atomicity argument.
 package genlog
 
 import (
@@ -73,13 +102,24 @@ const recHeaderLen = 8
 // so wire frames and reader buffers stay bounded.
 const MaxRecordBytes = 16 << 20
 
+// CkptVersion is the checkpoint sidecar format version, bumped on any
+// layout change.
+const CkptVersion = 1
+
+var ckptMagic = [4]byte{'F', 'T', 'C', 'C'}
+
+// ckptHeaderLen is magic + version + gen + length + crc.
+const ckptHeaderLen = 4 + 1 + 8 + 8 + 4
+
 // Sentinel errors; test with errors.Is.
 var (
-	ErrBadMagic   = errors.New("genlog: bad magic")
-	ErrBadVersion = errors.New("genlog: unsupported version")
-	ErrCorrupt    = errors.New("genlog: corrupt record")
-	ErrBadRecord  = errors.New("genlog: malformed record payload")
-	ErrGenOrder   = errors.New("genlog: generations out of order")
+	ErrBadMagic     = errors.New("genlog: bad magic")
+	ErrBadVersion   = errors.New("genlog: unsupported version")
+	ErrCorrupt      = errors.New("genlog: corrupt record")
+	ErrBadRecord    = errors.New("genlog: malformed record payload")
+	ErrGenOrder     = errors.New("genlog: generations out of order")
+	ErrNoCheckpoint = errors.New("genlog: no checkpoint")
+	ErrCompact      = errors.New("genlog: invalid compaction")
 )
 
 // Record is one log entry held in memory: the generation it produces plus
@@ -90,30 +130,152 @@ type Record struct {
 	Payload []byte
 }
 
-// Log is an append-only generation log backed by one file. All records are
-// kept in memory (they are deltas, small by construction) so subscription
-// backfill never seeks the file; the file is the durable copy.
+// Retention is the compaction policy. The zero value disables compaction
+// (the historical unbounded behavior).
+type Retention struct {
+	// MaxRecords compacts the log when the retained window exceeds this
+	// many records (0 = unbounded).
+	MaxRecords int
+	// MaxBytes compacts the log when the file exceeds this many bytes
+	// (0 = unbounded).
+	MaxBytes int64
+	// MinRetain is how many of the newest records every compaction keeps —
+	// the replay window for subscribers slightly behind the head. Values
+	// below 1 are treated as 1 so the log never empties.
+	MinRetain int
+}
+
+// Enabled reports whether the policy can ever trip.
+func (r Retention) Enabled() bool { return r.MaxRecords > 0 || r.MaxBytes > 0 }
+
+func (r Retention) minRetain() int {
+	if r.MinRetain < 1 {
+		return 1
+	}
+	return r.MinRetain
+}
+
+// CheckpointInfo describes the current checkpoint sidecar.
+type CheckpointInfo struct {
+	Gen     uint64 // generation the snapshot captures
+	Payload int64  // snapshot payload bytes (excluding the sidecar header)
+}
+
+// CompactResult reports one compaction.
+type CompactResult struct {
+	Dropped        int    // records removed from the window
+	Retained       int    // records kept
+	BytesReclaimed int64  // log file shrinkage
+	CheckpointGen  uint64 // generation of the checkpoint written
+}
+
+// Stats is a point-in-time snapshot of the log's bounds and compaction
+// counters, the source for /healthz and /metrics on a primary.
+type Stats struct {
+	FirstGen       uint64
+	LastGen        uint64
+	Records        int
+	FileBytes      int64
+	Compactions    uint64
+	BytesReclaimed uint64
+	CheckpointGen  uint64 // 0 when no checkpoint exists
+}
+
+// Log is an append-only generation log backed by one file. The retained
+// records are kept in memory (they are deltas, small by construction) so
+// subscription backfill never seeks the file; the file is the durable
+// copy. With a Retention policy set, both the file and the in-memory
+// window are bounded by checkpoint-and-truncate compaction.
 //
 // A Log is safe for concurrent use.
 type Log struct {
 	mu      sync.Mutex
 	f       *os.File
+	path    string
 	records []Record
+
+	ret       Retention
+	fileBytes int64
+
+	compactions    uint64
+	bytesReclaimed uint64
+	ckpt           CheckpointInfo
+	hasCkpt        bool
 }
 
 // Open opens or creates the log at path, validating every existing record
-// and truncating a torn tail left by a crashed append.
+// and truncating a torn tail left by a crashed append. A checkpoint
+// sidecar at path+".ckpt", if present, is validated (magic, version,
+// payload CRC) and republished through Checkpoint/OpenCheckpoint.
 func Open(path string) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{f: f}
+	l := &Log{f: f, path: path}
 	if err := l.scan(); err != nil {
 		f.Close()
 		return nil, err
 	}
+	if err := l.loadCheckpoint(); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return l, nil
+}
+
+// SetRetention installs (or replaces) the compaction policy. It does not
+// compact by itself — the owner checks CompactTarget after appends (and
+// once at startup) and drives Compact with a snapshot writer.
+func (l *Log) SetRetention(r Retention) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ret = r
+}
+
+// CheckpointPath returns the checkpoint sidecar path for a log path.
+func CheckpointPath(logPath string) string { return logPath + ".ckpt" }
+
+// loadCheckpoint validates an existing checkpoint sidecar. A missing
+// sidecar is fine (no checkpoint yet); a malformed one is an error — the
+// rename-based write discipline never leaves a torn sidecar, so damage
+// means real corruption and a compacted log without its checkpoint cannot
+// bootstrap replicas.
+func (l *Log) loadCheckpoint() error {
+	data, err := os.ReadFile(CheckpointPath(l.path))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	info, err := parseCheckpoint(data)
+	if err != nil {
+		return err
+	}
+	l.ckpt, l.hasCkpt = info, true
+	return nil
+}
+
+// parseCheckpoint validates a complete checkpoint file's bytes.
+func parseCheckpoint(data []byte) (CheckpointInfo, error) {
+	if len(data) < ckptHeaderLen || [4]byte(data[:4]) != ckptMagic {
+		return CheckpointInfo{}, fmt.Errorf("%w: bad checkpoint magic", ErrBadMagic)
+	}
+	if data[4] != CkptVersion {
+		return CheckpointInfo{}, fmt.Errorf("%w: checkpoint version %d, want %d", ErrBadVersion, data[4], CkptVersion)
+	}
+	gen := binary.LittleEndian.Uint64(data[5:])
+	n := binary.LittleEndian.Uint64(data[13:])
+	sum := binary.LittleEndian.Uint32(data[21:])
+	payload := data[ckptHeaderLen:]
+	if uint64(len(payload)) != n {
+		return CheckpointInfo{}, fmt.Errorf("%w: checkpoint claims %d payload bytes, has %d", ErrCorrupt, n, len(payload))
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return CheckpointInfo{}, fmt.Errorf("%w: checkpoint payload checksum mismatch", ErrCorrupt)
+	}
+	return CheckpointInfo{Gen: gen, Payload: int64(n)}, nil
 }
 
 // scan loads and validates the whole file, writing the header if the file
@@ -130,6 +292,7 @@ func (l *Log) scan() error {
 		if _, err := l.f.Write(hdr[:]); err != nil {
 			return err
 		}
+		l.fileBytes = headerLen
 		return l.f.Sync()
 	}
 	if len(data) < headerLen || [4]byte(data[:4]) != magic {
@@ -180,6 +343,7 @@ func (l *Log) scan() error {
 	if _, err := l.f.Seek(int64(good), io.SeekStart); err != nil {
 		return err
 	}
+	l.fileBytes = int64(good)
 	return nil
 }
 
@@ -222,6 +386,7 @@ func (l *Log) Append(d *core.GenDelta) (Record, error) {
 	if err := l.f.Sync(); err != nil {
 		return Record{}, err
 	}
+	l.fileBytes += int64(len(buf))
 	rec := Record{PrevGen: d.PrevGen, Gen: d.Gen, Payload: payload}
 	l.records = append(l.records, rec)
 	return rec, nil
@@ -248,8 +413,13 @@ func (l *Log) Bounds() (first, last uint64) {
 
 // After returns the records with Gen > gen, oldest first. The returned
 // slice aliases the log's immutable in-memory records; callers must not
-// modify payloads. ok is false when gen is below the log's coverage (the
-// subscriber must refetch a snapshot instead).
+// modify payloads. The alias stays valid across concurrent Append and
+// Compact calls: the capacity is clamped so appends never write into the
+// returned window, and compaction installs a freshly copied backing array
+// instead of shifting records within the old one — the old array (and any
+// in-flight wire backfill iterating it) is left untouched. ok is false
+// when gen is below the log's coverage (the subscriber must refetch a
+// snapshot instead).
 func (l *Log) After(gen uint64) (recs []Record, ok bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -276,6 +446,250 @@ func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.f.Close()
+}
+
+// Stats snapshots the log's bounds and compaction counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		Records:        len(l.records),
+		FileBytes:      l.fileBytes,
+		Compactions:    l.compactions,
+		BytesReclaimed: l.bytesReclaimed,
+	}
+	if len(l.records) > 0 {
+		st.FirstGen = l.records[0].Gen
+		st.LastGen = l.records[len(l.records)-1].Gen
+	}
+	if l.hasCkpt {
+		st.CheckpointGen = l.ckpt.Gen
+	}
+	return st
+}
+
+// Checkpoint returns the current checkpoint metadata, ok=false when no
+// compaction has produced one yet.
+func (l *Log) Checkpoint() (CheckpointInfo, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ckpt, l.hasCkpt
+}
+
+// OpenCheckpoint opens the checkpoint sidecar for streaming, positioned at
+// the start of the snapshot payload, together with its metadata. The open
+// happens under the log's lock, so the returned reader is pinned to a
+// checkpoint that was consistent with the retained window at that instant
+// — a compaction renaming a newer sidecar over the path cannot disturb
+// bytes already opened. Returns ErrNoCheckpoint when none exists.
+func (l *Log) OpenCheckpoint() (r io.ReadCloser, info CheckpointInfo, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.hasCkpt {
+		return nil, CheckpointInfo{}, ErrNoCheckpoint
+	}
+	f, err := os.Open(CheckpointPath(l.path))
+	if err != nil {
+		return nil, CheckpointInfo{}, err
+	}
+	if _, err := f.Seek(ckptHeaderLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, CheckpointInfo{}, err
+	}
+	return f, l.ckpt, nil
+}
+
+// CompactTarget reports whether the retention policy has tripped and, if
+// so, the generation to compact through (everything at or below it is
+// dropped, keeping the newest MinRetain records). The caller then drives
+// Compact with a snapshot of the current generation.
+func (l *Log) CompactTarget() (throughGen uint64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.ret.Enabled() {
+		return 0, false
+	}
+	keep := l.ret.minRetain()
+	if len(l.records) <= keep {
+		return 0, false
+	}
+	tripped := (l.ret.MaxRecords > 0 && len(l.records) > l.ret.MaxRecords) ||
+		(l.ret.MaxBytes > 0 && l.fileBytes > l.ret.MaxBytes)
+	if !tripped {
+		return 0, false
+	}
+	return l.records[len(l.records)-keep-1].Gen, true
+}
+
+// Compact checkpoints and truncates the log: it writes a checkpoint — the
+// snapshot produced by save, which must capture generation ckptGen — to
+// the sidecar path, then drops every record with Gen ≤ throughGen from
+// both the file and the in-memory window. ckptGen must be at least
+// throughGen (otherwise a replica bootstrapped from the checkpoint could
+// land below the retained window's coverage) and at least one record must
+// survive. Both files are replaced by atomic rename, checkpoint first, so
+// a crash between the two leaves a longer-than-necessary log, never an
+// uncovered checkpoint.
+//
+// Compact holds the log's lock for the duration, blocking appends and
+// backfills while the snapshot is written; the serve layer calls it from
+// the commit path (already serialized), so the stall is one commit's.
+func (l *Log) Compact(throughGen, ckptGen uint64, save func(io.Writer) error) (CompactResult, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if ckptGen < throughGen {
+		return CompactResult{}, fmt.Errorf("%w: checkpoint generation %d below compaction point %d",
+			ErrCompact, ckptGen, throughGen)
+	}
+	// cut = first retained index.
+	cut := 0
+	for cut < len(l.records) && l.records[cut].Gen <= throughGen {
+		cut++
+	}
+	if cut == 0 {
+		return CompactResult{Retained: len(l.records)}, nil
+	}
+	if cut == len(l.records) {
+		return CompactResult{}, fmt.Errorf("%w: compaction through %d would drop the entire window",
+			ErrCompact, throughGen)
+	}
+	if err := l.writeCheckpoint(ckptGen, save); err != nil {
+		return CompactResult{}, fmt.Errorf("genlog: checkpoint: %w", err)
+	}
+	newSize, err := l.rewriteLog(cut)
+	if err != nil {
+		return CompactResult{}, fmt.Errorf("genlog: truncate: %w", err)
+	}
+	reclaimed := l.fileBytes - newSize
+	// Install a freshly copied backing array: slices handed out by After
+	// (in-flight wire backfills) keep aliasing the old, untouched array —
+	// this copy is what makes After safe against use-after-truncate.
+	l.records = append(make([]Record, 0, len(l.records)-cut), l.records[cut:]...)
+	l.fileBytes = newSize
+	l.compactions++
+	l.bytesReclaimed += uint64(reclaimed)
+	return CompactResult{
+		Dropped:        cut,
+		Retained:       len(l.records),
+		BytesReclaimed: reclaimed,
+		CheckpointGen:  ckptGen,
+	}, nil
+}
+
+// writeCheckpoint writes the sidecar atomically: payload to a temp file
+// through a CRC-tracking writer, header backfilled, fsync, rename.
+func (l *Log) writeCheckpoint(gen uint64, save func(io.Writer) error) error {
+	dst := CheckpointPath(l.path)
+	tmp := dst + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // no-op after a successful rename
+	var hdr [ckptHeaderLen]byte
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	cw := &crcWriter{w: f}
+	if err := save(cw); err != nil {
+		f.Close()
+		return err
+	}
+	copy(hdr[:4], ckptMagic[:])
+	hdr[4] = CkptVersion
+	binary.LittleEndian.PutUint64(hdr[5:], gen)
+	binary.LittleEndian.PutUint64(hdr[13:], uint64(cw.n))
+	binary.LittleEndian.PutUint32(hdr[21:], cw.sum)
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		return err
+	}
+	l.ckpt = CheckpointInfo{Gen: gen, Payload: cw.n}
+	l.hasCkpt = true
+	return nil
+}
+
+// rewriteLog writes header + records[cut:] to a temp file, fsyncs, renames
+// it over the log path, and swaps the live file handle. Returns the new
+// file size.
+func (l *Log) rewriteLog(cut int) (int64, error) {
+	tmp := l.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp)
+	var hdr [headerLen]byte
+	copy(hdr[:], magic[:])
+	hdr[4] = Version
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return 0, err
+	}
+	var rh [recHeaderLen]byte
+	for _, rec := range l.records[cut:] {
+		binary.LittleEndian.PutUint32(rh[:], uint32(len(rec.Payload)))
+		binary.LittleEndian.PutUint32(rh[4:], crc32.ChecksumIEEE(rec.Payload))
+		if _, err := f.Write(rh[:]); err != nil {
+			f.Close()
+			return 0, err
+		}
+		if _, err := f.Write(rec.Payload); err != nil {
+			f.Close()
+			return 0, err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	size, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		return 0, err
+	}
+	nf, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := nf.Seek(size, io.SeekStart); err != nil {
+		nf.Close()
+		return 0, err
+	}
+	l.f.Close()
+	l.f = nf
+	return size, nil
+}
+
+// crcWriter tees writes into an IEEE CRC-32 and a byte count.
+type crcWriter struct {
+	w   io.Writer
+	sum uint32
+	n   int64
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.sum = crc32.Update(c.sum, crc32.IEEETable, p[:n])
+	c.n += int64(n)
+	return n, err
 }
 
 // --- payload codec ---

@@ -46,6 +46,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("frame_decode_errors_total", "Binary frames rejected as malformed.", st.FrameErrors)
 	counter("update_commits_total", "Generations committed (local /update commits plus replayed replica records).", st.Commits)
 	counter("genlog_records_appended_total", "Generation-log records appended by this primary.", st.LogAppended)
+	counter("snapshot_stream_failures_total", "GET /snapshot responses aborted mid-body after a stream error.", st.SnapFailures)
 	counter("cache_evicted_by_update_total", "Cache entries evicted by update sweeps.", st.CacheEvicted)
 	counter("cache_rebased_by_update_total", "Cache entries rebased across generations by update sweeps.", st.CacheRebased)
 	counter("cache_evictions_total", "Cache entries displaced by capacity pressure (LRU evictions).", st.CacheCapEvict)
@@ -54,6 +55,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("bin_inflight_batches", "Binary-protocol frames currently being served.", float64(st.BinInflight))
 	gauge("cache_capacity_entries", "Total fault-set cache capacity.", float64(st.CacheCapacity))
 	gauge("uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+
+	// Generation-log retention series, present only on a primary.
+	if s.genlog != nil {
+		counter("genlog_compactions_total", "Checkpoint-and-truncate compactions of the generation log.", st.LogCompact)
+		counter("genlog_bytes_reclaimed_total", "Log-file bytes reclaimed by compaction.", st.LogReclaimed)
+		gauge("genlog_records", "Records currently retained in the generation log window.", float64(st.LogRecords))
+		gauge("genlog_file_bytes", "Current size of the generation-log file.", float64(st.LogFileBytes))
+		gauge("genlog_checkpoint_generation", "Generation of the latest compaction checkpoint (0 when none).", float64(st.LogCkptGen))
+	}
 
 	// Replication series, present only on a tailing replica.
 	if st.Replica != nil {

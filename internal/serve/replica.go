@@ -71,6 +71,15 @@ type ReplicatorOptions struct {
 	RedialBase time.Duration
 	RedialMax  time.Duration
 
+	// SnapRefetchBase / SnapRefetchMax bound a separate exponential
+	// backoff applied to consecutive snapshot refetches (defaults 250ms /
+	// 5s). The redial backoff resets whenever a session applies a record,
+	// which a compacting primary keeps satisfying — without this second
+	// clock a replica that repeatedly lands below the retained window
+	// (CodeGone) would tight-loop full snapshot downloads.
+	SnapRefetchBase time.Duration
+	SnapRefetchMax  time.Duration
+
 	// HTTPClient fetches /snapshot and /healthz from the primary
 	// (default: a client with a 30s timeout for healthz; snapshots
 	// stream without a deadline).
@@ -97,6 +106,15 @@ func (o *ReplicatorOptions) fill() {
 		o.RedialMax = 2 * time.Second
 		if o.RedialMax < o.RedialBase {
 			o.RedialMax = o.RedialBase
+		}
+	}
+	if o.SnapRefetchBase <= 0 {
+		o.SnapRefetchBase = 250 * time.Millisecond
+	}
+	if o.SnapRefetchMax < o.SnapRefetchBase {
+		o.SnapRefetchMax = 5 * time.Second
+		if o.SnapRefetchMax < o.SnapRefetchBase {
+			o.SnapRefetchMax = o.SnapRefetchBase
 		}
 	}
 	if o.HTTPClient == nil {
@@ -263,10 +281,15 @@ func stopped(stop chan struct{}) bool {
 
 // run is the tail loop: one session per connection, exponential backoff
 // with ±50% jitter between failed sessions, reset after a session that
-// applied at least one record.
+// applied at least one record. Sessions that end needing a snapshot
+// refetch (CodeGone, full-rebuild marker, failed bootstrap) run a second,
+// slower backoff clock: applying records resets the redial backoff, so
+// under retention pressure it alone would let a slow replica hammer
+// /snapshot in a tight fetch→fall-behind→CodeGone loop.
 func (r *Replicator) run(stop chan struct{}) {
 	defer r.wg.Done()
 	backoff := r.opts.RedialBase
+	var snapBackoff time.Duration // 0 = previous session needed no refetch
 	for !stopped(stop) {
 		applied, err := r.tailOnce(stop)
 		if stopped(stop) {
@@ -279,6 +302,19 @@ func (r *Replicator) run(stop chan struct{}) {
 			backoff = r.opts.RedialBase
 		}
 		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+		if errors.Is(err, errSnapshotNeeded) {
+			if snapBackoff == 0 {
+				snapBackoff = r.opts.SnapRefetchBase
+			}
+			if s := snapBackoff/2 + time.Duration(rand.Int63n(int64(snapBackoff))); s > sleep {
+				sleep = s
+			}
+			if snapBackoff *= 2; snapBackoff > r.opts.SnapRefetchMax {
+				snapBackoff = r.opts.SnapRefetchMax
+			}
+		} else {
+			snapBackoff = 0
+		}
 		select {
 		case <-stop:
 			return
@@ -301,7 +337,10 @@ var errSnapshotNeeded = errors.New("snapshot refetch needed")
 func (r *Replicator) tailOnce(stop chan struct{}) (applied int, err error) {
 	if r.needSnapshot.Load() {
 		if err := r.bootstrap(); err != nil {
-			return 0, err
+			// needSnapshot stays set; mark the error so run() applies the
+			// refetch backoff to the retry (a short/rejected snapshot body
+			// lands here and must not tight-loop downloads either).
+			return 0, fmt.Errorf("%w: %v", errSnapshotNeeded, err)
 		}
 	}
 	addr, err := r.resolveBinAddr()

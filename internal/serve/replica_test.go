@@ -145,9 +145,11 @@ func waitCaughtUp(t *testing.T, p *primaryRig, r *serve.Replicator) {
 func replicaFor(t *testing.T, p *primaryRig) *serve.Replicator {
 	t.Helper()
 	r, err := serve.NewReplicator(p.ts.URL, serve.ReplicatorOptions{
-		CacheSize:  64,
-		RedialBase: 5 * time.Millisecond,
-		RedialMax:  50 * time.Millisecond,
+		CacheSize:       64,
+		RedialBase:      5 * time.Millisecond,
+		RedialMax:       50 * time.Millisecond,
+		SnapRefetchBase: 5 * time.Millisecond,
+		SnapRefetchMax:  50 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatalf("replicator: %v", err)

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"sort"
@@ -131,6 +132,7 @@ type Server struct {
 	genlog        *genlog.Log
 	commits       atomic.Uint64
 	logAppended   atomic.Uint64
+	snapFailures  atomic.Uint64
 	logMu         sync.Mutex
 	logSubs       map[chan struct{}]struct{}
 	binAddr       atomic.Pointer[string]
@@ -199,6 +201,45 @@ func (s *Server) AttachGenLog(l *genlog.Log) error {
 
 // GenLog returns the attached generation log (nil on non-primaries).
 func (s *Server) GenLog() *genlog.Log { return s.genlog }
+
+// MaybeCompactGenLog runs one retention check against the attached
+// generation log, compacting if the policy has tripped. The commit path
+// runs this automatically after every /update; call it directly at
+// startup, when a pre-existing log may already exceed the policy.
+func (s *Server) MaybeCompactGenLog() {
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+	s.maybeCompactGenLogLocked()
+}
+
+// maybeCompactGenLogLocked is MaybeCompactGenLog under updMu: with
+// commits serialized, s.view() is the just-committed snapshot, so the
+// checkpoint generation equals the log's head and every retained record
+// is at or below it. Compaction failures are logged, not fatal — the
+// server keeps serving and retention simply re-trips on the next commit.
+func (s *Server) maybeCompactGenLogLocked() {
+	if s.genlog == nil {
+		return
+	}
+	through, ok := s.genlog.CompactTarget()
+	if !ok {
+		return
+	}
+	sch := s.view()
+	sv, ok := sch.(Snapshotter)
+	if !ok {
+		return
+	}
+	res, err := s.genlog.Compact(through, sch.Generation(), sv.Save)
+	if err != nil {
+		log.Printf("serve: genlog compaction through generation %d failed: %v", through, err)
+		return
+	}
+	if res.Dropped > 0 {
+		log.Printf("serve: genlog compacted through generation %d: dropped %d records, retained %d, reclaimed %d bytes, checkpoint at generation %d",
+			through, res.Dropped, res.Retained, res.BytesReclaimed, res.CheckpointGen)
+	}
+}
 
 // SetBinAddr advertises the binary listener's address in /healthz, so a
 // replica pointed at the HTTP address alone can discover where to tail the
@@ -403,10 +444,31 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// handleSnapshot streams the current generation's binary snapshot — the
-// replica bootstrap path. Served from the immutable snapshot the view
-// returns, so it is consistent under concurrent commits.
+// handleSnapshot streams a binary snapshot — the replica bootstrap path.
+// When the generation log carries a compaction checkpoint, the checkpoint
+// is served (with an exact Content-Length, since its size is known): its
+// generation is covered by the log's retained window — the two are updated
+// atomically under the log's lock — so a replica bootstrapping from it can
+// always tail; if a later compaction outruns a slow bootstrap the tail gets
+// CodeGone and the replica refetches, converging on a newer checkpoint.
+// Otherwise the current generation's live snapshot is streamed from the
+// immutable view, consistent under concurrent commits.
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if s.genlog != nil {
+		if r, info, err := s.genlog.OpenCheckpoint(); err == nil {
+			defer r.Close()
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Length", fmt.Sprint(info.Payload))
+			w.Header().Set("X-Ftc-Generation", fmt.Sprint(info.Gen))
+			if _, err := io.Copy(w, r); err != nil {
+				s.abortSnapshotStream(w, info.Gen, err)
+			}
+			return
+		} else if !errors.Is(err, genlog.ErrNoCheckpoint) {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "checkpoint open failed: " + err.Error()})
+			return
+		}
+	}
 	sch := s.view()
 	sv, ok := sch.(Snapshotter)
 	if !ok {
@@ -416,14 +478,28 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Ftc-Generation", fmt.Sprint(sch.Generation()))
 	if err := sv.Save(w); err != nil {
-		// Headers are gone; all we can do is cut the stream so the client
-		// sees a short/invalid body instead of a silent truncation.
-		if hj, ok := w.(http.Hijacker); ok {
-			if conn, _, err := hj.Hijack(); err == nil {
-				conn.Close()
-			}
+		s.abortSnapshotStream(w, sch.Generation(), err)
+	}
+}
+
+// abortSnapshotStream cuts a /snapshot response whose body failed
+// mid-stream. The 200 and headers are already gone, so the only correct
+// move is to make the truncation visible to the client: hijack and close
+// the connection when possible, otherwise panic with http.ErrAbortHandler
+// so net/http resets the stream (the HTTP/2 path, where ResponseWriter is
+// not a Hijacker). Either way the replica sees a short/invalid body —
+// which it rejects at decode or token verification — instead of silently
+// applying a truncated snapshot.
+func (s *Server) abortSnapshotStream(w http.ResponseWriter, gen uint64, err error) {
+	s.snapFailures.Add(1)
+	log.Printf("serve: snapshot stream at generation %d failed mid-body: %v", gen, err)
+	if hj, ok := w.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			conn.Close()
+			return
 		}
 	}
+	panic(http.ErrAbortHandler)
 }
 
 // probeScratch is the pooled per-request state of the /connected pipeline:
@@ -581,6 +657,10 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			s.logAppended.Add(1)
 		}
 		evicted, rebased := s.cache.applyUpdate(rep)
+		// Retention check after the commit is fully applied: updMu
+		// guarantees s.view() here is the just-committed generation, so
+		// the checkpoint is taken at the log's head.
+		s.maybeCompactGenLogLocked()
 		return rep, evicted, rebased, nil
 	}()
 	if err != nil {
@@ -619,6 +699,8 @@ type Healthz struct {
 	BinAddr     string         `json:"bin_addr,omitempty"`
 	LogFirstGen uint64         `json:"log_first_generation,omitempty"`
 	LogLastGen  uint64         `json:"log_last_generation,omitempty"`
+	LogRecords  int            `json:"log_records,omitempty"`
+	LogCkptGen  uint64         `json:"log_checkpoint_generation,omitempty"`
 	Replication *ReplicaStatus `json:"replication,omitempty"`
 }
 
@@ -638,7 +720,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.genlog != nil {
 		h.Role = "primary"
-		h.LogFirstGen, h.LogLastGen = s.genlog.Bounds()
+		lst := s.genlog.Stats()
+		h.LogFirstGen, h.LogLastGen = lst.FirstGen, lst.LastGen
+		h.LogRecords = lst.Records
+		h.LogCkptGen = lst.CheckpointGen
 	}
 	if fnp := s.replicaStatus.Load(); fnp != nil {
 		h.Role = "replica"
@@ -664,6 +749,12 @@ type Stats struct {
 	Updates       uint64       `json:"updates"`
 	Commits       uint64       `json:"update_commits"`
 	LogAppended   uint64       `json:"genlog_records_appended"`
+	LogRecords    int          `json:"genlog_records,omitempty"`
+	LogFileBytes  int64        `json:"genlog_file_bytes,omitempty"`
+	LogCompact    uint64       `json:"genlog_compactions,omitempty"`
+	LogReclaimed  uint64       `json:"genlog_bytes_reclaimed,omitempty"`
+	LogCkptGen    uint64       `json:"genlog_checkpoint_generation,omitempty"`
+	SnapFailures  uint64       `json:"snapshot_stream_failures"`
 	Generation    uint64       `json:"generation"`
 	CacheHits     uint64       `json:"cache_hits"`
 	CacheMisses   uint64       `json:"cache_misses"`
@@ -692,6 +783,7 @@ func (s *Server) Stats() Stats {
 		Updates:       s.updates.Load(),
 		Commits:       s.commits.Load(),
 		LogAppended:   s.logAppended.Load(),
+		SnapFailures:  s.snapFailures.Load(),
 		Generation:    s.view().Generation(),
 		CacheHits:     hits,
 		CacheMisses:   misses,
@@ -702,6 +794,14 @@ func (s *Server) Stats() Stats {
 		CacheCapacity: capacity,
 		CacheShards:   per,
 		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	if s.genlog != nil {
+		lst := s.genlog.Stats()
+		st.LogRecords = lst.Records
+		st.LogFileBytes = lst.FileBytes
+		st.LogCompact = lst.Compactions
+		st.LogReclaimed = lst.BytesReclaimed
+		st.LogCkptGen = lst.CheckpointGen
 	}
 	if fnp := s.replicaStatus.Load(); fnp != nil {
 		rs := (*fnp)()

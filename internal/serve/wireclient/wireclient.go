@@ -142,6 +142,10 @@ type Client struct {
 	gen    atomic.Uint64
 	opts   Options
 	closed atomic.Bool
+	// closeMu serializes redial registration with Close: wg.Add may only
+	// run while closed is false under this lock, so Close's wg.Wait can
+	// never race an Add from a dead-connection hook firing concurrently.
+	closeMu sync.Mutex
 	// wg tracks redial goroutines so Close can be followed by test
 	// teardown without leaks.
 	wg sync.WaitGroup
@@ -236,7 +240,14 @@ func (cl *Client) scheduleRedial(sl *slot) {
 	if !sl.redialing.CompareAndSwap(false, true) {
 		return
 	}
+	cl.closeMu.Lock()
+	if cl.closed.Load() {
+		cl.closeMu.Unlock()
+		sl.redialing.Store(false)
+		return
+	}
 	cl.wg.Add(1)
+	cl.closeMu.Unlock()
 	go func() {
 		defer cl.wg.Done()
 		defer sl.redialing.Store(false)
@@ -273,7 +284,9 @@ func (cl *Client) Generation() uint64 { return cl.gen.Load() }
 // Close tears down every connection, failing any calls still in flight,
 // and stops redialing.
 func (cl *Client) Close() error {
+	cl.closeMu.Lock()
 	cl.closed.Store(true)
+	cl.closeMu.Unlock()
 	for _, sl := range cl.slots {
 		if cn := sl.cur.Load(); cn != nil {
 			cn.fail(ErrClosed)
