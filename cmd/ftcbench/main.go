@@ -110,10 +110,27 @@ func main() {
 			protoMode = args[i]
 			continue
 		}
+		if v, ok := strings.CutPrefix(arg, "-product="); ok {
+			productMode = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(arg, "--product="); ok {
+			productMode = v
+			continue
+		}
+		if (arg == "-product" || arg == "--product") && i+1 < len(args) {
+			i++
+			productMode = args[i]
+			continue
+		}
 		which = arg
 	}
 	if protoMode != "json" && protoMode != "bin" && protoMode != "both" {
 		fmt.Fprintf(os.Stderr, "ftcbench: -proto must be json, bin, or both (got %q)\n", protoMode)
+		os.Exit(2)
+	}
+	if productMode != "" && productMode != "route" && productMode != "vertex" && productMode != "edge" {
+		fmt.Fprintf(os.Stderr, "ftcbench: -product must be route, vertex, or edge (got %q)\n", productMode)
 		os.Exit(2)
 	}
 	sections := map[string]func(){
@@ -308,6 +325,10 @@ func labelSize() {
 // ------------------------------------------------------------- queryTime
 
 func queryTime() {
+	if productMode != "" {
+		productBench(productMode)
+		return
+	}
 	fmt.Println("E5 / Theorem 1 + E13 / Appendix B — query time vs |F|")
 	const n, f = 400, 8
 	rng := rand.New(rand.NewSource(11))
@@ -475,17 +496,20 @@ func probeGrid() {
 			"compare like-for-like runs.",
 		Results: records,
 	}
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ftcbench: marshal BENCH_query.json: %v\n", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile("BENCH_query.json", data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "ftcbench: write BENCH_query.json: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Println("   wrote BENCH_query.json")
+	// Merge rather than overwrite: `ftcbench query -product ...` owns the
+	// sibling "products" key in the same file.
+	mergeBenchJSON("BENCH_query.json", func(out map[string]json.RawMessage) {
+		raw, err := json.Marshal(doc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftcbench: marshal BENCH_query.json: %v\n", err)
+			os.Exit(1)
+		}
+		var top map[string]json.RawMessage
+		_ = json.Unmarshal(raw, &top)
+		for k, v := range top {
+			out[k] = v
+		}
+	})
 }
 
 // ----------------------------------------------------------- constructTime
@@ -1098,25 +1122,7 @@ func serveBench() {
 // object, so sections that own different top-level keys (serve → results,
 // replicate → replication) never clobber each other's data.
 func mergeBenchServe(update func(doc map[string]json.RawMessage)) {
-	doc := map[string]json.RawMessage{}
-	if data, err := os.ReadFile("BENCH_serve.json"); err == nil {
-		if err := json.Unmarshal(data, &doc); err != nil {
-			fmt.Fprintf(os.Stderr, "ftcbench: BENCH_serve.json exists but is not a JSON object (%v); rewriting\n", err)
-			doc = map[string]json.RawMessage{}
-		}
-	}
-	update(doc)
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ftcbench: marshal BENCH_serve.json: %v\n", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile("BENCH_serve.json", data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "ftcbench: write BENCH_serve.json: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Println("   wrote BENCH_serve.json")
+	mergeBenchJSON("BENCH_serve.json", update)
 }
 
 // ------------------------------------------------------------------- load
@@ -1744,6 +1750,46 @@ func binSmoke() {
 		die("surfaces disagree: bin=%v json=%v", binOut, conn.Connected)
 	}
 
+	// Query products on both surfaces: one route plan and one vertex-fault
+	// probe, each answered identically by the JSON and binary handlers.
+	var rresp wire.RouteResp
+	if err := cl.Route(faults, pairs, &rresp, 0); err != nil {
+		die("bin route: %v", err)
+	}
+	body, _ = json.Marshal(serve.RouteRequest{FaultEdges: faults, Pairs: pairs})
+	rhresp, err := http.Post(httpBase+"/route", "application/json", bytes.NewReader(body))
+	if err != nil {
+		die("http route: %v", err)
+	}
+	var hroute serve.RouteResponse
+	if err := json.NewDecoder(rhresp.Body).Decode(&hroute); err != nil {
+		die("route decode (status %d): %v", rhresp.StatusCode, err)
+	}
+	rhresp.Body.Close()
+	if len(hroute.Routes) != 1 || rresp.Reachable[0] != hroute.Routes[0].Reachable ||
+		rresp.Approx != (hroute.Confidence == serve.ConfidenceApprox) {
+		die("route surfaces disagree: bin=%+v json=%+v", rresp, hroute)
+	}
+
+	verts := []int{0}
+	vOut, _, vApprox, _, err := cl.VProbeInto(verts, pairs, nil, 0)
+	if err != nil {
+		die("bin vprobe: %v", err)
+	}
+	body, _ = json.Marshal(serve.VConnectedRequest{FaultVertices: verts, Pairs: pairs})
+	vhresp, err := http.Post(httpBase+"/vconnected", "application/json", bytes.NewReader(body))
+	if err != nil {
+		die("http vconnected: %v", err)
+	}
+	var hv serve.VConnectedResponse
+	if err := json.NewDecoder(vhresp.Body).Decode(&hv); err != nil {
+		die("vconnected decode (status %d): %v", vhresp.StatusCode, err)
+	}
+	vhresp.Body.Close()
+	if len(hv.Connected) != 1 || vOut[0] != hv.Connected[0] || vApprox != (hv.Confidence == serve.ConfidenceApprox) {
+		die("vconnected surfaces disagree: bin=%v(approx=%v) json=%+v", vOut, vApprox, hv)
+	}
+
 	// The metrics exposition must have counted the frame traffic.
 	mresp, err := http.Get(httpBase + "/metrics")
 	if err != nil {
@@ -1767,8 +1813,13 @@ func binSmoke() {
 	if !strings.Contains(exposition, "ftcserve_bin_connections") || !strings.Contains(exposition, `ftcserve_cache_hits_total{shard="`) {
 		die("metrics exposition missing expected series:\n%s", exposition)
 	}
+	for _, series := range []string{"ftcserve_route_plans_total ", "ftcserve_vprobes_total "} {
+		if !strings.Contains(exposition, series) || strings.Contains(exposition, series+"0\n") {
+			die("metrics did not count the query products (%s):\n%s", strings.TrimSpace(series), exposition)
+		}
+	}
 
-	fmt.Printf("binsmoke ok: %d pipelined probes at %.0f qps, surfaces agree, metrics counted\n",
+	fmt.Printf("binsmoke ok: %d pipelined probes at %.0f qps, query products on both surfaces agree, metrics counted\n",
 		workers*probesPer, qps)
 }
 

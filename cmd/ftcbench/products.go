@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	ftc "repro"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// productMode selects one query product for `ftcbench query -product ...`:
+// route, vertex, or edge. Empty runs the classic query section.
+var productMode string
+
+// productRecord is one row of the per-product serving-cost table (E21):
+// steady-state (cache-hit) and first-event (cache-miss) request latency
+// through the HTTP handler, plus server-side allocations on the warm path.
+type productRecord struct {
+	Product    string  `json:"product"`
+	Endpoint   string  `json:"endpoint"`
+	N          int     `json:"n"`
+	M          int     `json:"m"`
+	F          int     `json:"f"`
+	Batch      int     `json:"batch"`
+	WarmNs     int64   `json:"warm_ns_per_op"`
+	ColdNs     int64   `json:"cold_ns_per_op"`
+	WarmAllocs float64 `json:"warm_allocs_per_op"`
+}
+
+// codeRW is discardRW plus the status code, so a product bench cannot
+// silently time a stream of 4xx rejections.
+type codeRW struct {
+	discardRW
+	code int
+}
+
+func (w *codeRW) WriteHeader(c int) { w.code = c }
+
+// productBench measures one query product end to end through the JSON
+// handler: warm ops replay a single compiled fault set (the "one failure
+// event, many probes" steady state), cold ops present a fresh fault set per
+// request (compile + insert on every call). With -json the row merges into
+// BENCH_query.json under "products", keyed by product, without disturbing
+// the probe-grid results.
+func productBench(product string) {
+	endpoints := map[string]string{
+		"edge":   "/connected",
+		"route":  "/route",
+		"vertex": "/vconnected",
+	}
+	endpoint, ok := endpoints[product]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ftcbench: -product must be route, vertex, or edge (got %q)\n", product)
+		os.Exit(2)
+	}
+
+	n, warmOps, coldOps := 512, 4000, 256
+	if smokeMode {
+		n, warmOps, coldOps = 128, 400, 64
+	}
+	const batch = 16
+	rng := rand.New(rand.NewSource(int64(n) + 3))
+	g := workload.ErdosRenyi(n, 8/float64(n), true, rng)
+	maxDeg := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// The vertex product needs edge headroom for a failed hub; the edge and
+	// route products only need the paper-scale budget.
+	budget := 8
+	if product == "vertex" {
+		budget = 2 * maxDeg
+	}
+	sch, err := ftc.NewFromGraph(g, ftc.WithMaxFaults(budget))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: product build: %v\n", err)
+		os.Exit(1)
+	}
+	srv := serve.New(sch, 2*coldOps)
+	h := srv.Handler()
+	fmt.Printf("E21 — query product %q via %s (det-netfind n=%d m=%d f=%d, batch %d)\n",
+		product, endpoint, n, g.M(), budget, batch)
+
+	prng := rand.New(rand.NewSource(int64(n) + 4))
+	pairs := make([][2]int, batch)
+	for i := range pairs {
+		pairs[i] = [2]int{prng.Intn(n), prng.Intn(n)}
+	}
+	makeBody := func(faults []int) []byte {
+		var req any
+		switch product {
+		case "edge":
+			req = serve.ConnectedRequest{FaultEdges: faults, Pairs: pairs}
+		case "route":
+			req = serve.RouteRequest{FaultEdges: faults, Pairs: pairs}
+		case "vertex":
+			req = serve.VConnectedRequest{FaultVertices: faults, Pairs: pairs}
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftcbench: product request: %v\n", err)
+			os.Exit(1)
+		}
+		return body
+	}
+	freshFaults := func() []int {
+		size := 1 + prng.Intn(3)
+		faults := make([]int, size)
+		for i := range faults {
+			if product == "vertex" {
+				faults[i] = prng.Intn(n)
+			} else {
+				faults[i] = prng.Intn(g.M())
+			}
+		}
+		return faults
+	}
+
+	proto := httptest.NewRequest(http.MethodPost, endpoint, http.NoBody)
+	post := func(body []byte) {
+		var w codeRW
+		r := proto.Clone(proto.Context())
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		h.ServeHTTP(&w, r)
+		if w.code != 0 && w.code != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "ftcbench: %s answered %d\n", endpoint, w.code)
+			os.Exit(1)
+		}
+	}
+
+	// Warm: one fault set, compiled once before the clock starts.
+	warmBody := makeBody(freshFaults())
+	post(warmBody)
+	t0 := time.Now()
+	for i := 0; i < warmOps; i++ {
+		post(warmBody)
+	}
+	warm := time.Since(t0) / time.Duration(warmOps)
+	warmAllocs := testing.AllocsPerRun(200, func() { post(warmBody) })
+
+	// Cold: a fresh fault set every request — compile-and-insert per op.
+	coldBodies := make([][]byte, coldOps)
+	for i := range coldBodies {
+		coldBodies[i] = makeBody(freshFaults())
+	}
+	t1 := time.Now()
+	for _, body := range coldBodies {
+		post(body)
+	}
+	cold := time.Since(t1) / time.Duration(coldOps)
+
+	rec := productRecord{
+		Product: product, Endpoint: endpoint,
+		N: n, M: g.M(), F: budget, Batch: batch,
+		WarmNs: warm.Nanoseconds(), ColdNs: cold.Nanoseconds(), WarmAllocs: warmAllocs,
+	}
+	fmt.Printf("   %-8s %12s %12s %14.0f\n", "product", "warm", "cold", warmAllocs)
+	fmt.Printf("   %-8s %12s %12s %14s\n", product, round(warm), round(cold), "allocs/op ↑")
+	if !jsonOut {
+		return
+	}
+	mergeBenchJSON("BENCH_query.json", func(doc map[string]json.RawMessage) {
+		products := map[string]productRecord{}
+		if raw, ok := doc["products"]; ok {
+			if err := json.Unmarshal(raw, &products); err != nil {
+				products = map[string]productRecord{}
+			}
+		}
+		products[product] = rec
+		raw, err := json.Marshal(products)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftcbench: marshal products: %v\n", err)
+			os.Exit(1)
+		}
+		doc["products"] = raw
+	})
+}
+
+// mergeBenchJSON read-modify-writes path as a generic JSON object, so
+// sections that own different top-level keys never clobber each other.
+func mergeBenchJSON(path string, update func(doc map[string]json.RawMessage)) {
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "ftcbench: %s exists but is not a JSON object (%v); rewriting\n", path, err)
+			doc = map[string]json.RawMessage{}
+		}
+	}
+	update(doc)
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: marshal %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "ftcbench: write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("   wrote %s\n", path)
+}

@@ -60,7 +60,8 @@
 // exports it as ftcserve_replica_lag_generations.
 //
 // Retention (DESIGN.md §3.14): -genlog-retain-records / -genlog-retain-bytes
-// bound the log. When either trips after a commit, the primary writes a
+// / -genlog-retain-age bound the log. When one trips after a commit, the
+// primary writes a
 // checkpoint (its current snapshot, to <log>.ckpt) and truncates the log
 // down to the newest -genlog-retain-min records; /snapshot then serves the
 // checkpoint, and a replica that fell behind the retained window refetches
@@ -111,6 +112,7 @@ func main() {
 	genlogPath := flag.String("genlog", "", "append committed generations to this log file and stream them to replicas (primary role; requires -dynamic and wants -listen-bin)")
 	retainRecords := flag.Int("genlog-retain-records", 0, "compact the generation log when it holds more than this many records (0 = unbounded; with -genlog)")
 	retainBytes := flag.Int64("genlog-retain-bytes", 0, "compact the generation log when the file exceeds this many bytes (0 = unbounded; with -genlog)")
+	retainAge := flag.Duration("genlog-retain-age", 0, "compact generation-log records older than this (e.g. 6h; 0 = unbounded; ages run from append, checked on the commit path; with -genlog)")
 	retainMin := flag.Int("genlog-retain-min", 16, "generations kept in the log across a compaction (with -genlog-retain-*)")
 	replicaOf := flag.String("replica-of", "", "tail this primary's generation log (HTTP base URL, e.g. http://host:8337); mutually exclusive with -snapshot/-graph")
 	flag.Parse()
@@ -146,7 +148,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("ftcserve: %v", err)
 		}
-		if *genlogPath == "" && (*retainRecords > 0 || *retainBytes > 0) {
+		if *genlogPath == "" && (*retainRecords > 0 || *retainBytes > 0 || *retainAge > 0) {
 			log.Fatalf("ftcserve: -genlog-retain-* requires -genlog")
 		}
 		if *genlogPath != "" {
@@ -160,6 +162,7 @@ func main() {
 			l.SetRetention(genlog.Retention{
 				MaxRecords: *retainRecords,
 				MaxBytes:   *retainBytes,
+				MaxAge:     *retainAge,
 				MinRetain:  *retainMin,
 			})
 			if err := srv.AttachGenLog(l); err != nil {

@@ -62,6 +62,14 @@ type faultComponent struct {
 	closeOnce sync.Once
 	closure   []int32
 	closeErr  error
+
+	// Lazily recorded crossing structure for route planning: the decoded
+	// crossings of one full-closure run plus a per-fragment adjacency into
+	// them (routeset.go). Guarded by routeOnce; read-only afterwards.
+	routeOnce sync.Once
+	routeRecs []crossRec
+	routeAdj  [][]int32
+	routeErr  error
 }
 
 // CompileFaults builds a FaultSet from fault-edge labels. It validates token

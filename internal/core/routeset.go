@@ -1,0 +1,143 @@
+package core
+
+import "fmt"
+
+// This file gives the compiled FaultSet the route product: RoutePlan is the
+// compiled-once counterpart of the one-shot RoutePlan in route.go, exactly
+// as FaultSet.Connected is the compiled counterpart of ConnectedUnder. The
+// crossing structure is recorded once per component (ensureRouted) and every
+// subsequent plan is a BFS over at most f+1 fragments — no label decoding.
+
+// ensureRouted records the component's crossing structure once: a single
+// full-closure run (fragS = fragT = -1 drives every super-fragment to
+// completion) with recording on, so q.records ends up holding every decoded
+// crossing. Every union-find merge during closure is triggered by a decoded
+// crossing, and each decoded crossing is recorded before the both-inside
+// skip — so the recorded set contains a spanning structure of each closure
+// class, and BFS over it finds a fragment path between any two fragments
+// that are connected in G − F. The same run seeds the closure partition, so
+// a route-first workload never pays for a second growth.
+func (c *faultComponent) ensureRouted() error {
+	c.routeOnce.Do(func() {
+		q := c.acquire()
+		defer releaseQueryState(q)
+		q.recording = true
+		if _, err := q.runFast(); err != nil {
+			c.routeErr = err
+			return
+		}
+		c.closeOnce.Do(func() {
+			closure := make([]int32, c.count)
+			for i := range closure {
+				closure[i] = q.find(int32(i))
+			}
+			c.closure = closure
+		})
+		recs := make([]crossRec, len(q.records))
+		copy(recs, q.records)
+		adj := make([][]int32, c.count)
+		for ri, r := range recs {
+			if r.c1 == r.c2 {
+				continue
+			}
+			adj[r.c1] = append(adj[r.c1], int32(ri))
+			adj[r.c2] = append(adj[r.c2], int32(ri))
+		}
+		c.routeRecs = recs
+		c.routeAdj = adj
+	})
+	if c.routeErr != nil {
+		return c.routeErr
+	}
+	// The closure may have been computed (and failed) by an earlier
+	// ensureClosed before our seeding attempt ran.
+	return c.closeErr
+}
+
+// RoutePlan computes a forbidden-set route plan from s to t avoiding the
+// compiled fault set, using labels only. Semantics match the one-shot
+// RoutePlan: (plan, true, nil) when t is reachable in G − F, (nil, false,
+// nil) when provably unreachable. The first plan that touches a component
+// records its crossing structure; after that a plan costs two interval
+// stabs plus a BFS over ≤ f+1 fragments.
+func (fs *FaultSet) RoutePlan(s, t VertexLabel) ([]RouteStep, bool, error) {
+	if err := checkStamp(s.Token, s.Gen, t.Token, t.Gen, "vertex tokens"); err != nil {
+		return nil, false, err
+	}
+	if fs.hasFaults {
+		if err := checkStamp(s.Token, s.Gen, fs.token, fs.gen, "vertex and fault tokens"); err != nil {
+			return nil, false, err
+		}
+	}
+	if s.Anc.Root != t.Anc.Root {
+		return nil, false, nil
+	}
+	final := RouteStep{Near: t.Anc.Pre}
+	if s.Anc.Pre == t.Anc.Pre {
+		return []RouteStep{final}, true, nil
+	}
+	comp := fs.compForRoot(s.Anc.Root)
+	if comp == nil {
+		// No fault touches this component: pure tree routing.
+		return []RouteStep{final}, true, nil
+	}
+	if err := comp.ensureRouted(); err != nil {
+		return nil, false, err
+	}
+	fragS := comp.frags.StabLabel(s.Anc)
+	fragT := comp.frags.StabLabel(t.Anc)
+	if fragS == fragT {
+		return []RouteStep{final}, true, nil
+	}
+	if comp.closure[fragS] != comp.closure[fragT] {
+		return nil, false, nil
+	}
+	// BFS over the recorded fragment graph, mirroring route.go.
+	count := comp.frags.Count()
+	prev := make([]int, count) // record index that discovered the fragment
+	for i := range prev {
+		prev[i] = -1
+	}
+	visited := make([]bool, count)
+	visited[fragS] = true
+	queue := make([]int, 0, count)
+	queue = append(queue, fragS)
+	for len(queue) > 0 && !visited[fragT] {
+		c := queue[0]
+		queue = queue[1:]
+		for _, ri := range comp.routeAdj[c] {
+			r := comp.routeRecs[ri]
+			next := r.c1 + r.c2 - c
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			prev[next] = int(ri)
+			queue = append(queue, next)
+		}
+	}
+	if !visited[fragT] {
+		// The closure proved connectivity, so the recorded crossings must
+		// span s's closure class; failing here is an internal bug.
+		return nil, false, fmt.Errorf("core: internal: fragment path missing after positive closure")
+	}
+	// Walk back from t's fragment, emitting crossings in reverse.
+	var rev []RouteStep
+	cur := fragT
+	for cur != fragS {
+		r := comp.routeRecs[prev[cur]]
+		from := r.c1 + r.c2 - cur
+		near, far := r.p1, r.p2
+		if comp.frags.Stab(near) != from {
+			near, far = far, near
+		}
+		rev = append(rev, RouteStep{Near: near, Far: far})
+		cur = from
+	}
+	plan := make([]RouteStep, 0, len(rev)+1)
+	for i := len(rev) - 1; i >= 0; i-- {
+		plan = append(plan, rev[i])
+	}
+	plan = append(plan, final)
+	return plan, true, nil
+}

@@ -27,6 +27,21 @@ import (
 // expected runtime conditions.
 var ErrRouting = errors.New("routing: forwarding failed")
 
+// LabelSource supplies the labels the routing tables are compiled from.
+// *core.Scheme (via Build) and the serve layer's scheme both satisfy it,
+// which is how the daemon reuses its existing labels instead of rebuilding
+// the scheme just to route.
+type LabelSource interface {
+	VertexLabel(v int) core.VertexLabel
+	EdgeLabelByIndex(e int) core.EdgeLabel
+}
+
+// coreSource adapts *core.Scheme to LabelSource.
+type coreSource struct{ s *core.Scheme }
+
+func (c coreSource) VertexLabel(v int) core.VertexLabel    { return c.s.VertexLabel(v) }
+func (c coreSource) EdgeLabelByIndex(e int) core.EdgeLabel { return c.s.EdgeLabel(e) }
+
 // portEntry is one local-table row: the edge's port (adjacency index), the
 // subtree interval it leads to (tree edges), or the virtual subdivision
 // vertex preorder identifying it (non-tree edges).
@@ -51,7 +66,8 @@ type nodeTable struct {
 // Network is a compiled routing network over a graph.
 type Network struct {
 	g      *graph.Graph
-	scheme *core.Scheme
+	scheme *core.Scheme // nil when built via NewFromLabels
+	src    LabelSource
 	tables []nodeTable
 }
 
@@ -62,10 +78,19 @@ func Build(g *graph.Graph, f int) (*Network, error) {
 	if err != nil {
 		return nil, fmt.Errorf("routing: %w", err)
 	}
-	net := &Network{g: g, scheme: s, tables: make([]nodeTable, g.N())}
+	net := NewFromLabels(g, coreSource{s})
+	net.scheme = s
+	return net, nil
+}
+
+// NewFromLabels compiles routing tables for g from an existing labeling —
+// no scheme construction. src must label the same graph (same edge and
+// vertex indexing) or the tables are garbage.
+func NewFromLabels(g *graph.Graph, src LabelSource) *Network {
+	net := &Network{g: g, src: src, tables: make([]nodeTable, g.N())}
 	for v := 0; v < g.N(); v++ {
 		net.tables[v] = nodeTable{
-			self:       s.VertexLabel(v).Anc,
+			self:       src.VertexLabel(v).Anc,
 			parentPort: -1,
 			virtuals:   map[uint32]int{},
 		}
@@ -73,12 +98,12 @@ func Build(g *graph.Graph, f int) (*Network, error) {
 	for v := 0; v < g.N(); v++ {
 		tab := &net.tables[v]
 		for port, half := range g.Adj(v) {
-			el := s.EdgeLabel(half.Edge)
+			el := src.EdgeLabelByIndex(half.Edge)
 			// Tree edge of T′ between two real vertices ⇔ the child
 			// label is a real vertex's label, i.e. matches one of the
 			// two endpoints' ancestry labels.
 			vAnc := net.tables[v].self
-			uAnc := s.VertexLabel(half.To).Anc
+			uAnc := src.VertexLabel(half.To).Anc
 			switch {
 			case el.Child == uAnc:
 				// Edge descends from v to half.To.
@@ -101,11 +126,12 @@ func Build(g *graph.Graph, f int) (*Network, error) {
 			}
 		}
 	}
-	return net, nil
+	return net
 }
 
-// Scheme exposes the underlying FTC labeling (the source uses its labels to
-// compute plans).
+// Scheme exposes the underlying FTC labeling when the network was compiled
+// by Build (nil for NewFromLabels networks — the caller already owns the
+// labels in that case).
 func (n *Network) Scheme() *core.Scheme { return n.scheme }
 
 // TableBits returns the total and maximum per-node routing-table sizes in
@@ -132,16 +158,27 @@ func (n *Network) Route(s, t int, faults []int) ([]int, bool, error) {
 	fl := make([]core.EdgeLabel, len(faults))
 	faultSet := make(map[int]bool, len(faults))
 	for i, e := range faults {
-		fl[i] = n.scheme.EdgeLabel(e)
+		fl[i] = n.src.EdgeLabelByIndex(e)
 		faultSet[e] = true
 	}
-	plan, ok, err := core.RoutePlan(n.scheme.VertexLabel(s), n.scheme.VertexLabel(t), fl)
+	plan, ok, err := core.RoutePlan(n.src.VertexLabel(s), n.src.VertexLabel(t), fl)
 	if err != nil {
 		return nil, false, fmt.Errorf("routing: plan: %w", err)
 	}
 	if !ok {
 		return nil, false, nil
 	}
+	return n.Execute(s, t, plan, func(e int) bool { return faultSet[e] })
+}
+
+// Execute runs a precomputed route plan through the packet simulator:
+// hop-by-hop forwarding from s toward t, crossing the plan's non-tree
+// edges, with forbidden reporting which edge indices the packet must not
+// traverse. The plan must have been computed against the same labeling the
+// tables were compiled from (the serve layer guarantees this by
+// generation-stamping plans). Returns the vertex path traversed and
+// whether t was reached; an error indicates a scheme malfunction.
+func (n *Network) Execute(s, t int, plan []core.RouteStep, forbidden func(e int) bool) ([]int, bool, error) {
 	path := []int{s}
 	cur := s
 	hopLimit := 6*n.g.N() + 16*len(plan) + 64
@@ -161,7 +198,7 @@ func (n *Network) Route(s, t int, faults []int) ([]int, bool, error) {
 				if !okPort {
 					return path, false, fmt.Errorf("%w: node %d has no port for virtual %d", ErrRouting, cur, step.Far)
 				}
-				cur = n.hop(cur, port, faultSet, &path)
+				cur = n.hop(cur, port, forbidden, &path)
 				if cur < 0 {
 					return path, false, fmt.Errorf("%w: crossing used a forbidden edge", ErrRouting)
 				}
@@ -169,7 +206,7 @@ func (n *Network) Route(s, t int, faults []int) ([]int, bool, error) {
 			}
 			// Crossing condition (a): we own the virtual child Near.
 			if port, okPort := tab.virtuals[step.Near]; okPort && n.ownsVirtual(cur, step.Near) {
-				cur = n.hop(cur, port, faultSet, &path)
+				cur = n.hop(cur, port, forbidden, &path)
 				if cur < 0 {
 					return path, false, fmt.Errorf("%w: crossing used a forbidden edge", ErrRouting)
 				}
@@ -180,7 +217,7 @@ func (n *Network) Route(s, t int, faults []int) ([]int, bool, error) {
 			if port < 0 {
 				return path, false, fmt.Errorf("%w: node %d cannot route toward %d", ErrRouting, cur, step.Near)
 			}
-			next := n.hop(cur, port, faultSet, &path)
+			next := n.hop(cur, port, forbidden, &path)
 			if next < 0 {
 				return path, false, fmt.Errorf("%w: tree forwarding met a forbidden edge toward %d", ErrRouting, step.Near)
 			}
@@ -217,9 +254,9 @@ func (n *Network) treePort(v int, target uint32) int {
 }
 
 // hop moves the packet across the given port, rejecting forbidden edges.
-func (n *Network) hop(cur, port int, faultSet map[int]bool, path *[]int) int {
+func (n *Network) hop(cur, port int, forbidden func(e int) bool, path *[]int) int {
 	half := n.g.Adj(cur)[port]
-	if faultSet[half.Edge] {
+	if forbidden(half.Edge) {
 		return -1
 	}
 	*path = append(*path, half.To)

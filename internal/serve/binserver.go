@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -41,9 +42,11 @@ const binFlushEvery = 64
 // response encode buffer. A zero value is usable; reuse across calls is
 // what makes HandleFrame allocation-free at steady state.
 type FrameScratch struct {
-	req  wire.ProbeReq
-	out  []bool
-	resp []byte
+	req   wire.ProbeReq
+	out   []bool
+	reach []bool
+	paths [][]int
+	resp  []byte
 }
 
 // HandleFrame processes one frame payload against the server: decode,
@@ -56,21 +59,40 @@ type FrameScratch struct {
 // socket.
 func (s *Server) HandleFrame(sc *FrameScratch, op byte, payload []byte) (resp []byte, fatal bool) {
 	s.binRequests.Add(1)
-	if op != wire.OpProbe {
+	// Decode per opcode; the three request frames share one payload layout
+	// but differ in cache-key namespace (DecodeVProbe hashes with the
+	// vertex seed) and in what the fault indices mean.
+	var decErr error
+	var once func(*Server, *FrameScratch) (uint16, error)
+	var counter *atomic.Uint64
+	switch op {
+	case wire.OpProbe:
+		decErr = wire.DecodeProbe(payload, &sc.req)
+		once = (*Server).probeFrameOnce
+		counter = &s.probes
+	case wire.OpRoute:
+		decErr = wire.DecodeRoute(payload, &sc.req)
+		once = (*Server).routeFrameOnce
+		counter = &s.routePlans
+	case wire.OpVProbe:
+		decErr = wire.DecodeVProbe(payload, &sc.req)
+		once = (*Server).vprobeFrameOnce
+		counter = &s.vprobes
+	default:
 		s.frameErrors.Add(1)
 		sc.resp = wire.AppendError(sc.resp[:0], 0, wire.CodeBadRequest, fmt.Sprintf("unknown opcode 0x%02x", op))
 		return sc.resp, true
 	}
-	if err := wire.DecodeProbe(payload, &sc.req); err != nil {
+	if decErr != nil {
 		s.frameErrors.Add(1)
-		sc.resp = wire.AppendError(sc.resp[:0], sc.req.ID, wire.CodeBadRequest, err.Error())
+		sc.resp = wire.AppendError(sc.resp[:0], sc.req.ID, wire.CodeBadRequest, decErr.Error())
 		return sc.resp, true
 	}
 	// Same race rule as the HTTP path: a probe that straddles a commit can
 	// observe two generations and fails fast with ErrStaleLabel; one retry
 	// against a fresh snapshot settles it.
 	for attempt := 0; ; attempt++ {
-		code, err := s.probeFrameOnce(sc)
+		code, err := once(s, sc)
 		if err != nil && errors.Is(err, core.ErrStaleLabel) && attempt == 0 {
 			continue
 		}
@@ -78,7 +100,7 @@ func (s *Server) HandleFrame(sc *FrameScratch, op byte, payload []byte) (resp []
 			sc.resp = wire.AppendError(sc.resp[:0], sc.req.ID, code, err.Error())
 			return sc.resp, false
 		}
-		s.probes.Add(uint64(len(sc.req.Pairs)))
+		counter.Add(uint64(len(sc.req.Pairs)))
 		return sc.resp, false
 	}
 }

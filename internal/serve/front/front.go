@@ -244,9 +244,14 @@ func (f *Front) ConnectedBatch(faultEdges []int, pairs [][2]int) ([]bool, uint64
 	return f.ConnectedBatchPinned(faultEdges, pairs, 0)
 }
 
-// probeResult carries one replica's answer through the hedging select.
+// probeResult carries one replica's answer through the hedging select —
+// for any of the query products (out for connectivity answers, route for
+// route plans; each attempt owns its result storage since hedged attempts
+// race).
 type probeResult struct {
 	out     []bool
+	route   *wire.RouteResp
+	approx  bool
 	gen     uint64
 	err     error
 	replica int
@@ -259,6 +264,50 @@ type probeResult struct {
 // is per-replica and transient). All errors from one attempt chain fail
 // over to the next replica until the fleet is exhausted.
 func (f *Front) ConnectedBatchPinned(faultEdges []int, pairs [][2]int, genPin uint64) ([]bool, uint64, error) {
+	r, err := f.hedged(func(cl *wireclient.Client) probeResult {
+		out, _, gen, err := cl.ProbeInto(faultEdges, pairs, nil, genPin)
+		return probeResult{out: out, gen: gen, err: err}
+	})
+	return r.out, r.gen, err
+}
+
+// VConnectedBatch answers one vertex-failure event against a batch of
+// s–t pairs across the fleet, with the same hedging/failover as
+// ConnectedBatch. approx reports a degraded (spanner-backed) answer.
+func (f *Front) VConnectedBatch(faultVertices []int, pairs [][2]int) ([]bool, bool, uint64, error) {
+	return f.VConnectedBatchPinned(faultVertices, pairs, 0)
+}
+
+// VConnectedBatchPinned is VConnectedBatch with a generation pin.
+func (f *Front) VConnectedBatchPinned(faultVertices []int, pairs [][2]int, genPin uint64) ([]bool, bool, uint64, error) {
+	r, err := f.hedged(func(cl *wireclient.Client) probeResult {
+		out, _, approx, gen, err := cl.VProbeInto(faultVertices, pairs, nil, genPin)
+		return probeResult{out: out, approx: approx, gen: gen, err: err}
+	})
+	return r.out, r.approx, r.gen, err
+}
+
+// RouteBatchPinned computes route plans avoiding a forbidden edge set
+// across the fleet. Route plans name edges by index, so callers holding
+// indices across updates pin the generation; a lagging replica answers
+// wire.CodeConflict and the front fails over to the rest of the fleet,
+// which is what keeps a pinned plan request from being silently planned
+// against shifted indices. Hedged attempts each decode into their own
+// RouteResp (the winner's is returned).
+func (f *Front) RouteBatchPinned(faultEdges []int, pairs [][2]int, genPin uint64) (*wire.RouteResp, error) {
+	r, err := f.hedged(func(cl *wireclient.Client) probeResult {
+		resp := new(wire.RouteResp)
+		err := cl.Route(faultEdges, pairs, resp, genPin)
+		return probeResult{route: resp, gen: resp.Gen, approx: resp.Approx, err: err}
+	})
+	return r.route, err
+}
+
+// hedged runs one query-product attempt through the hedging/failover
+// loop: round-robin first replica, a hedge to the next after the adaptive
+// delay, conflict/error failover until the fleet is exhausted. do must be
+// safe to run concurrently against different replicas (hedges race).
+func (f *Front) hedged(do func(cl *wireclient.Client) probeResult) (probeResult, error) {
 	f.probes.Add(1)
 	n := len(f.clients)
 	first := int(f.rr.Add(1)-1) % n
@@ -274,11 +323,13 @@ func (f *Front) ConnectedBatchPinned(faultEdges []int, pairs [][2]int, genPin ui
 		}
 		go func() {
 			start := time.Now()
-			out, _, gen, err := cl.ProbeInto(faultEdges, pairs, nil, genPin)
-			if err == nil {
+			r := do(cl)
+			if r.err == nil {
 				f.lat.observe(time.Since(start))
 			}
-			resCh <- probeResult{out: out, gen: gen, err: err, replica: idx, hedge: hedge}
+			r.replica = idx
+			r.hedge = hedge
+			resCh <- r
 		}()
 	}
 
@@ -302,7 +353,7 @@ func (f *Front) ConnectedBatchPinned(faultEdges []int, pairs [][2]int, genPin ui
 				if r.hedge {
 					f.hedgeWins.Add(1)
 				}
-				return r.out, r.gen, nil
+				return r, nil
 			}
 			lastErr = r.err
 			var se *wireclient.ServerError
@@ -331,7 +382,7 @@ func (f *Front) ConnectedBatchPinned(faultEdges []int, pairs [][2]int, genPin ui
 	if lastErr == nil {
 		lastErr = ErrNoReplicas
 	}
-	return nil, 0, fmt.Errorf("front: all %d replicas failed: %w", n, lastErr)
+	return probeResult{}, fmt.Errorf("front: all %d replicas failed: %w", n, lastErr)
 }
 
 // nextUntried picks the next replica index after from that has not been

@@ -51,11 +51,14 @@
 // Left alone, the log grows without bound in two dimensions: the file
 // gains a record per commit and the in-memory window keeps every record.
 // A Retention policy bounds both: when the window exceeds MaxRecords (or
-// the file exceeds MaxBytes), the serve layer compacts the log — it first
+// the file exceeds MaxBytes, or records older than MaxAge linger outside
+// the MinRetain window), the serve layer compacts the log — it first
 // writes a checkpoint (the primary's binary scheme snapshot at the current
 // generation) to a sidecar file at path+".ckpt", then truncates the
 // compacted prefix from both the file and memory, keeping the newest
-// MinRetain records.
+// MinRetain records. Age is tracked in memory (the FTCG v1 record format
+// carries no timestamps): a record's age runs from its Append, and records
+// recovered by Open age from the moment the log was opened.
 //
 // Checkpoint sidecar layout (all integers little-endian):
 //
@@ -84,6 +87,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 )
@@ -139,6 +143,13 @@ type Retention struct {
 	// MaxBytes compacts the log when the file exceeds this many bytes
 	// (0 = unbounded).
 	MaxBytes int64
+	// MaxAge compacts records older than this out of the log (0 =
+	// unbounded). Ages are measured against in-memory append times — the
+	// record format carries no timestamps — so records that predate the
+	// current process age from Open, and an age-only policy trips at the
+	// first append (or CompactTarget poll) after expiry, not the instant
+	// of it.
+	MaxAge time.Duration
 	// MinRetain is how many of the newest records every compaction keeps —
 	// the replay window for subscribers slightly behind the head. Values
 	// below 1 are treated as 1 so the log never empties.
@@ -146,7 +157,7 @@ type Retention struct {
 }
 
 // Enabled reports whether the policy can ever trip.
-func (r Retention) Enabled() bool { return r.MaxRecords > 0 || r.MaxBytes > 0 }
+func (r Retention) Enabled() bool { return r.MaxRecords > 0 || r.MaxBytes > 0 || r.MaxAge > 0 }
 
 func (r Retention) minRetain() int {
 	if r.MinRetain < 1 {
@@ -193,6 +204,10 @@ type Log struct {
 	f       *os.File
 	path    string
 	records []Record
+	// times[i] is when records[i] entered this process (Append time, or
+	// Open time for recovered records) — the clock MaxAge retention reads.
+	times []time.Time
+	now   func() time.Time // injectable for retention tests
 
 	ret       Retention
 	fileBytes int64
@@ -212,10 +227,16 @@ func Open(path string) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{f: f, path: path}
+	l := &Log{f: f, path: path, now: time.Now}
 	if err := l.scan(); err != nil {
 		f.Close()
 		return nil, err
+	}
+	// Recovered records have no durable timestamps; age them from now.
+	openedAt := l.now()
+	l.times = make([]time.Time, len(l.records))
+	for i := range l.times {
+		l.times[i] = openedAt
 	}
 	if err := l.loadCheckpoint(); err != nil {
 		f.Close()
@@ -389,6 +410,7 @@ func (l *Log) Append(d *core.GenDelta) (Record, error) {
 	l.fileBytes += int64(len(buf))
 	rec := Record{PrevGen: d.PrevGen, Gen: d.Gen, Payload: payload}
 	l.records = append(l.records, rec)
+	l.times = append(l.times, l.now())
 	return rec, nil
 }
 
@@ -515,10 +537,22 @@ func (l *Log) CompactTarget() (throughGen uint64, ok bool) {
 	}
 	tripped := (l.ret.MaxRecords > 0 && len(l.records) > l.ret.MaxRecords) ||
 		(l.ret.MaxBytes > 0 && l.fileBytes > l.ret.MaxBytes)
-	if !tripped {
-		return 0, false
+	if tripped {
+		return l.records[len(l.records)-keep-1].Gen, true
 	}
-	return l.records[len(l.records)-keep-1].Gen, true
+	if l.ret.MaxAge > 0 {
+		// Drop the expired prefix, never reaching into the MinRetain
+		// window — the same hysteresis floor the size policies honor.
+		cutoff := l.now().Add(-l.ret.MaxAge)
+		exp := 0
+		for exp < len(l.records)-keep && l.times[exp].Before(cutoff) {
+			exp++
+		}
+		if exp > 0 {
+			return l.records[exp-1].Gen, true
+		}
+	}
+	return 0, false
 }
 
 // Compact checkpoints and truncates the log: it writes a checkpoint — the
@@ -565,6 +599,7 @@ func (l *Log) Compact(throughGen, ckptGen uint64, save func(io.Writer) error) (C
 	// (in-flight wire backfills) keep aliasing the old, untouched array —
 	// this copy is what makes After safe against use-after-truncate.
 	l.records = append(make([]Record, 0, len(l.records)-cut), l.records[cut:]...)
+	l.times = append(make([]time.Time, 0, len(l.times)-cut), l.times[cut:]...)
 	l.fileBytes = newSize
 	l.compactions++
 	l.bytesReclaimed += uint64(reclaimed)

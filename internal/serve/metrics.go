@@ -40,6 +40,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 
 	counter("probes_total", "Connectivity probes answered (pairs, both protocols).", st.Probes)
+	counter("route_plans_total", "Route-plan legs answered (both protocols, either confidence).", st.RoutePlans)
+	counter("vprobes_total", "Vertex-fault probes answered (pairs, both protocols, either confidence).", st.VProbes)
+	counter("approx_answers_total", "Degraded-mode (spanner-backed) answers across all query products.", st.ApproxAnswers)
 	counter("http_requests_total", "POST /connected requests received.", st.Requests)
 	counter("bin_requests_total", "Binary-protocol frames received.", st.BinRequests)
 	counter("updates_total", "POST /update batches committed.", st.Updates)
@@ -90,6 +93,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	perShard("cache_misses_total", "Fault-set cache misses per shard.", "counter",
 		func(sh ShardStats) float64 { return float64(sh.Misses) })
 	perShard("cache_entries", "Compiled fault sets held per shard.", "gauge",
+		func(sh ShardStats) float64 { return float64(sh.Size) })
+
+	// The vertex-fault cache gets its own series (not a label on the edge
+	// cache's) so existing dashboards and scrape checks keep their shapes.
+	perVShard := func(name, help, typ string, get func(ShardStats) float64) {
+		fmt.Fprintf(&b, "# HELP %s_%s %s\n# TYPE %s_%s %s\n",
+			metricsNamespace, name, help, metricsNamespace, name, typ)
+		for i, sh := range st.VCacheShards {
+			fmt.Fprintf(&b, "%s_%s{shard=\"%d\"} %s\n",
+				metricsNamespace, name, i, strconv.FormatFloat(get(sh), 'g', -1, 64))
+		}
+	}
+	perVShard("vcache_hits_total", "Vertex-fault-set cache hits per shard.", "counter",
+		func(sh ShardStats) float64 { return float64(sh.Hits) })
+	perVShard("vcache_misses_total", "Vertex-fault-set cache misses per shard.", "counter",
+		func(sh ShardStats) float64 { return float64(sh.Misses) })
+	perVShard("vcache_entries", "Compiled vertex-fault sets held per shard.", "gauge",
 		func(sh ShardStats) float64 { return float64(sh.Size) })
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

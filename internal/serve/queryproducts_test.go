@@ -1,0 +1,394 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	ftc "repro"
+	"repro/internal/graph"
+	"repro/internal/serve"
+	"repro/internal/serve/wire"
+	"repro/internal/serve/wireclient"
+	"repro/internal/workload"
+)
+
+func postProduct(t *testing.T, url string, req, out any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+// checkPath asserts a route response path is a real s→t walk in G − F:
+// every consecutive hop is an existing edge outside the forbidden set.
+func checkPath(t *testing.T, g *graph.Graph, set map[int]bool, path []int, s, tv int) {
+	t.Helper()
+	if len(path) == 0 || path[0] != s || path[len(path)-1] != tv {
+		t.Fatalf("path %v does not go %d→%d", path, s, tv)
+	}
+	for i := 1; i < len(path); i++ {
+		e := g.EdgeIndex(path[i-1], path[i])
+		if e < 0 {
+			t.Fatalf("path %v uses non-edge (%d,%d)", path, path[i-1], path[i])
+		}
+		if set[e] {
+			t.Fatalf("path %v crosses forbidden edge %d", path, e)
+		}
+	}
+}
+
+func TestHandlerRouteExact(t *testing.T) {
+	const n, f = 80, 3
+	sch := buildScheme(t, n, f, 11)
+	g := sch.Graph()
+	srv := serve.New(sch, 16)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 25; trial++ {
+		faults := workload.TreeEdgeFaults(g, sch.Inner().Forest, 1+rng.Intn(f), rng)
+		set := workload.FaultSet(faults)
+		req := serve.RouteRequest{FaultEdges: faults}
+		for q := 0; q < 6; q++ {
+			req.Pairs = append(req.Pairs, [2]int{rng.Intn(n), rng.Intn(n)})
+		}
+		req.Pairs = append(req.Pairs, [2]int{5, 5}) // s == t leg
+		var out serve.RouteResponse
+		if resp := postProduct(t, ts.URL+"/route", req, &out); resp.StatusCode != http.StatusOK {
+			t.Fatalf("trial %d: status %d", trial, resp.StatusCode)
+		}
+		if out.Confidence != serve.ConfidenceExact || out.Generation != sch.Generation() {
+			t.Fatalf("trial %d: confidence %q gen %d", trial, out.Confidence, out.Generation)
+		}
+		if len(out.Routes) != len(req.Pairs) {
+			t.Fatalf("trial %d: %d legs for %d pairs", trial, len(out.Routes), len(req.Pairs))
+		}
+		for i, p := range req.Pairs {
+			want := graph.ConnectedUnder(g, set, p[0], p[1])
+			leg := out.Routes[i]
+			if leg.Reachable != want {
+				t.Fatalf("trial %d leg %d (%d,%d): reachable %v, want %v", trial, i, p[0], p[1], leg.Reachable, want)
+			}
+			if leg.Reachable {
+				checkPath(t, g, set, leg.Path, p[0], p[1])
+			} else if leg.Path != nil {
+				t.Fatalf("trial %d leg %d: unreachable leg carries a path %v", trial, i, leg.Path)
+			}
+		}
+		// The same forbidden set planned again must hit the shared cache.
+		var warm serve.RouteResponse
+		if resp := postProduct(t, ts.URL+"/route", req, &warm); resp.StatusCode != http.StatusOK || !warm.CacheHit {
+			t.Fatalf("trial %d: warm route missed the cache", trial)
+		}
+	}
+	st := srv.Stats()
+	if st.RoutePlans == 0 || st.ApproxAnswers != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestRouteSharesConnectedCache pins the namespace design: /route and
+// /connected compile the same fault set once — whichever runs second sees
+// a cache hit.
+func TestRouteSharesConnectedCache(t *testing.T) {
+	sch := buildScheme(t, 60, 3, 13)
+	srv := serve.New(sch, 16)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := serve.ConnectedRequest{FaultEdges: []int{1, 4}, Pairs: [][2]int{{0, 9}}}
+	if resp, out := postConnected(t, ts.URL, req); resp.StatusCode != http.StatusOK || out.CacheHit {
+		t.Fatalf("cold probe: status %d hit %v", resp.StatusCode, out.CacheHit)
+	}
+	var rout serve.RouteResponse
+	rreq := serve.RouteRequest{FaultEdges: []int{4, 1, 1}, Pairs: [][2]int{{0, 9}}}
+	if resp := postProduct(t, ts.URL+"/route", rreq, &rout); resp.StatusCode != http.StatusOK {
+		t.Fatalf("route status %d", resp.StatusCode)
+	}
+	if !rout.CacheHit {
+		t.Fatal("route after probe of the same fault set missed the shared cache")
+	}
+}
+
+func TestHandlerRouteDegraded(t *testing.T) {
+	const n, f = 80, 3
+	sch := buildScheme(t, n, f, 14)
+	g := sch.Graph()
+	srv := serve.New(sch, 16)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(15))
+	faults := workload.RandomFaults(g, 2*f, rng) // over budget
+	if len(faults) <= f {
+		t.Fatalf("want over-budget fault set, got %d ≤ %d", len(faults), f)
+	}
+	set := workload.FaultSet(faults)
+	req := serve.RouteRequest{FaultEdges: faults}
+	for q := 0; q < 10; q++ {
+		req.Pairs = append(req.Pairs, [2]int{rng.Intn(n), rng.Intn(n)})
+	}
+	var out serve.RouteResponse
+	if resp := postProduct(t, ts.URL+"/route", req, &out); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (over-budget must degrade, not fail)", resp.StatusCode)
+	}
+	if out.Confidence != serve.ConfidenceApprox {
+		t.Fatalf("confidence %q, want approx", out.Confidence)
+	}
+	for i, p := range req.Pairs {
+		leg := out.Routes[i]
+		if leg.Reachable {
+			// One-sided soundness: a degraded path is a real G−F path.
+			checkPath(t, g, set, leg.Path, p[0], p[1])
+		} else if graph.ConnectedUnder(g, set, p[0], p[1]) {
+			// Under-reporting is allowed by the contract; log for visibility.
+			t.Logf("leg %d: spanner under-reported reachability (allowed)", i)
+		}
+	}
+	if st := srv.Stats(); st.ApproxAnswers == 0 {
+		t.Fatalf("approx answers not counted: %+v", st)
+	}
+}
+
+func TestHandlerVConnectedExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := workload.ErdosRenyi(50, 0.12, true, rng)
+	maxDeg := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	sch, err := ftc.NewFromGraph(g, ftc.WithMaxFaults(2*maxDeg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(sch, 16)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for trial := 0; trial < 25; trial++ {
+		dead := map[int]bool{}
+		req := serve.VConnectedRequest{}
+		for len(dead) < 2 {
+			v := rng.Intn(g.N())
+			if !dead[v] {
+				dead[v] = true
+				req.FaultVertices = append(req.FaultVertices, v)
+			}
+		}
+		var want []bool
+		for q := 0; q < 8; q++ {
+			sv, tv := rng.Intn(g.N()), rng.Intn(g.N())
+			req.Pairs = append(req.Pairs, [2]int{sv, tv})
+			w := connectedWithoutVertices(g, dead, sv, tv)
+			want = append(want, w)
+		}
+		var out serve.VConnectedResponse
+		if resp := postProduct(t, ts.URL+"/vconnected", req, &out); resp.StatusCode != http.StatusOK {
+			t.Fatalf("trial %d: status %d", trial, resp.StatusCode)
+		}
+		if out.Confidence != serve.ConfidenceExact || out.Faults != len(dead) || out.FaultEdges == 0 {
+			t.Fatalf("trial %d: %+v", trial, out)
+		}
+		for i := range want {
+			if out.Connected[i] != want[i] {
+				t.Fatalf("trial %d pair %d (%v dead): got %v want %v",
+					trial, i, req.FaultVertices, out.Connected[i], want[i])
+			}
+		}
+		var warm serve.VConnectedResponse
+		if resp := postProduct(t, ts.URL+"/vconnected", req, &warm); resp.StatusCode != http.StatusOK || !warm.CacheHit {
+			t.Fatalf("trial %d: warm vprobe missed the vertex cache", trial)
+		}
+	}
+	st := srv.Stats()
+	if st.VProbes == 0 || st.VCacheHits == 0 || st.VCacheMisses == 0 {
+		t.Fatalf("vertex stats not counting: %+v", st)
+	}
+}
+
+// connectedWithoutVertices is the vertex-fault ground truth: failed
+// endpoints are disconnected from everything (including themselves), and
+// a vertex failure fails all its incident edges.
+func connectedWithoutVertices(g *graph.Graph, dead map[int]bool, s, t int) bool {
+	if dead[s] || dead[t] {
+		return false
+	}
+	faults := map[int]bool{}
+	for v := range dead {
+		for _, h := range g.Adj(v) {
+			faults[h.Edge] = true
+		}
+	}
+	return graph.ConnectedUnder(g, faults, s, t)
+}
+
+func TestHandlerVConnectedDegraded(t *testing.T) {
+	// The wheel's hub has degree n−1 ≫ f: failing it must degrade, not 422.
+	g := workload.Wheel(24)
+	sch, err := ftc.NewFromGraph(g, ftc.WithMaxFaults(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(sch, 16)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	hub := 0
+	if g.Degree(hub) <= 3 {
+		t.Fatalf("test graph: hub degree %d not over budget", g.Degree(hub))
+	}
+	req := serve.VConnectedRequest{
+		FaultVertices: []int{hub},
+		Pairs:         [][2]int{{1, 2}, {1, 12}, {hub, 1}, {3, 3}},
+	}
+	var out serve.VConnectedResponse
+	if resp := postProduct(t, ts.URL+"/vconnected", req, &out); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (over-budget vertex set must degrade)", resp.StatusCode)
+	}
+	if out.Confidence != serve.ConfidenceApprox || out.Faults != 1 || out.FaultEdges != 0 {
+		t.Fatalf("degraded response: %+v", out)
+	}
+	dead := map[int]bool{hub: true}
+	for i, p := range req.Pairs {
+		if out.Connected[i] && !connectedWithoutVertices(g, dead, p[0], p[1]) {
+			t.Fatalf("pair %d: degraded mode answered connected for a disconnected pair", i)
+		}
+	}
+	if out.Connected[2] {
+		t.Fatal("failed endpoint answered connected")
+	}
+	// The over-budget classification is memoized: the warm repeat reports
+	// a vertex-cache hit.
+	var warm serve.VConnectedResponse
+	if resp := postProduct(t, ts.URL+"/vconnected", req, &warm); resp.StatusCode != http.StatusOK || !warm.CacheHit {
+		t.Fatalf("warm degraded vprobe missed the vertex cache (hit=%v)", warm.CacheHit)
+	}
+}
+
+// TestBinQueryProductsMatchHTTP drives the same route and vertex-probe
+// requests through both surfaces and requires identical answers.
+func TestBinQueryProductsMatchHTTP(t *testing.T) {
+	const n, f = 60, 3
+	sch := buildScheme(t, n, f, 31)
+	g := sch.Graph()
+	srv := serve.New(sch, 32)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	addr := binListener(t, srv)
+
+	cl, err := wireclient.Dial(addr, wireclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	rng := rand.New(rand.NewSource(32))
+	var rresp wire.RouteResp
+	for trial := 0; trial < 20; trial++ {
+		faults := workload.RandomFaults(g, rng.Intn(2*f), rng)
+		pairs := make([][2]int, 1+rng.Intn(6))
+		for i := range pairs {
+			pairs[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+		}
+
+		var hr serve.RouteResponse
+		if resp := postProduct(t, ts.URL+"/route", serve.RouteRequest{FaultEdges: faults, Pairs: pairs}, &hr); resp.StatusCode != http.StatusOK {
+			t.Fatalf("trial %d: route status %d", trial, resp.StatusCode)
+		}
+		if err := cl.Route(faults, pairs, &rresp, 0); err != nil {
+			t.Fatalf("trial %d: bin route: %v", trial, err)
+		}
+		if rresp.Approx != (hr.Confidence == serve.ConfidenceApprox) || rresp.Gen != hr.Generation || rresp.Faults != hr.Faults {
+			t.Fatalf("trial %d: surfaces disagree: bin %+v http %+v", trial, rresp, hr)
+		}
+		for i := range pairs {
+			if rresp.Reachable[i] != hr.Routes[i].Reachable {
+				t.Fatalf("trial %d leg %d: reachable bin %v http %v", trial, i, rresp.Reachable[i], hr.Routes[i].Reachable)
+			}
+			if len(rresp.Paths[i]) != len(hr.Routes[i].Path) {
+				t.Fatalf("trial %d leg %d: paths differ: bin %v http %v", trial, i, rresp.Paths[i], hr.Routes[i].Path)
+			}
+			for j := range rresp.Paths[i] {
+				if rresp.Paths[i][j] != hr.Routes[i].Path[j] {
+					t.Fatalf("trial %d leg %d: paths differ: bin %v http %v", trial, i, rresp.Paths[i], hr.Routes[i].Path)
+				}
+			}
+		}
+
+		verts := []int{rng.Intn(n), rng.Intn(n)}
+		var hv serve.VConnectedResponse
+		if resp := postProduct(t, ts.URL+"/vconnected", serve.VConnectedRequest{FaultVertices: verts, Pairs: pairs}, &hv); resp.StatusCode != http.StatusOK {
+			t.Fatalf("trial %d: vconnected status %d", trial, resp.StatusCode)
+		}
+		out, _, approx, gen, err := cl.VProbeInto(verts, pairs, nil, 0)
+		if err != nil {
+			t.Fatalf("trial %d: bin vprobe: %v", trial, err)
+		}
+		if approx != (hv.Confidence == serve.ConfidenceApprox) || gen != hv.Generation {
+			t.Fatalf("trial %d: vprobe surfaces disagree: approx %v/%q gen %d/%d", trial, approx, hv.Confidence, gen, hv.Generation)
+		}
+		for i := range pairs {
+			if out[i] != hv.Connected[i] {
+				t.Fatalf("trial %d pair %d: bin %v http %v", trial, i, out[i], hv.Connected[i])
+			}
+		}
+	}
+}
+
+// TestMetricsQueryProducts hits the product endpoints and asserts the new
+// series appear on /metrics.
+func TestMetricsQueryProducts(t *testing.T) {
+	sch := buildScheme(t, 40, 2, 41)
+	srv := serve.New(sch, 8)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var rout serve.RouteResponse
+	postProduct(t, ts.URL+"/route", serve.RouteRequest{Pairs: [][2]int{{0, 1}}}, &rout)
+	var vout serve.VConnectedResponse
+	postProduct(t, ts.URL+"/vconnected", serve.VConnectedRequest{FaultVertices: nil, Pairs: [][2]int{{0, 1}}}, &vout)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, series := range []string{
+		"ftcserve_route_plans_total 1",
+		"ftcserve_vprobes_total 1",
+		"ftcserve_approx_answers_total 0",
+		"ftcserve_vcache_hits_total",
+		"ftcserve_vcache_misses_total",
+		"ftcserve_vcache_entries",
+	} {
+		if !strings.Contains(body, series) {
+			t.Fatalf("metrics missing %q", series)
+		}
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/serve/genlog"
+	"repro/internal/serve/products"
 )
 
 // Scheme is the read-side surface the server needs: label access plus the
@@ -116,6 +117,18 @@ type Server struct {
 	cache *shardedCache
 	start time.Time
 
+	// Query products (DESIGN.md §3.15): vcache is the vertex-fault
+	// namespace of the fault-set cache — same sharded machinery, keys from
+	// wire.VertexFaultKey so an edge set and a vertex set can never
+	// collide. It is deliberately NOT swept by updates: vertex canon are
+	// vertex indices (stable names, unlike edge indices), and get()'s
+	// generation compare replaces stale entries with fresh uncompiled ones
+	// on next access, which recompile against current labels. products
+	// hands out the per-generation routing tables and degraded-mode
+	// spanner.
+	vcache   *shardedCache
+	products *products.Products
+
 	// updMu serializes commits with their cache sweeps so sweeps apply in
 	// generation order.
 	updMu sync.Mutex
@@ -123,6 +136,12 @@ type Server struct {
 	probes   atomic.Uint64
 	requests atomic.Uint64
 	updates  atomic.Uint64
+
+	// Per-product counters: route legs and vertex-fault pairs answered
+	// (either mode), and degraded-mode pairs across both products.
+	routePlans    atomic.Uint64
+	vprobes       atomic.Uint64
+	approxAnswers atomic.Uint64
 
 	// Replication surface: the generation log this (primary) server
 	// appends to and streams from, the subscriber hub waking OpLogSub
@@ -177,10 +196,12 @@ func NewDynamic(view func() Scheme, upd Updatable, cacheSize int) *Server {
 // (see NewWithShards).
 func NewDynamicWithShards(view func() Scheme, upd Updatable, cacheSize, shards int) *Server {
 	return &Server{
-		view:  view,
-		upd:   upd,
-		cache: newShardedCache(cacheSize, shards),
-		start: time.Now(),
+		view:     view,
+		upd:      upd,
+		cache:    newShardedCache(cacheSize, shards),
+		vcache:   newShardedCache(cacheSize, shards),
+		products: products.New(),
+		start:    time.Now(),
 	}
 }
 
@@ -426,14 +447,18 @@ const maxRequestBytes = 1 << 20
 
 // Handler returns the HTTP surface of the server:
 //
-//	POST /connected — batch probe (ConnectedRequest → ConnectedResponse)
-//	POST /update    — commit a topology batch (dynamic servers only)
-//	GET  /healthz   — liveness plus scheme shape
-//	GET  /stats     — serving and cache counters
-//	GET  /metrics   — the same counters in Prometheus text format
+//	POST /connected  — batch probe (ConnectedRequest → ConnectedResponse)
+//	POST /route      — forbidden-set route plans (RouteRequest → RouteResponse)
+//	POST /vconnected — batch probe under vertex faults (VConnectedRequest → VConnectedResponse)
+//	POST /update     — commit a topology batch (dynamic servers only)
+//	GET  /healthz    — liveness plus scheme shape
+//	GET  /stats      — serving and cache counters
+//	GET  /metrics    — the same counters in Prometheus text format
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /connected", s.handleConnected)
+	mux.HandleFunc("POST /route", s.handleRoute)
+	mux.HandleFunc("POST /vconnected", s.handleVConnected)
 	if s.upd != nil {
 		mux.HandleFunc("POST /update", s.handleUpdate)
 	}
@@ -764,7 +789,21 @@ type Stats struct {
 	CacheSize     int          `json:"cache_size"`
 	CacheCapacity int          `json:"cache_capacity"`
 	CacheShards   []ShardStats `json:"cache_shards"`
-	UptimeSeconds float64      `json:"uptime_seconds"`
+
+	// Query-product breakdown (§3.15): route legs and vertex-fault pairs
+	// answered, degraded-mode pairs, and the vertex cache-key namespace's
+	// own counters (the edge namespace is the Cache* block above).
+	RoutePlans     uint64       `json:"route_plans"`
+	VProbes        uint64       `json:"vprobes"`
+	ApproxAnswers  uint64       `json:"approx_answers"`
+	VCacheHits     uint64       `json:"vcache_hits"`
+	VCacheMisses   uint64       `json:"vcache_misses"`
+	VCacheCapEvict uint64       `json:"vcache_evictions"`
+	VCacheSize     int          `json:"vcache_size"`
+	VCacheCapacity int          `json:"vcache_capacity"`
+	VCacheShards   []ShardStats `json:"vcache_shards"`
+
+	UptimeSeconds float64 `json:"uptime_seconds"`
 
 	// Replica is non-nil when this server tails a primary.
 	Replica *ReplicaStatus `json:"replica,omitempty"`
@@ -773,6 +812,7 @@ type Stats struct {
 // Stats snapshots the serving counters.
 func (s *Server) Stats() Stats {
 	hits, misses, evicted, rebased, capEvicted, size, capacity, per := s.cache.stats()
+	vhits, vmisses, _, _, vcapEvicted, vsize, vcapacity, vper := s.vcache.stats()
 	st := Stats{
 		Requests:      s.requests.Load(),
 		BinRequests:   s.binRequests.Load(),
@@ -793,6 +833,17 @@ func (s *Server) Stats() Stats {
 		CacheSize:     size,
 		CacheCapacity: capacity,
 		CacheShards:   per,
+
+		RoutePlans:     s.routePlans.Load(),
+		VProbes:        s.vprobes.Load(),
+		ApproxAnswers:  s.approxAnswers.Load(),
+		VCacheHits:     vhits,
+		VCacheMisses:   vmisses,
+		VCacheCapEvict: vcapEvicted,
+		VCacheSize:     vsize,
+		VCacheCapacity: vcapacity,
+		VCacheShards:   vper,
+
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
 	if s.genlog != nil {

@@ -55,6 +55,25 @@
 //	  one genlog record payload, verbatim (self-describing; see the
 //	  genlog package for its layout and versioning)
 //
+//	OpRoute payload (query product, DESIGN.md §3.15):
+//	  identical layout to OpProbe — the forbidden set is fault EDGE
+//	  indices (strictly ascending) and the pairs are (source, target).
+//
+//	OpRouteResp payload:
+//	  u64 id | u8 flags (bit0 = cache hit, bit1 = approx) | u64 generation
+//	  u32 nFaults (canonical count) | u32 nRoutes
+//	  nRoutes × ( u8 reachable | u32 pathLen | pathLen × u32 vertex )
+//
+//	OpVProbe payload:
+//	  identical layout to OpProbe, but the fault indices are VERTEX
+//	  indices (strictly ascending). The incremental hash uses the
+//	  vertex-namespace seed (VertexFaultKey), so an edge fault set and a
+//	  vertex fault set with the same indices can never share a cache key.
+//
+//	OpVProbeResp payload:
+//	  identical layout to OpProbeResp, plus bit1 of the flags byte marks
+//	  an approximate (degraded-mode) answer.
+//
 // A connection that sends OpLogSub switches to push mode: the server
 // streams OpLogRecord frames (backlog, then live appends) and accepts no
 // further requests on that connection. Log records may exceed the normal
@@ -84,11 +103,15 @@ var magic = [4]byte{'F', 'T', 'C', 'W'}
 // Opcodes. Responses have the high bit clear too — the opcode namespace is
 // shared so a Reader can hand any frame to the right decoder.
 const (
-	OpProbe     byte = 0x01 // client → server batch probe
-	OpProbeResp byte = 0x02 // server → client batch answer
-	OpError     byte = 0x03 // server → client failure report
-	OpLogSub    byte = 0x04 // client → server genlog subscription
-	OpLogRecord byte = 0x05 // server → client genlog record push
+	OpProbe      byte = 0x01 // client → server batch probe
+	OpProbeResp  byte = 0x02 // server → client batch answer
+	OpError      byte = 0x03 // server → client failure report
+	OpLogSub     byte = 0x04 // client → server genlog subscription
+	OpLogRecord  byte = 0x05 // server → client genlog record push
+	OpRoute      byte = 0x06 // client → server batch route-plan request
+	OpRouteResp  byte = 0x07 // server → client route plans
+	OpVProbe     byte = 0x08 // client → server batch vertex-fault probe
+	OpVProbeResp byte = 0x09 // server → client vertex-fault answers
 )
 
 // Error codes carried by OpError frames, aligned with the HTTP handler's
@@ -148,6 +171,23 @@ func faultKeyStep(h, v uint64) uint64 {
 	return h
 }
 
+// vertexKeySeed is the FNV state after folding a namespace tag byte into
+// the standard offset basis. Vertex-fault cache keys start from this seed
+// instead of fnv64Offset, so a vertex fault set {3, 7} and an edge fault
+// set {3, 7} hash to unrelated keys even inside shared cache machinery.
+var vertexKeySeed = faultKeyStep(fnv64Offset, uint64('V'))
+
+// VertexFaultKey hashes a canonical (strictly ascending) fault-VERTEX
+// index slice into the vertex cache-key namespace. DecodeVProbe computes
+// the identical value incrementally while validating the frame.
+func VertexFaultKey(canon []int) uint64 {
+	h := vertexKeySeed
+	for _, v := range canon {
+		h = faultKeyStep(h, uint64(v))
+	}
+	return h
+}
+
 // AppendClientHello appends the 5-byte client hello.
 func AppendClientHello(b []byte) []byte {
 	b = append(b, magic[:]...)
@@ -202,14 +242,14 @@ type ProbeReq struct {
 	Key    uint64
 }
 
-// AppendProbe appends one complete probe frame (header + payload). faults
-// must already be canonical — strictly ascending — which the pipelined
-// client guarantees by sorting and deduplicating once per call; the server
-// rejects non-canonical frames.
-func AppendProbe(b []byte, id, genPin uint64, faults []int, pairs [][2]int) []byte {
+// appendProbeLike appends one complete probe-layout frame (header +
+// payload) under the given opcode — the shared encoder behind AppendProbe,
+// AppendRoute, and AppendVProbe, which differ only in opcode and in what
+// the fault indices mean.
+func appendProbeLike(b []byte, op byte, id, genPin uint64, faults []int, pairs [][2]int) []byte {
 	payload := probeFixedLen + 4*len(faults) + 8*len(pairs)
 	b = binary.LittleEndian.AppendUint32(b, uint32(payload))
-	b = append(b, OpProbe)
+	b = append(b, op)
 	b = binary.LittleEndian.AppendUint64(b, id)
 	b = binary.LittleEndian.AppendUint64(b, genPin)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(faults)))
@@ -224,13 +264,31 @@ func AppendProbe(b []byte, id, genPin uint64, faults []int, pairs [][2]int) []by
 	return b
 }
 
-// DecodeProbe decodes an OpProbe payload into req, reusing req's slices.
-// The fault edges must be strictly ascending — the canonical form — or the
-// frame is rejected; req.Key is left as FaultKey(req.Faults), computed in
-// the same pass. The counts are validated against the payload length
-// before any slice is grown, so a hostile frame cannot force a large
-// allocation.
-func DecodeProbe(payload []byte, req *ProbeReq) error {
+// AppendProbe appends one complete probe frame (header + payload). faults
+// must already be canonical — strictly ascending — which the pipelined
+// client guarantees by sorting and deduplicating once per call; the server
+// rejects non-canonical frames.
+func AppendProbe(b []byte, id, genPin uint64, faults []int, pairs [][2]int) []byte {
+	return appendProbeLike(b, OpProbe, id, genPin, faults, pairs)
+}
+
+// AppendRoute appends one complete route-plan request frame. Same layout
+// and canonical-form rules as AppendProbe; the forbidden set is fault edge
+// indices and each pair is a (source, target) route query.
+func AppendRoute(b []byte, id, genPin uint64, faults []int, pairs [][2]int) []byte {
+	return appendProbeLike(b, OpRoute, id, genPin, faults, pairs)
+}
+
+// AppendVProbe appends one complete vertex-fault probe frame. Same layout
+// and canonical-form rules as AppendProbe, except the fault indices are
+// vertex indices.
+func AppendVProbe(b []byte, id, genPin uint64, vertices []int, pairs [][2]int) []byte {
+	return appendProbeLike(b, OpVProbe, id, genPin, vertices, pairs)
+}
+
+// decodeProbeLike decodes a probe-layout payload into req, hashing the
+// fault indices incrementally from seed (the cache-key namespace).
+func decodeProbeLike(payload []byte, req *ProbeReq, seed uint64) error {
 	if len(payload) < probeFixedLen {
 		return fmt.Errorf("%w: truncated probe header", ErrFrame)
 	}
@@ -243,12 +301,12 @@ func DecodeProbe(payload []byte, req *ProbeReq) error {
 	}
 	rest := payload[probeFixedLen:]
 	req.Faults = req.Faults[:0]
-	key := fnv64Offset
+	key := seed
 	prev := int64(-1)
 	for i := 0; i < nFaults; i++ {
 		e := binary.LittleEndian.Uint32(rest[4*i:])
 		if int64(e) <= prev {
-			return fmt.Errorf("%w: fault edges not strictly ascending (canonical form required)", ErrFrame)
+			return fmt.Errorf("%w: fault indices not strictly ascending (canonical form required)", ErrFrame)
 		}
 		prev = int64(e)
 		req.Faults = append(req.Faults, int(e))
@@ -266,25 +324,51 @@ func DecodeProbe(payload []byte, req *ProbeReq) error {
 	return nil
 }
 
+// DecodeProbe decodes an OpProbe payload into req, reusing req's slices.
+// The fault edges must be strictly ascending — the canonical form — or the
+// frame is rejected; req.Key is left as FaultKey(req.Faults), computed in
+// the same pass. The counts are validated against the payload length
+// before any slice is grown, so a hostile frame cannot force a large
+// allocation.
+func DecodeProbe(payload []byte, req *ProbeReq) error {
+	return decodeProbeLike(payload, req, fnv64Offset)
+}
+
+// DecodeRoute decodes an OpRoute payload. The layout is OpProbe's, and so
+// is the cache-key namespace: route plans live on the same compiled
+// edge-fault sets as connectivity probes, so req.Key is FaultKey(Faults).
+func DecodeRoute(payload []byte, req *ProbeReq) error {
+	return decodeProbeLike(payload, req, fnv64Offset)
+}
+
+// DecodeVProbe decodes an OpVProbe payload. The layout is OpProbe's, but
+// the fault indices are vertices and req.Key is VertexFaultKey(Faults) —
+// the vertex cache-key namespace.
+func DecodeVProbe(payload []byte, req *ProbeReq) error {
+	return decodeProbeLike(payload, req, vertexKeySeed)
+}
+
 // probeRespFixedLen is the fixed part of an OpProbeResp payload.
 const probeRespFixedLen = 8 + 1 + 8 + 4 + 4
 
 // flagCacheHit marks a response served from an already-compiled cache
-// entry.
-const flagCacheHit = 1 << 0
+// entry. flagApprox marks a degraded-mode answer — the fault set exceeded
+// the scheme's f budget and the answer came from the spanner-backed
+// approximation (DESIGN.md §3.15) instead of an exact decode.
+const (
+	flagCacheHit = 1 << 0
+	flagApprox   = 1 << 1
+)
 
-// AppendProbeResp appends one complete probe response frame. The connected
-// answers are packed as a bitmap, LSB-first within each byte.
-func AppendProbeResp(b []byte, id uint64, hit bool, gen uint64, faults int, connected []bool) []byte {
+// appendConnResp appends one complete connectivity-bitmap response frame
+// under the given opcode — shared by OpProbeResp and OpVProbeResp, which
+// have identical layouts.
+func appendConnResp(b []byte, op byte, id uint64, hit, approx bool, gen uint64, faults int, connected []bool) []byte {
 	payload := probeRespFixedLen + (len(connected)+7)/8
 	b = binary.LittleEndian.AppendUint32(b, uint32(payload))
-	b = append(b, OpProbeResp)
+	b = append(b, op)
 	b = binary.LittleEndian.AppendUint64(b, id)
-	var flags byte
-	if hit {
-		flags |= flagCacheHit
-	}
-	b = append(b, flags)
+	b = append(b, respFlags(hit, approx))
 	b = binary.LittleEndian.AppendUint64(b, gen)
 	b = binary.LittleEndian.AppendUint32(b, uint32(faults))
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(connected)))
@@ -304,24 +388,51 @@ func AppendProbeResp(b []byte, id uint64, hit bool, gen uint64, faults int, conn
 	return b
 }
 
+func respFlags(hit, approx bool) byte {
+	var flags byte
+	if hit {
+		flags |= flagCacheHit
+	}
+	if approx {
+		flags |= flagApprox
+	}
+	return flags
+}
+
+// AppendProbeResp appends one complete probe response frame. The connected
+// answers are packed as a bitmap, LSB-first within each byte.
+func AppendProbeResp(b []byte, id uint64, hit bool, gen uint64, faults int, connected []bool) []byte {
+	return appendConnResp(b, OpProbeResp, id, hit, false, gen, faults, connected)
+}
+
+// AppendVProbeResp appends one complete vertex-fault probe response frame:
+// OpProbeResp's layout under OpVProbeResp, with the approx flag available.
+func AppendVProbeResp(b []byte, id uint64, hit, approx bool, gen uint64, faults int, connected []bool) []byte {
+	return appendConnResp(b, OpVProbeResp, id, hit, approx, gen, faults, connected)
+}
+
 // ProbeResp is one decoded probe response. Connected is refilled in place
-// from the caller-passed destination slice.
+// from the caller-passed destination slice. Approx mirrors the frame's
+// degraded-mode flag (always false on OpProbeResp).
 type ProbeResp struct {
 	ID        uint64
 	CacheHit  bool
+	Approx    bool
 	Gen       uint64
 	Faults    int
 	Connected []bool
 }
 
-// DecodeProbeResp decodes an OpProbeResp payload, unpacking the bitmap
-// into dst (reused, returned inside resp.Connected).
+// DecodeProbeResp decodes an OpProbeResp or OpVProbeResp payload (they
+// share a layout), unpacking the bitmap into dst (reused, returned inside
+// resp.Connected).
 func DecodeProbeResp(payload []byte, dst []bool, resp *ProbeResp) error {
 	if len(payload) < probeRespFixedLen {
 		return fmt.Errorf("%w: truncated probe response", ErrFrame)
 	}
 	resp.ID = binary.LittleEndian.Uint64(payload)
 	resp.CacheHit = payload[8]&flagCacheHit != 0
+	resp.Approx = payload[8]&flagApprox != 0
 	resp.Gen = binary.LittleEndian.Uint64(payload[9:])
 	resp.Faults = int(binary.LittleEndian.Uint32(payload[17:]))
 	nPairs := int(binary.LittleEndian.Uint32(payload[21:]))
@@ -334,6 +445,108 @@ func DecodeProbeResp(payload []byte, dst []bool, resp *ProbeResp) error {
 		dst = append(dst, bitmap[i/8]&(1<<(i%8)) != 0)
 	}
 	resp.Connected = dst
+	return nil
+}
+
+// routeRespFixedLen is the fixed part of an OpRouteResp payload.
+const routeRespFixedLen = 8 + 1 + 8 + 4 + 4
+
+// RouteRespSize computes the encoded payload size of a route response —
+// the server checks it against MaxFrameBytes before encoding, since route
+// paths (unlike connectivity bitmaps) can be long.
+func RouteRespSize(paths [][]int) int {
+	n := routeRespFixedLen
+	for _, p := range paths {
+		n += 1 + 4 + 4*len(p)
+	}
+	return n
+}
+
+// AppendRouteResp appends one complete route response frame. reachable and
+// paths are parallel per-pair slices; an unreachable pair's path is
+// ignored (encoded empty).
+func AppendRouteResp(b []byte, id uint64, hit, approx bool, gen uint64, faults int, reachable []bool, paths [][]int) []byte {
+	payload := routeRespFixedLen
+	for i, p := range paths {
+		payload += 1 + 4
+		if reachable[i] {
+			payload += 4 * len(p)
+		}
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(payload))
+	b = append(b, OpRouteResp)
+	b = binary.LittleEndian.AppendUint64(b, id)
+	b = append(b, respFlags(hit, approx))
+	b = binary.LittleEndian.AppendUint64(b, gen)
+	b = binary.LittleEndian.AppendUint32(b, uint32(faults))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(paths)))
+	for i, p := range paths {
+		if reachable[i] {
+			b = append(b, 1)
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(p)))
+			for _, v := range p {
+				b = binary.LittleEndian.AppendUint32(b, uint32(v))
+			}
+		} else {
+			b = append(b, 0)
+			b = binary.LittleEndian.AppendUint32(b, 0)
+		}
+	}
+	return b
+}
+
+// RouteResp is one decoded route response. Reachable and Paths are
+// parallel per-pair slices; an unreachable pair has a nil path.
+type RouteResp struct {
+	ID        uint64
+	CacheHit  bool
+	Approx    bool
+	Gen       uint64
+	Faults    int
+	Reachable []bool
+	Paths     [][]int
+}
+
+// DecodeRouteResp decodes an OpRouteResp payload. Each pathLen is
+// validated against the remaining payload before its slice is allocated,
+// so a hostile frame cannot force a large allocation.
+func DecodeRouteResp(payload []byte, resp *RouteResp) error {
+	if len(payload) < routeRespFixedLen {
+		return fmt.Errorf("%w: truncated route response", ErrFrame)
+	}
+	resp.ID = binary.LittleEndian.Uint64(payload)
+	resp.CacheHit = payload[8]&flagCacheHit != 0
+	resp.Approx = payload[8]&flagApprox != 0
+	resp.Gen = binary.LittleEndian.Uint64(payload[9:])
+	resp.Faults = int(binary.LittleEndian.Uint32(payload[17:]))
+	nRoutes := int(binary.LittleEndian.Uint32(payload[21:]))
+	rest := payload[routeRespFixedLen:]
+	resp.Reachable = resp.Reachable[:0]
+	resp.Paths = resp.Paths[:0]
+	for i := 0; i < nRoutes; i++ {
+		if len(rest) < 5 {
+			return fmt.Errorf("%w: truncated route leg", ErrFrame)
+		}
+		ok := rest[0] != 0
+		pathLen := int(binary.LittleEndian.Uint32(rest[1:]))
+		rest = rest[5:]
+		if pathLen < 0 || len(rest) < 4*pathLen {
+			return fmt.Errorf("%w: route path length disagrees with payload", ErrFrame)
+		}
+		var path []int
+		if ok {
+			path = make([]int, pathLen)
+			for j := range path {
+				path[j] = int(binary.LittleEndian.Uint32(rest[4*j:]))
+			}
+		}
+		rest = rest[4*pathLen:]
+		resp.Reachable = append(resp.Reachable, ok)
+		resp.Paths = append(resp.Paths, path)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: route response trailing bytes", ErrFrame)
+	}
 	return nil
 }
 

@@ -139,6 +139,110 @@ func TestProbeRespRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRouteAndVProbeRoundTrip covers the query-product request codecs:
+// same payload layout as probes, different opcode and — for vertex faults
+// — a different cache-key namespace.
+func TestRouteAndVProbeRoundTrip(t *testing.T) {
+	faults := []int{2, 3, 11}
+	pairs := [][2]int{{1, 9}, {4, 4}}
+
+	var req ProbeReq
+	frame := AppendRoute(nil, 5, 7, faults, pairs)
+	if frame[frameHeaderLen-1] != OpRoute {
+		t.Fatalf("route opcode: %#x", frame[frameHeaderLen-1])
+	}
+	if err := DecodeRoute(frame[frameHeaderLen:], &req); err != nil {
+		t.Fatalf("route decode: %v", err)
+	}
+	if req.ID != 5 || req.GenPin != 7 || req.Key != FaultKey(faults) {
+		t.Fatalf("route fields: %+v (want key %#x)", req, FaultKey(faults))
+	}
+
+	frame = AppendVProbe(nil, 6, 0, faults, pairs)
+	if frame[frameHeaderLen-1] != OpVProbe {
+		t.Fatalf("vprobe opcode: %#x", frame[frameHeaderLen-1])
+	}
+	if err := DecodeVProbe(frame[frameHeaderLen:], &req); err != nil {
+		t.Fatalf("vprobe decode: %v", err)
+	}
+	if req.Key != VertexFaultKey(faults) {
+		t.Fatalf("vprobe key %#x, want VertexFaultKey %#x", req.Key, VertexFaultKey(faults))
+	}
+	// The namespaces must never collide for the same canonical indices.
+	if FaultKey(faults) == VertexFaultKey(faults) {
+		t.Fatalf("edge and vertex key namespaces collide on %v", faults)
+	}
+}
+
+func TestVProbeRespRoundTrip(t *testing.T) {
+	connected := []bool{true, false, true, true}
+	frame := AppendVProbeResp(nil, 12, true, true, 9, 3, connected)
+	if frame[frameHeaderLen-1] != OpVProbeResp {
+		t.Fatalf("opcode: %#x", frame[frameHeaderLen-1])
+	}
+	var resp ProbeResp
+	if err := DecodeProbeResp(frame[frameHeaderLen:], nil, &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.ID != 12 || !resp.CacheHit || !resp.Approx || resp.Gen != 9 || resp.Faults != 3 {
+		t.Fatalf("fields: %+v", resp)
+	}
+	for i := range connected {
+		if resp.Connected[i] != connected[i] {
+			t.Fatalf("answer %d: got %v", i, resp.Connected[i])
+		}
+	}
+	// The exact probe response must decode with Approx false.
+	frame = AppendProbeResp(nil, 1, false, 2, 1, connected)
+	if err := DecodeProbeResp(frame[frameHeaderLen:], nil, &resp); err != nil || resp.Approx {
+		t.Fatalf("exact probe resp: approx=%v err=%v", resp.Approx, err)
+	}
+}
+
+func TestRouteRespRoundTrip(t *testing.T) {
+	reach := []bool{true, false, true}
+	paths := [][]int{{0, 4, 2}, nil, {7}}
+	frame := AppendRouteResp(nil, 3, true, false, 8, 2, reach, paths)
+	if want, got := RouteRespSize(paths), len(frame)-frameHeaderLen; got != want {
+		t.Fatalf("RouteRespSize %d, encoded payload %d", want, got)
+	}
+	var resp RouteResp
+	if err := DecodeRouteResp(frame[frameHeaderLen:], &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.ID != 3 || !resp.CacheHit || resp.Approx || resp.Gen != 8 || resp.Faults != 2 {
+		t.Fatalf("fields: %+v", resp)
+	}
+	if len(resp.Reachable) != 3 || !resp.Reachable[0] || resp.Reachable[1] || !resp.Reachable[2] {
+		t.Fatalf("reachable: %v", resp.Reachable)
+	}
+	if len(resp.Paths) != 3 || resp.Paths[1] != nil {
+		t.Fatalf("paths: %v", resp.Paths)
+	}
+	for i, want := range paths {
+		if len(resp.Paths[i]) != len(want) {
+			t.Fatalf("path %d: got %v want %v", i, resp.Paths[i], want)
+		}
+		for j := range want {
+			if resp.Paths[i][j] != want[j] {
+				t.Fatalf("path %d: got %v want %v", i, resp.Paths[i], want)
+			}
+		}
+	}
+}
+
+func TestDecodeRouteRespRejectsHostileLengths(t *testing.T) {
+	// Announce one route whose path length points far past the payload:
+	// the decoder must reject before allocating the announced size.
+	frame := AppendRouteResp(nil, 1, false, false, 1, 0, []bool{true}, [][]int{{1, 2}})
+	payload := append([]byte(nil), frame[frameHeaderLen:]...)
+	binary.LittleEndian.PutUint32(payload[routeRespFixedLen+1:], 1<<30)
+	var resp RouteResp
+	if err := DecodeRouteResp(payload, &resp); !errors.Is(err, ErrFrame) {
+		t.Fatalf("hostile path length accepted: %v", err)
+	}
+}
+
 func TestErrorRoundTrip(t *testing.T) {
 	frame := AppendError(nil, 4, CodeConflict, "stale")
 	id, code, msg, err := DecodeError(frame[frameHeaderLen:])
@@ -250,11 +354,23 @@ func FuzzWireFrame(f *testing.F) {
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, OpProbe})
 	trunc := AppendProbe(nil, 9, 9, []int{5, 6, 7}, nil)
 	f.Add(trunc[:len(trunc)-3])
+	// Query-product opcodes: well-formed, truncated, and hostile-length
+	// seeds for each.
+	f.Add(AppendRoute(nil, 2, 1, []int{0, 3}, [][2]int{{1, 2}}))
+	f.Add(AppendVProbe(nil, 3, 0, []int{4}, [][2]int{{0, 5}, {6, 6}}))
+	f.Add(AppendVProbeResp(nil, 4, false, true, 3, 1, []bool{false, true}))
+	routeResp := AppendRouteResp(nil, 5, true, false, 2, 1, []bool{true, false}, [][]int{{0, 1, 2}, nil})
+	f.Add(routeResp)
+	f.Add(routeResp[:len(routeResp)-4])
+	hostile := append([]byte(nil), routeResp...)
+	binary.LittleEndian.PutUint32(hostile[frameHeaderLen+routeRespFixedLen+1:], 1<<31)
+	f.Add(hostile)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bufio.NewReaderSize(bytes.NewReader(data), 512))
 		var req ProbeReq
 		var resp ProbeResp
+		var rresp RouteResp
 		for {
 			op, payload, err := r.Next()
 			if err != nil {
@@ -270,8 +386,22 @@ func FuzzWireFrame(f *testing.F) {
 						t.Fatalf("incremental key mismatch for %v", req.Faults)
 					}
 				}
-			case OpProbeResp:
+			case OpRoute:
+				if err := DecodeRoute(payload, &req); err == nil {
+					if FaultKey(req.Faults) != req.Key {
+						t.Fatalf("route key mismatch for %v", req.Faults)
+					}
+				}
+			case OpVProbe:
+				if err := DecodeVProbe(payload, &req); err == nil {
+					if VertexFaultKey(req.Faults) != req.Key {
+						t.Fatalf("vertex key mismatch for %v", req.Faults)
+					}
+				}
+			case OpProbeResp, OpVProbeResp:
 				_ = DecodeProbeResp(payload, resp.Connected, &resp)
+			case OpRouteResp:
+				_ = DecodeRouteResp(payload, &rresp)
 			case OpError:
 				_, _, _, _ = DecodeError(payload)
 			}

@@ -88,16 +88,20 @@ func (e *ServerError) Error() string {
 	return fmt.Sprintf("server error %d: %s", e.Code, e.Msg)
 }
 
-// call is one in-flight probe. done is buffered so the reader never
-// blocks handing off a result.
+// call is one in-flight request. done is buffered so the reader never
+// blocks handing off a result. routeDst is non-nil for route calls and
+// names the caller-owned RouteResp the reader decodes into; connectivity
+// calls (probe and vprobe, which share the response layout) decode into
+// dst/resp instead.
 type call struct {
-	id    uint64
-	dst   []bool
-	resp  wire.ProbeResp
-	err   error
-	canon []int
-	frame []byte
-	done  chan struct{}
+	id       uint64
+	dst      []bool
+	resp     wire.ProbeResp
+	routeDst *wire.RouteResp
+	err      error
+	canon    []int
+	frame    []byte
+	done     chan struct{}
 }
 
 var callPool = sync.Pool{New: func() any {
@@ -349,17 +353,83 @@ func (cl *Client) Probe(faultEdges []int, pairs [][2]int) ([]bool, error) {
 // its generation differs — the edge-index stability contract of the JSON
 // surface, kept identical here.
 func (cl *Client) ProbeInto(faultEdges []int, pairs [][2]int, out []bool, genPin uint64) ([]bool, bool, uint64, error) {
-	cn, err := cl.pick()
+	ca, err := cl.exchange(wire.OpProbe, faultEdges, pairs, out, nil, genPin)
 	if err != nil {
 		return out, false, 0, err
 	}
+	out = ca.resp.Connected
+	hit, gen := ca.resp.CacheHit, ca.resp.Gen
+	err = ca.err
+	putCall(ca)
+	return out, hit, gen, err
+}
+
+// VProbe answers one batch probe under VERTEX faults: one set of failed
+// vertex indices against a batch of s–t pairs. approx reports degraded
+// mode — the fault set's incident edges exceeded the server's budget and
+// the answer came from the fault-tolerant spanner ("connected" is then
+// still always sound; "disconnected" may under-report).
+func (cl *Client) VProbe(faultVertices []int, pairs [][2]int) ([]bool, bool, error) {
+	out, _, approx, _, err := cl.VProbeInto(faultVertices, pairs, nil, 0)
+	return out, approx, err
+}
+
+// VProbeInto is VProbe with the answer slice and generation pin under
+// caller control, mirroring ProbeInto.
+func (cl *Client) VProbeInto(faultVertices []int, pairs [][2]int, out []bool, genPin uint64) ([]bool, bool, bool, uint64, error) {
+	ca, err := cl.exchange(wire.OpVProbe, faultVertices, pairs, out, nil, genPin)
+	if err != nil {
+		return out, false, false, 0, err
+	}
+	out = ca.resp.Connected
+	hit, approx, gen := ca.resp.CacheHit, ca.resp.Approx, ca.resp.Gen
+	err = ca.err
+	putCall(ca)
+	return out, hit, approx, gen, err
+}
+
+// Route computes hop-by-hop route plans avoiding a forbidden edge set:
+// one plan per s–t pair, decoded into the caller-owned resp (refilled in
+// place, so a resp may be reused across calls). resp.Approx reports
+// degraded (spanner-backed) planning; genPin has ProbeInto's semantics
+// and is how a caller keeps a plan's edge indices pinned to the
+// generation it resolved them against.
+func (cl *Client) Route(faultEdges []int, pairs [][2]int, resp *wire.RouteResp, genPin uint64) error {
+	ca, err := cl.exchange(wire.OpRoute, faultEdges, pairs, nil, resp, genPin)
+	if err != nil {
+		return err
+	}
+	err = ca.err
+	putCall(ca)
+	return err
+}
+
+// putCall scrubs caller-owned references and pools the call.
+func putCall(ca *call) {
+	ca.dst = nil
+	ca.routeDst = nil
+	ca.resp.Connected = nil
+	callPool.Put(ca)
+}
+
+// exchange runs one request/response round trip: pick a connection,
+// canonicalize the fault indices, enqueue + write the frame, and wait for
+// the reader's handoff. On success the returned call holds the decoded
+// result (and ca.err the server's verdict); the caller extracts what it
+// needs and recycles the call via putCall.
+func (cl *Client) exchange(op byte, faults []int, pairs [][2]int, out []bool, routeDst *wire.RouteResp, genPin uint64) (*call, error) {
+	cn, err := cl.pick()
+	if err != nil {
+		return nil, err
+	}
 	ca := callPool.Get().(*call)
 	ca.dst = out
+	ca.routeDst = routeDst
 	ca.err = nil
-	// Canonicalize once, client-side: the wire carries fault edges
+	// Canonicalize once, client-side: the wire carries fault indices
 	// strictly ascending so the server validates (never sorts) and hashes
 	// in the same pass.
-	ca.canon = append(ca.canon[:0], faultEdges...)
+	ca.canon = append(ca.canon[:0], faults...)
 	sort.Ints(ca.canon)
 	w := 0
 	for i, e := range ca.canon {
@@ -373,7 +443,14 @@ func (cl *Client) ProbeInto(faultEdges []int, pairs [][2]int, out []bool, genPin
 	cn.wmu.Lock()
 	cn.nextID++
 	ca.id = cn.nextID
-	ca.frame = wire.AppendProbe(ca.frame[:0], ca.id, genPin, ca.canon, pairs)
+	switch op {
+	case wire.OpRoute:
+		ca.frame = wire.AppendRoute(ca.frame[:0], ca.id, genPin, ca.canon, pairs)
+	case wire.OpVProbe:
+		ca.frame = wire.AppendVProbe(ca.frame[:0], ca.id, genPin, ca.canon, pairs)
+	default:
+		ca.frame = wire.AppendProbe(ca.frame[:0], ca.id, genPin, ca.canon, pairs)
+	}
 	// Enqueue before the bytes hit the wire so the reader's FIFO matches
 	// wire order; blocking here (Inflight reached) holds wmu, which is
 	// safe — the reader drains pending without ever taking wmu.
@@ -382,8 +459,8 @@ func (cl *Client) ProbeInto(faultEdges []int, pairs [][2]int, out []bool, genPin
 	case <-cn.dead:
 		cn.wmu.Unlock()
 		err := cn.failure()
-		callPool.Put(ca)
-		return out, false, 0, err
+		putCall(ca)
+		return nil, err
 	}
 	_, werr := cn.bw.Write(ca.frame)
 	if werr == nil {
@@ -395,12 +472,7 @@ func (cl *Client) ProbeInto(faultEdges []int, pairs [][2]int, out []bool, genPin
 	}
 
 	<-ca.done
-	out = ca.resp.Connected
-	hit, gen, err := ca.resp.CacheHit, ca.resp.Gen, ca.err
-	ca.dst = nil
-	ca.resp.Connected = nil
-	callPool.Put(ca)
-	return out, hit, gen, err
+	return ca, nil
 }
 
 // failure returns the connection's terminal error.
@@ -444,8 +516,20 @@ func (cn *conn) readLoop() {
 			return
 		}
 		switch op {
-		case wire.OpProbeResp:
+		case wire.OpProbeResp, wire.OpVProbeResp:
+			if ca.routeDst != nil {
+				ca.err = fmt.Errorf("%w: connectivity response for a route request", wire.ErrFrame)
+				break
+			}
 			ca.err = wire.DecodeProbeResp(payload, ca.dst[:0], &ca.resp)
+		case wire.OpRouteResp:
+			if ca.routeDst == nil {
+				ca.err = fmt.Errorf("%w: route response for a connectivity request", wire.ErrFrame)
+				break
+			}
+			ca.err = wire.DecodeRouteResp(payload, ca.routeDst)
+			// The FIFO id check below reads resp.ID for every call shape.
+			ca.resp.ID = ca.routeDst.ID
 		case wire.OpError:
 			id, code, msg, derr := wire.DecodeError(payload)
 			if derr != nil {

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// FatTree returns the switch fabric of a k-ary fat-tree (Clos) data-center
+// topology: (k/2)² core switches, and k pods of k/2 aggregation plus k/2
+// edge switches each. Every edge switch links to every aggregation switch
+// in its pod; aggregation switch j of each pod links to core switches
+// [j·k/2, (j+1)·k/2). The result is deterministic — no randomness — with
+// exact degrees: core and aggregation switches have degree k, edge switches
+// degree k/2. Fault-tolerance-wise it is the opposite regime from the
+// hub-heavy AS graphs: massive path multiplicity, every vertex cut wide.
+//
+// k must be even and ≥ 2; odd k is rounded down. Vertex layout:
+// cores 0..(k/2)²-1, then per pod p its aggregation switches followed by
+// its edge switches.
+func FatTree(k int) *graph.Graph {
+	k &^= 1
+	if k < 2 {
+		return graph.New(0)
+	}
+	half := k / 2
+	cores := half * half
+	g := graph.New(cores + k*k)
+	for p := 0; p < k; p++ {
+		aggBase := cores + p*k
+		edgeBase := aggBase + half
+		for j := 0; j < half; j++ {
+			for i := 0; i < half; i++ {
+				mustAdd(g, aggBase+j, edgeBase+i) // pod bipartite mesh
+				mustAdd(g, j*half+i, aggBase+j)   // core uplinks of agg j
+			}
+		}
+	}
+	return g
+}
+
+// ASGraph returns an AS-like internet topology: preferential-attachment
+// growth (each new AS buys transit from m degree-proportional providers, as
+// in PreferentialAttachment) interleaved with degree-proportional peering —
+// after each arrival, with probability peerProb one extra edge is added
+// between two existing ASes, both chosen proportionally to degree. The
+// peering step thickens the core beyond a pure Barabási–Albert tree-of-hubs
+// while keeping the heavy degree tail, which is the shape that concentrates
+// many non-tree edges in few fragments. Connected by construction for
+// m ≥ 1; all randomness flows through rng.
+func ASGraph(n, m int, peerProb float64, rng *rand.Rand) *graph.Graph {
+	if m < 1 {
+		m = 1
+	}
+	g := graph.New(n)
+	if n == 0 {
+		return g
+	}
+	pool := []int{0}
+	for v := 1; v < n; v++ {
+		providers := map[int]bool{}
+		attempts := 0
+		for len(providers) < m && len(providers) < v && attempts < 50*m {
+			providers[pool[rng.Intn(len(pool))]] = true
+			attempts++
+		}
+		if len(providers) == 0 {
+			providers[v-1] = true
+		}
+		// Sorted order keeps the edge list seed-deterministic (map
+		// iteration order is not).
+		ordered := make([]int, 0, len(providers))
+		for u := range providers {
+			ordered = append(ordered, u)
+		}
+		sort.Ints(ordered)
+		for _, u := range ordered {
+			mustAdd(g, u, v)
+			pool = append(pool, u, v)
+		}
+		if rng.Float64() < peerProb {
+			// Degree-proportional peering between existing ASes.
+			for try := 0; try < 20; try++ {
+				a, b := pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))]
+				if a == b || g.HasEdge(a, b) {
+					continue
+				}
+				mustAdd(g, a, b)
+				pool = append(pool, a, b)
+				break
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestFatTreeShapeAndDegrees(t *testing.T) {
+	const k = 4
+	g := FatTree(k)
+	half := k / 2
+	cores := half * half
+	if want := cores + k*k; g.N() != want {
+		t.Fatalf("N = %d, want %d", g.N(), want)
+	}
+	if want := k * k * k / 2; g.M() != want {
+		t.Fatalf("M = %d, want %d", g.M(), want)
+	}
+	if _, cnt := graph.Components(g, nil); cnt != 1 {
+		t.Fatal("fat-tree should be connected")
+	}
+	// Exact degree distribution: cores and aggs are k-regular, edges k/2.
+	for v := 0; v < cores; v++ {
+		if g.Degree(v) != k {
+			t.Fatalf("core %d degree = %d, want %d", v, g.Degree(v), k)
+		}
+	}
+	for p := 0; p < k; p++ {
+		base := cores + p*k
+		for j := 0; j < half; j++ {
+			if d := g.Degree(base + j); d != k {
+				t.Fatalf("agg %d/%d degree = %d, want %d", p, j, d, k)
+			}
+			if d := g.Degree(base + half + j); d != half {
+				t.Fatalf("edge switch %d/%d degree = %d, want %d", p, j, d, half)
+			}
+		}
+	}
+	// Deterministic: two builds are edge-for-edge identical.
+	h := FatTree(k)
+	for i := range g.Edges {
+		if g.Edges[i] != h.Edges[i] {
+			t.Fatalf("edge %d differs between builds", i)
+		}
+	}
+	// Degenerate sizes do not panic.
+	if FatTree(0).N() != 0 || FatTree(1).N() != 0 {
+		t.Fatal("k < 2 should yield the empty graph")
+	}
+	if g := FatTree(5); g.N() != FatTree(4).N() {
+		t.Fatal("odd k should round down")
+	}
+}
+
+func TestASGraphDegreeTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := ASGraph(400, 2, 0.5, rng)
+	if g.N() != 400 {
+		t.Fatalf("N = %d, want 400", g.N())
+	}
+	if _, cnt := graph.Components(g, nil); cnt != 1 {
+		t.Fatal("AS graph should be connected")
+	}
+	// Simple: no duplicate edges or self-loops.
+	seen := map[[2]int]bool{}
+	for _, e := range g.Edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		if u == v || seen[[2]int{u, v}] {
+			t.Fatalf("non-simple edge (%d,%d)", e.U, e.V)
+		}
+		seen[[2]int{u, v}] = true
+	}
+	// Peering thickens the graph beyond the m(n-1) attachment floor.
+	if g.M() <= 2*(g.N()-1) {
+		t.Fatalf("M = %d, peering added no edges", g.M())
+	}
+	// Heavy tail: the top hub dwarfs the median degree.
+	degs := make([]int, g.N())
+	for v := range degs {
+		degs[v] = g.Degree(v)
+	}
+	sort.Ints(degs)
+	median, max := degs[len(degs)/2], degs[len(degs)-1]
+	if max < 5*median {
+		t.Fatalf("degree tail too flat: max %d, median %d", max, median)
+	}
+}
+
+func TestASGraphDeterministic(t *testing.T) {
+	g1 := ASGraph(120, 2, 0.3, rand.New(rand.NewSource(11)))
+	g2 := ASGraph(120, 2, 0.3, rand.New(rand.NewSource(11)))
+	if g1.M() != g2.M() {
+		t.Fatalf("same seed, different sizes: %d vs %d", g1.M(), g2.M())
+	}
+	for i := range g1.Edges {
+		if g1.Edges[i] != g2.Edges[i] {
+			t.Fatalf("edge %d differs under the same seed", i)
+		}
+	}
+	if g := ASGraph(0, 2, 0.3, rand.New(rand.NewSource(1))); g.N() != 0 {
+		t.Fatal("n=0 should yield the empty graph")
+	}
+	if g := ASGraph(1, 2, 0.3, rand.New(rand.NewSource(1))); g.M() != 0 {
+		t.Fatal("n=1 should have no edges")
+	}
+}
