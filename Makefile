@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench bench-build bench-query bench-serve bench-update bench-load bench-load-full fuzz clean
+.PHONY: build test vet bench bench-build bench-query bench-serve bench-update bench-load bench-load-full chaos fuzz clean
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,15 @@ bench-load:
 # (1M warm ops, 10k requests per protocol cell; minutes, not seconds).
 bench-load-full:
 	$(GO) run ./cmd/ftcbench load -proto both -json
+
+# Chaos drill (E22): seeded fault injection over the full serving tier —
+# conn resets, snapshot failures, a replica kill/restart — with every
+# answer checked against a per-generation oracle and the front's
+# ejection/readmit counters asserted. Two fixed seeds, smoke-sized;
+# writes the chaos sections of BENCH_serve.json.
+chaos:
+	$(GO) run ./cmd/ftcbench chaos -smoke -json -seed=1
+	$(GO) run ./cmd/ftcbench chaos -smoke -json -seed=2
 
 # Short fuzz runs of the label and snapshot codecs (the CI smoke; drop the
 # -fuzztime to explore for real).

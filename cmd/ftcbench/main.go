@@ -26,6 +26,11 @@
 //	ftcbench replicate  — E20: the replicated tier (generation-log shipping
 //	                      to tailing replicas, kill/restart catch-up from
 //	                      the log alone, hedged-front p99 vs a straggler)
+//	ftcbench chaos      — E22: deterministic fault injection over the full
+//	                      tier (conn resets, snapshot failures, a replica
+//	                      kill/restart) with every answer verified against
+//	                      a per-generation oracle; -seed=N picks the
+//	                      schedule, -smoke shrinks it for CI
 //	ftcbench binsmoke   — CI gate: drive a live ftcserve's binary listener
 //	                      (FTCSERVE_HTTP / FTCSERVE_BIN env) with pipelined
 //	                      probes and verify the /metrics counters moved
@@ -123,6 +128,14 @@ func main() {
 			productMode = args[i]
 			continue
 		}
+		if v, ok := strings.CutPrefix(arg, "-seed="); ok {
+			fmt.Sscanf(v, "%d", &chaosSeed)
+			continue
+		}
+		if v, ok := strings.CutPrefix(arg, "--seed="); ok {
+			fmt.Sscanf(v, "%d", &chaosSeed)
+			continue
+		}
 		which = arg
 	}
 	if protoMode != "json" && protoMode != "bin" && protoMode != "both" {
@@ -151,6 +164,7 @@ func main() {
 		"binsmoke":   binSmoke,
 		"frontsmoke": frontSmoke,
 		"replicate":  replicateBench,
+		"chaos":      chaosBench,
 	}
 	if which == "all" {
 		for _, name := range []string{"table1", "labelsize", "query", "construct", "support", "distance", "routing", "congest", "hierarchy", "ablation", "build", "serve", "update", "load"} {
@@ -161,7 +175,7 @@ func main() {
 	}
 	fn, ok := sections[which]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "usage: ftcbench [-json] [-smoke] [-proto json|bin|both] [table1|labelsize|query|construct|support|distance|routing|congest|hierarchy|build|serve|update|load|binsmoke|frontsmoke|replicate|all]\n")
+		fmt.Fprintf(os.Stderr, "usage: ftcbench [-json] [-smoke] [-seed=N] [-proto json|bin|both] [table1|labelsize|query|construct|support|distance|routing|congest|hierarchy|build|serve|update|load|binsmoke|frontsmoke|replicate|chaos|all]\n")
 		os.Exit(2)
 	}
 	fn()

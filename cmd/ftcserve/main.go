@@ -67,6 +67,19 @@
 // checkpoint, and a replica that fell behind the retained window refetches
 // it (CodeGone) and tails from there.
 //
+// Overload protection (DESIGN.md §3.16): -max-inflight caps concurrently
+// served probes across both surfaces — excess HTTP probes get 503 with
+// Retry-After, excess binary frames get a CodeUnavailable error frame,
+// and either way the connection survives for the retry. -max-conn-queue
+// bounds one binary connection's pipelined backlog in bytes. Probe frames
+// may carry a deadline budget; a frame whose budget was already spent
+// queueing is shed instead of served dead. Shed counts appear in /stats
+// and /metrics (ftcserve_requests_shed_total).
+//
+// -failpoints arms the deterministic fault-injection registry
+// (internal/faultinject) inside this daemon — connection resets, fsync
+// latency, torn writes — for chaos drills; never set it in production.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes
 // immediately and in-flight batch probes drain for up to 10 seconds.
 package main
@@ -89,6 +102,7 @@ import (
 	"time"
 
 	ftc "repro"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/graphio"
 	"repro/internal/serve"
@@ -115,7 +129,20 @@ func main() {
 	retainAge := flag.Duration("genlog-retain-age", 0, "compact generation-log records older than this (e.g. 6h; 0 = unbounded; ages run from append, checked on the commit path; with -genlog)")
 	retainMin := flag.Int("genlog-retain-min", 16, "generations kept in the log across a compaction (with -genlog-retain-*)")
 	replicaOf := flag.String("replica-of", "", "tail this primary's generation log (HTTP base URL, e.g. http://host:8337); mutually exclusive with -snapshot/-graph")
+	maxInflight := flag.Int("max-inflight", 0, "admission cap on concurrently served probes across both surfaces; excess is shed with 503/CodeUnavailable (0 = unbounded)")
+	maxConnQueue := flag.Int("max-conn-queue", 0, "per-connection cap in bytes on a binary connection's pipelined backlog; frames over it are shed (0 = unbounded)")
+	failpoints := flag.String("failpoints", "", "arm deterministic failpoints, e.g. 'genlog.fsync=latency:5ms;binserver.conn.read=error-rate:0.01' (chaos testing only; see internal/faultinject)")
+	failpointSeed := flag.Int64("failpoint-seed", 1, "seed for failpoint randomness (with -failpoints)")
 	flag.Parse()
+
+	if *failpoints != "" {
+		reg, err := faultinject.Parse(*failpoints, *failpointSeed)
+		if err != nil {
+			log.Fatalf("ftcserve: -failpoints: %v", err)
+		}
+		faultinject.Arm(reg)
+		log.Printf("FAILPOINTS ARMED (seed %d): %s — this daemon will misbehave on purpose", *failpointSeed, *failpoints)
+	}
 
 	var srv *serve.Server
 	var replicator *serve.Replicator
@@ -182,6 +209,12 @@ func main() {
 				log.Printf("generation log %s: %d records (generations %d..%d)", *genlogPath, st.Records, st.FirstGen, st.LastGen)
 			}
 		}
+	}
+
+	if *maxInflight > 0 || *maxConnQueue > 0 {
+		srv.SetAdmission(*maxInflight, *maxConnQueue)
+		log.Printf("admission gate: max %d in-flight probes, %d bytes of per-connection backlog (0 = unbounded)",
+			*maxInflight, *maxConnQueue)
 	}
 
 	// The profiling listener is deliberately separate from the serving

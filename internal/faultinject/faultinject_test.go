@@ -1,0 +1,157 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseAndPolicies(t *testing.T) {
+	r, err := Parse("a=error-once; b=error-rate:0.5 ;c=latency:1ms;d=torn-write", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.eval("unarmed"); got != nil {
+		t.Fatalf("unarmed point fired: %v", got)
+	}
+	// error-once: exactly one failure.
+	if err := r.eval("a"); err == nil {
+		t.Fatal("error-once did not fire")
+	}
+	for i := 0; i < 10; i++ {
+		if err := r.eval("a"); err != nil {
+			t.Fatalf("error-once fired twice (iteration %d): %v", i, err)
+		}
+	}
+	if r.Fired("a") != 1 {
+		t.Fatalf("Fired(a) = %d, want 1", r.Fired("a"))
+	}
+	// error-rate: roughly half of many evaluations fail.
+	fails := 0
+	for i := 0; i < 1000; i++ {
+		if r.eval("b") != nil {
+			fails++
+		}
+	}
+	if fails < 350 || fails > 650 {
+		t.Fatalf("error-rate:0.5 fired %d/1000", fails)
+	}
+	// latency: sleeps, never errors.
+	start := time.Now()
+	if err := r.eval("c"); err != nil {
+		t.Fatalf("latency returned error: %v", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("latency point did not sleep")
+	}
+	// torn-write: one strict-prefix write failure, then pass-through.
+	allow, err := r.evalWrite("d", 100)
+	if err == nil {
+		t.Fatal("torn-write did not fire")
+	}
+	if allow < 0 || allow >= 100 {
+		t.Fatalf("torn-write allowed %d of 100 bytes", allow)
+	}
+	if allow2, err2 := r.evalWrite("d", 100); err2 != nil || allow2 != 100 {
+		t.Fatalf("torn-write fired twice: allow=%d err=%v", allow2, err2)
+	}
+	var ie *Error
+	if !errors.As(err, &ie) || ie.Point != "d" {
+		t.Fatalf("injected error does not unwrap to *Error: %v", err)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, spec := range []string{
+		"nopolicy",
+		"p=unknown-policy",
+		"p=error-rate",
+		"p=error-rate:2",
+		"p=latency:notaduration",
+		"p=partial-write:x",
+	} {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestDeterministicAcrossRegistries(t *testing.T) {
+	outcomes := func(seed int64) []bool {
+		r, err := Parse("p=error-rate:0.3", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = r.eval("p") != nil
+		}
+		return out
+	}
+	a, b := outcomes(7), outcomes(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at evaluation %d", i)
+		}
+	}
+	c := outcomes(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical outcome streams")
+	}
+}
+
+func TestGlobalArmDisarm(t *testing.T) {
+	defer Disarm()
+	Disarm()
+	if err := Fire("p"); err != nil {
+		t.Fatalf("disarmed Fire returned %v", err)
+	}
+	if allow, err := FailWrite("p", 10); err != nil || allow != 10 {
+		t.Fatalf("disarmed FailWrite = (%d, %v)", allow, err)
+	}
+	r := New(1)
+	if err := r.Set("p", "error"); err != nil {
+		t.Fatal(err)
+	}
+	Arm(r)
+	if err := Fire("p"); err == nil {
+		t.Fatal("armed Fire did not fire")
+	}
+	Disarm()
+	if err := Fire("p"); err != nil {
+		t.Fatalf("re-disarmed Fire returned %v", err)
+	}
+}
+
+func TestWrapWriterTornWrite(t *testing.T) {
+	defer Disarm()
+	r := New(3)
+	if err := r.Set("w", "torn-write"); err != nil {
+		t.Fatal(err)
+	}
+	Arm(r)
+	var buf bytes.Buffer
+	w := WrapWriter("w", &buf)
+	payload := strings.Repeat("x", 64)
+	n, err := w.Write([]byte(payload))
+	if err == nil {
+		t.Fatal("torn write succeeded")
+	}
+	if n != buf.Len() || n >= len(payload) {
+		t.Fatalf("torn write reported %d bytes, buffered %d (payload %d)", n, buf.Len(), len(payload))
+	}
+	// Disarmed wrap returns the writer unchanged.
+	Disarm()
+	if w2 := WrapWriter("w", &buf); w2 != any(&buf) {
+		t.Fatal("disarmed WrapWriter wrapped anyway")
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/serve/wire"
 )
 
@@ -301,10 +303,38 @@ func (s *Server) streamLog(conn net.Conn, bw *bufio.Writer, payload []byte) {
 // binScratchPool recycles per-connection scratch across connection churn.
 var binScratchPool = sync.Pool{New: func() any { return &FrameScratch{} }}
 
+// binReqID extracts the request ID from a probe-like payload without a
+// full decode, so shed responses still correlate FIFO with their request.
+func binReqID(payload []byte) uint64 {
+	if len(payload) >= 8 {
+		return binary.LittleEndian.Uint64(payload)
+	}
+	return 0
+}
+
+// binReqBudgetMS extracts the deadline budget (milliseconds, 0 = none)
+// from a probe-like payload without a full decode, so an already-expired
+// frame is shed before any per-frame work.
+func binReqBudgetMS(op byte, payload []byte) uint32 {
+	switch op {
+	case wire.OpProbe, wire.OpRoute, wire.OpVProbe:
+	default:
+		return 0
+	}
+	if len(payload) < 28 {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(payload[24:28])
+}
+
 // serveBinConn runs one framed connection: handshake, then the frame
 // loop. Responses are flushed when the inbound buffer drains (or every
 // binFlushEvery frames), so pipelined bursts amortize syscalls.
 func (s *Server) serveBinConn(conn net.Conn) {
+	// Failpoints "binserver.conn.read"/".write": injected connection
+	// faults on the server side of the wire, indistinguishable to the
+	// peer from a genuine reset.
+	conn = faultinject.WrapConn("binserver.conn", conn)
 	defer conn.Close()
 	if !s.registerBinConn(conn) {
 		return
@@ -334,12 +364,22 @@ func (s *Server) serveBinConn(conn net.Conn) {
 	sc := binScratchPool.Get().(*FrameScratch)
 	defer binScratchPool.Put(sc)
 	unflushed := 0
+	// lastIdle marks the last instant this connection's inbound buffer was
+	// observed empty: a frame's queueing delay is bounded below by
+	// time.Since(lastIdle), which a deadline budget is checked against. An
+	// idle connection never falsely sheds — blocking in Next with an empty
+	// buffer re-stamps lastIdle when the frame arrives.
+	lastIdle := time.Now()
 	for {
 		if s.binIsDraining() {
 			_ = bw.Flush()
 			return
 		}
+		idle := rd.Buffered() == 0
 		op, payload, err := rd.Next()
+		if idle {
+			lastIdle = time.Now()
+		}
 		if err != nil {
 			// EOF, peer reset, or a deadline poke from ShutdownBin: flush
 			// whatever was answered and drop the connection. Framing errors
@@ -358,8 +398,36 @@ func (s *Server) serveBinConn(conn net.Conn) {
 			s.streamLog(conn, bw, payload)
 			return
 		}
-		s.binInflight.Add(1)
-		resp, fatal := s.HandleFrame(sc, op, payload)
+		inflight := s.binInflight.Add(1)
+		var resp []byte
+		var fatal bool
+		// Admission gate: shed (never queue unboundedly) when the server
+		// is over its in-flight cap, when this connection's pipelined
+		// backlog exceeds its byte bound, or when the frame's deadline
+		// budget was already spent queueing. Shed responses keep FIFO
+		// order and the connection stays up — the client retries elsewhere.
+		if max := s.admitMax.Load(); max > 0 && inflight+s.httpInflight.Load() > max {
+			s.shedBin.Add(1)
+			sc.resp = wire.AppendError(sc.resp[:0], binReqID(payload), wire.CodeUnavailable, "overloaded: probe shed, retry later")
+			resp = sc.resp
+		} else if qmax := s.connQueueMax.Load(); qmax > 0 && int64(rd.Buffered()) > qmax {
+			s.shedBin.Add(1)
+			sc.resp = wire.AppendError(sc.resp[:0], binReqID(payload), wire.CodeUnavailable, "connection queue over limit: probe shed")
+			resp = sc.resp
+		} else if b := binReqBudgetMS(op, payload); b > 0 && time.Since(lastIdle) > time.Duration(b)*time.Millisecond {
+			s.shedDeadline.Add(1)
+			sc.resp = wire.AppendError(sc.resp[:0], binReqID(payload), wire.CodeUnavailable, "deadline budget exhausted before service")
+			resp = sc.resp
+		} else if ferr := faultinject.Fire("binserver.handle"); ferr != nil {
+			// Failpoint "binserver.handle": a slow or failing server —
+			// latency here holds the admission slot and queues the
+			// pipeline, which is how deadline/overload tests make
+			// shedding deterministic.
+			sc.resp = wire.AppendError(sc.resp[:0], binReqID(payload), wire.CodeInternal, ferr.Error())
+			resp = sc.resp
+		} else {
+			resp, fatal = s.HandleFrame(sc, op, payload)
+		}
 		_, werr := bw.Write(resp)
 		s.binInflight.Add(-1)
 		if werr != nil || fatal {

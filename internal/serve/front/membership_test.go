@@ -1,0 +1,435 @@
+package front_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve/front"
+	"repro/internal/serve/wire"
+	"repro/internal/serve/wireclient"
+)
+
+// flakyProxy fronts one backend with a kill switch: while down, new
+// connections are reset on accept and live ones are severed — the
+// transport signature of a crashed replica. The listener itself stays up,
+// so the same address serves both the outage and the recovery.
+type flakyProxy struct {
+	backend string
+	ln      net.Listener
+	mu      sync.Mutex
+	down    bool
+	conns   map[net.Conn]struct{}
+}
+
+func newFlakyProxy(t *testing.T, backend string) *flakyProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("proxy listen: %v", err)
+	}
+	p := &flakyProxy{backend: backend, ln: ln, conns: make(map[net.Conn]struct{})}
+	t.Cleanup(func() { ln.Close(); p.setDown(true) })
+	go p.loop()
+	return p
+}
+
+func (p *flakyProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *flakyProxy) loop() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.down {
+			p.mu.Unlock()
+			c.Close()
+			continue
+		}
+		up, err := net.Dial("tcp", p.backend)
+		if err != nil {
+			p.mu.Unlock()
+			c.Close()
+			continue
+		}
+		p.conns[c] = struct{}{}
+		p.conns[up] = struct{}{}
+		p.mu.Unlock()
+		go func() { io.Copy(up, c); up.Close(); c.Close() }()
+		go func() { io.Copy(c, up); c.Close(); up.Close() }()
+	}
+}
+
+func (p *flakyProxy) setDown(down bool) {
+	p.mu.Lock()
+	p.down = down
+	if down {
+		for c := range p.conns {
+			c.Close()
+		}
+		p.conns = make(map[net.Conn]struct{})
+	}
+	p.mu.Unlock()
+}
+
+// TestAllEjectedFailsFastThenReadmits kills every backend, waits for the
+// breaker to eject them, and asserts (a) probes fail immediately with
+// ErrNoBackends instead of hanging on hedge timers, and (b) after the
+// backends come back, probation probes readmit them and the SAME Front —
+// no redial — serves again.
+func TestAllEjectedFailsFastThenReadmits(t *testing.T) {
+	sch := staticScheme(t)
+	a1, _ := startBinServer(t, sch)
+	a2, _ := startBinServer(t, sch)
+	p1, p2 := newFlakyProxy(t, a1), newFlakyProxy(t, a2)
+
+	f, err := front.Dial([]string{p1.addr(), p2.addr()}, front.Options{
+		NoHedge:       true,
+		FailThreshold: 1,
+		Probation:     300 * time.Millisecond,
+		ReconnectBase: 5 * time.Millisecond,
+		ReconnectMax:  40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	pairs := [][2]int{{0, 5}}
+	if _, _, err := f.ConnectedBatch(nil, pairs); err != nil {
+		t.Fatalf("warm probe: %v", err)
+	}
+
+	p1.setDown(true)
+	p2.setDown(true)
+	// Drive the breaker: with FailThreshold 1, one failing probe chain
+	// ejects every backend it touches.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, _, err := f.ConnectedBatch(nil, pairs)
+		if err == nil {
+			if time.Now().After(deadline) {
+				t.Fatal("probes kept succeeding after both backends died")
+			}
+			continue
+		}
+		if errors.Is(err, front.ErrNoBackends) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached ErrNoBackends; last err: %v", err)
+		}
+	}
+	if st := f.Stats(); st.Ejections < 2 {
+		t.Fatalf("ejections = %d, want >= 2", st.Ejections)
+	}
+	// Fail-fast: with everything ejected and inside probation, a probe
+	// must return without waiting on hedge or reconnect timers.
+	start := time.Now()
+	if _, _, err := f.ConnectedBatch(nil, pairs); !errors.Is(err, front.ErrNoBackends) {
+		t.Fatalf("all-ejected probe: %v, want ErrNoBackends", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("all-ejected probe took %v, want immediate", d)
+	}
+	for _, b := range f.Backends() {
+		if b.State != "ejected" {
+			t.Fatalf("backend %s state %q, want ejected", b.Addr, b.State)
+		}
+	}
+
+	// Recovery: same Front, no redial. Probation expires, a probe lands
+	// on a revived backend, and markAlive readmits it.
+	p1.setDown(false)
+	p2.setDown(false)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if _, _, err := f.ConnectedBatch(nil, pairs); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("probes never recovered after backends came back")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := f.Stats(); st.Readmits < 1 {
+		t.Fatalf("readmits = %d, want >= 1", st.Readmits)
+	}
+}
+
+// TestMembershipChurnRace hammers the front from several goroutines while
+// one backend flaps, exercising the breaker state machine, candidate
+// selection, and failover concurrently (run under -race in CI).
+func TestMembershipChurnRace(t *testing.T) {
+	sch := staticScheme(t)
+	a1, _ := startBinServer(t, sch)
+	a2, _ := startBinServer(t, sch)
+	p1 := newFlakyProxy(t, a1)
+
+	f, err := front.Dial([]string{p1.addr(), a2}, front.Options{
+		NoHedge:       true,
+		FailThreshold: 2,
+		Probation:     20 * time.Millisecond,
+		ReconnectBase: 2 * time.Millisecond,
+		ReconnectMax:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	stop := make(chan struct{})
+	var flapWG sync.WaitGroup
+	flapWG.Add(1)
+	go func() {
+		defer flapWG.Done()
+		down := false
+		for {
+			select {
+			case <-stop:
+				p1.setDown(false)
+				return
+			case <-time.After(15 * time.Millisecond):
+				down = !down
+				p1.setDown(down)
+			}
+		}
+	}()
+
+	var wrong atomic.Uint64
+	var probeWG sync.WaitGroup
+	pairs := [][2]int{{0, 5}, {1, 7}}
+	want, _, err := f.ConnectedBatch(nil, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 4; g++ {
+		probeWG.Add(1)
+		go func() {
+			defer probeWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, _, err := f.ConnectedBatch(nil, pairs)
+				if err != nil {
+					continue // errors are fine under churn; wrong answers are not
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						wrong.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	probeWG.Wait()
+	flapWG.Wait()
+	if n := wrong.Load(); n != 0 {
+		t.Fatalf("%d wrong answers under churn", n)
+	}
+}
+
+// TestRequestBudgetExceeded pins the fleet behind a slow proxy and a tight
+// end-to-end budget: the probe must fail with ErrBudgetExceeded at the
+// budget, not hang for the backend's latency.
+func TestRequestBudgetExceeded(t *testing.T) {
+	sch := staticScheme(t)
+	a1, _ := startBinServer(t, sch)
+	slow := slowProxy(t, a1, 300*time.Millisecond)
+
+	f, err := front.Dial([]string{slow}, front.Options{
+		NoHedge:       true,
+		RequestBudget: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	start := time.Now()
+	_, _, err = f.ConnectedBatch(nil, [][2]int{{0, 5}})
+	if !errors.Is(err, front.ErrBudgetExceeded) {
+		t.Fatalf("probe err = %v, want ErrBudgetExceeded", err)
+	}
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Fatalf("budgeted probe took %v, want ~50ms", d)
+	}
+	if st := f.Stats(); st.BudgetExceeded != 1 {
+		t.Fatalf("BudgetExceeded = %d, want 1", st.BudgetExceeded)
+	}
+}
+
+// unavailServer speaks just enough of the wire protocol to shed: it
+// completes the handshake, then answers every request frame with
+// CodeUnavailable, counting the requests it saw.
+func unavailServer(t *testing.T) (addr string, served *atomic.Uint64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	served = new(atomic.Uint64)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				hello := make([]byte, wire.ClientHelloLen)
+				if _, err := io.ReadFull(c, hello); err != nil {
+					return
+				}
+				if _, err := c.Write(wire.AppendServerHello(nil, 1)); err != nil {
+					return
+				}
+				rd := wire.NewReader(bufio.NewReader(c))
+				var resp []byte
+				for {
+					_, payload, err := rd.Next()
+					if err != nil {
+						return
+					}
+					served.Add(1)
+					var id uint64
+					if len(payload) >= 8 {
+						for i := 7; i >= 0; i-- {
+							id = id<<8 | uint64(payload[i])
+						}
+					}
+					resp = wire.AppendError(resp[:0], id, wire.CodeUnavailable, "shedding")
+					if _, err := c.Write(resp); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), served
+}
+
+// TestUnavailableRetriesOnceThenSurfaces asserts the shed-retry policy:
+// a CodeUnavailable answer is retried on exactly one other backend, and a
+// second shed is surfaced to the caller (no retry storm) with the backends
+// still counted alive — shedding is overload, not death.
+func TestUnavailableRetriesOnceThenSurfaces(t *testing.T) {
+	a1, n1 := unavailServer(t)
+	a2, n2 := unavailServer(t)
+	f, err := front.Dial([]string{a1, a2}, front.Options{NoHedge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	_, _, err = f.ConnectedBatch(nil, [][2]int{{0, 1}})
+	if err == nil {
+		t.Fatal("probe against shedding fleet succeeded")
+	}
+	var se *wireclient.ServerError
+	if !errors.As(err, &se) || se.Code != wire.CodeUnavailable {
+		t.Fatalf("probe err = %v, want CodeUnavailable ServerError", err)
+	}
+	if got := n1.Load() + n2.Load(); got != 2 {
+		t.Fatalf("fleet saw %d requests, want exactly 2 (original + single retry)", got)
+	}
+	st := f.Stats()
+	if st.Unavailable != 2 {
+		t.Fatalf("Unavailable = %d, want 2", st.Unavailable)
+	}
+	if st.Ejections != 0 {
+		t.Fatalf("Ejections = %d after sheds, want 0 (shedding servers are alive)", st.Ejections)
+	}
+	for _, b := range f.Backends() {
+		if b.State != "healthy" {
+			t.Fatalf("backend %s state %q after sheds, want healthy", b.Addr, b.State)
+		}
+	}
+}
+
+// TestHealthPollEjectsCatchingUpAndReadmits runs the active membership
+// path: a backend whose /healthz answers 503 catching_up is ejected by
+// the poll loop (probes never route to it), then readmitted — including
+// its lag view — once the health check flips to 200.
+func TestHealthPollEjectsCatchingUpAndReadmits(t *testing.T) {
+	sch := staticScheme(t)
+	a1, _ := startBinServer(t, sch)
+	a2, _ := startBinServer(t, sch)
+
+	var catching atomic.Bool
+	catching.Store(true)
+	mkHealth := func(catchingUp *atomic.Bool) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			body := map[string]any{"status": "ok"}
+			code := http.StatusOK
+			if catchingUp != nil && catchingUp.Load() {
+				body["catching_up"] = true
+				body["replica_lag_generations"] = 7
+				code = http.StatusServiceUnavailable
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			json.NewEncoder(w).Encode(body)
+		}))
+	}
+	h1 := mkHealth(nil)
+	h2 := mkHealth(&catching)
+	t.Cleanup(h1.Close)
+	t.Cleanup(h2.Close)
+
+	f, err := front.Dial([]string{a1, a2}, front.Options{
+		NoHedge:        true,
+		FailThreshold:  2,
+		Probation:      50 * time.Millisecond,
+		HealthURLs:     []string{h1.URL, h2.URL},
+		HealthInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	waitFor := func(desc string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s; backends: %+v", desc, f.Backends())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitFor("catching-up backend ejected", func() bool {
+		b := f.Backends()[1]
+		return b.State == "ejected" && b.CatchingUp
+	})
+	// Probes keep working off the healthy backend the whole time.
+	if _, _, err := f.ConnectedBatch(nil, [][2]int{{0, 5}}); err != nil {
+		t.Fatalf("probe during ejection: %v", err)
+	}
+
+	catching.Store(false)
+	waitFor("backend readmitted after catch-up", func() bool {
+		return f.Backends()[1].State == "healthy"
+	})
+	st := f.Stats()
+	if st.Ejections < 1 || st.Readmits < 1 {
+		t.Fatalf("ejections=%d readmits=%d, want both >= 1", st.Ejections, st.Readmits)
+	}
+}

@@ -90,6 +90,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 )
 
 // Version is the log format version, bumped on any layout change.
@@ -401,7 +402,21 @@ func (l *Log) Append(d *core.GenDelta) (Record, error) {
 	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
 	copy(buf[recHeaderLen:], payload)
+	// Failpoint "genlog.append": a torn-write policy writes a strict
+	// prefix of the record and fails — the crash-shaped injection whose
+	// on-disk tail Open's scan must truncate away.
+	if allow, ferr := faultinject.FailWrite("genlog.append", len(buf)); ferr != nil {
+		if allow > 0 {
+			_, _ = l.f.Write(buf[:allow])
+		}
+		return Record{}, ferr
+	}
 	if _, err := l.f.Write(buf); err != nil {
+		return Record{}, err
+	}
+	// Failpoint "genlog.fsync": error injection fails the append after the
+	// bytes are written; latency injection models a slow disk.
+	if err := faultinject.Fire("genlog.fsync"); err != nil {
 		return Record{}, err
 	}
 	if err := l.f.Sync(); err != nil {
@@ -586,6 +601,12 @@ func (l *Log) Compact(throughGen, ckptGen uint64, save func(io.Writer) error) (C
 	if cut == len(l.records) {
 		return CompactResult{}, fmt.Errorf("%w: compaction through %d would drop the entire window",
 			ErrCompact, throughGen)
+	}
+	// Failpoint "genlog.compact": fail the compaction before the
+	// checkpoint is cut — retention re-trips on the next commit, which is
+	// the recovery path the chaos harness exercises.
+	if err := faultinject.Fire("genlog.compact"); err != nil {
+		return CompactResult{}, err
 	}
 	if err := l.writeCheckpoint(ckptGen, save); err != nil {
 		return CompactResult{}, fmt.Errorf("genlog: checkpoint: %w", err)

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/workload"
 )
 
@@ -363,5 +364,54 @@ func TestOversizedDeltaDemoted(t *testing.T) {
 	d, err := DecodeDelta(rec.Payload)
 	if err != nil || !d.Full || d.Gen != 2 || d.Token != 42 {
 		t.Fatalf("demoted record = %+v, %v; want full marker at gen 2", d, err)
+	}
+}
+
+// TestTornWriteFailpointRecovers injects a torn write through the
+// "genlog.append" failpoint — a strict prefix of the record lands on disk
+// and Append fails — then asserts Open truncates the torn tail and the
+// log accepts the same delta again: the crash-recovery path under fault
+// injection matches the hand-corrupted fixtures above.
+func TestTornWriteFailpointRecovers(t *testing.T) {
+	defer faultinject.Disarm()
+	_, deltas := buildGoldenRun(t)
+	path := filepath.Join(t.TempDir(), "gen.log")
+	l := writeLog(t, path, deltas[:2])
+
+	r := faultinject.New(11)
+	if err := r.Set("genlog.append", "torn-write"); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(r)
+	if _, err := l.Append(deltas[2]); err == nil {
+		t.Fatal("append under torn-write failpoint succeeded")
+	}
+	faultinject.Disarm()
+	l.Close()
+
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen after torn write: %v", err)
+	}
+	defer reopened.Close()
+	if reopened.Len() != 2 {
+		t.Fatalf("%d records survive torn write, want 2", reopened.Len())
+	}
+	st2, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Size() >= st.Size() {
+		t.Fatalf("torn tail not truncated: %d -> %d bytes", st.Size(), st2.Size())
+	}
+	if _, err := reopened.Append(deltas[2]); err != nil {
+		t.Fatalf("re-append after recovery: %v", err)
+	}
+	if _, last := reopened.Bounds(); last != deltas[2].Gen {
+		t.Fatalf("last gen %d after re-append, want %d", last, deltas[2].Gen)
 	}
 }

@@ -53,6 +53,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("cache_evicted_by_update_total", "Cache entries evicted by update sweeps.", st.CacheEvicted)
 	counter("cache_rebased_by_update_total", "Cache entries rebased across generations by update sweeps.", st.CacheRebased)
 	counter("cache_evictions_total", "Cache entries displaced by capacity pressure (LRU evictions).", st.CacheCapEvict)
+	// Shed counters carry a surface label so one dashboard panel shows
+	// where overload pressure lands: the HTTP admission gate, the binary
+	// admission/queue gates, or the per-frame deadline budget.
+	fmt.Fprintf(&b, "# HELP %s_requests_shed_total Requests shed by overload protection, by surface.\n# TYPE %s_requests_shed_total counter\n",
+		metricsNamespace, metricsNamespace)
+	fmt.Fprintf(&b, "%s_requests_shed_total{surface=\"http\"} %d\n", metricsNamespace, st.ShedHTTP)
+	fmt.Fprintf(&b, "%s_requests_shed_total{surface=\"bin\"} %d\n", metricsNamespace, st.ShedBin)
+	fmt.Fprintf(&b, "%s_requests_shed_total{surface=\"deadline\"} %d\n", metricsNamespace, st.ShedDeadline)
 	gauge("generation", "Current scheme generation.", float64(st.Generation))
 	gauge("bin_connections", "Open binary-protocol connections.", float64(st.BinConns))
 	gauge("bin_inflight_batches", "Binary-protocol frames currently being served.", float64(st.BinInflight))

@@ -148,6 +148,10 @@ var routeScratchPool = sync.Pool{New: func() any { return &routeScratch{} }}
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if !s.admitHTTP(w) {
+		return
+	}
+	defer s.releaseHTTP()
 	sc := routeScratchPool.Get().(*routeScratch)
 	defer routeScratchPool.Put(sc)
 	sc.req.Faults = sc.req.Faults[:0]
@@ -291,6 +295,10 @@ var vprobeScratchPool = sync.Pool{New: func() any {
 
 func (s *Server) handleVConnected(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if !s.admitHTTP(w) {
+		return
+	}
+	defer s.releaseHTTP()
 	sc := vprobeScratchPool.Get().(*vprobeScratch)
 	defer vprobeScratchPool.Put(sc)
 	sc.req.FaultVertices = sc.req.FaultVertices[:0]

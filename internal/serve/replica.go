@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/serve/genlog"
 	"repro/internal/serve/wire"
@@ -144,6 +145,13 @@ type Replicator struct {
 	// and replay failures).
 	needSnapshot atomic.Bool
 
+	// caughtUp latches true the first time a live tail session observes
+	// zero generation lag after a bootstrap (or refetch). Until then the
+	// replica's /healthz answers 503 with catching_up set: a freshly
+	// loaded snapshot may be a stale checkpoint, so loading it is not yet
+	// proof of being servable at the primary's head.
+	caughtUp atomic.Bool
+
 	state          atomic.Pointer[string]
 	sourceGen      atomic.Uint64
 	bytesReceived  atomic.Uint64
@@ -197,6 +205,7 @@ func (r *Replicator) Status() ReplicaStatus {
 		BytesApplied:   r.bytesApplied.Load(),
 		RecordsApplied: r.recordsApplied.Load(),
 		SnapshotLoads:  r.snapshotLoads.Load(),
+		CatchingUp:     !r.caughtUp.Load(),
 	}
 }
 
@@ -343,7 +352,7 @@ func (r *Replicator) tailOnce(stop chan struct{}) (applied int, err error) {
 			return 0, fmt.Errorf("%w: %v", errSnapshotNeeded, err)
 		}
 	}
-	addr, err := r.resolveBinAddr()
+	addr, err := r.resolveBinAddrRetry(stop)
 	if err != nil {
 		return 0, err
 	}
@@ -375,7 +384,7 @@ func (r *Replicator) tailOnce(stop chan struct{}) (applied int, err error) {
 		return 0, err
 	}
 	r.setState("syncing")
-	r.refreshState()
+	r.refreshState(true)
 
 	rd := wire.NewReader(br)
 	// Log records can exceed probe frames; accept anything the log itself
@@ -401,7 +410,7 @@ func (r *Replicator) tailOnce(stop chan struct{}) (applied int, err error) {
 			applied++
 			r.bytesApplied.Add(uint64(len(payload)))
 			r.recordsApplied.Add(1)
-			r.refreshState()
+			r.refreshState(true)
 		case wire.OpError:
 			_, code, msg, derr := wire.DecodeError(payload)
 			if derr != nil {
@@ -454,10 +463,16 @@ func (r *Replicator) applyRecord(payload []byte) error {
 }
 
 // refreshState flips the health state to "ok" once the local generation
-// has reached every generation observed from the primary.
-func (r *Replicator) refreshState() {
+// has reached every generation observed from the primary. fromTail marks
+// a live tail session: only then does zero lag latch caughtUp (clearing
+// /healthz's catching_up 503) — bootstrap alone proves a snapshot loaded,
+// not that the replica has served the primary's head.
+func (r *Replicator) refreshState(fromTail bool) {
 	if r.cur.Load().Generation() >= r.sourceGen.Load() {
 		r.setState("ok")
+		if fromTail {
+			r.caughtUp.Store(true)
+		}
 	} else {
 		r.setState("syncing")
 	}
@@ -477,7 +492,10 @@ func (r *Replicator) bootstrap() error {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("GET /snapshot: %s: %s", resp.Status, body)
 	}
-	data, err := io.ReadAll(resp.Body)
+	// Failpoint "replica.snapshot": the receive side of the bootstrap
+	// stream — a mid-body failure here must reject the snapshot, never
+	// load a truncated one.
+	data, err := io.ReadAll(faultinject.WrapReader("replica.snapshot", resp.Body))
 	if err != nil {
 		return fmt.Errorf("GET /snapshot: %w", err)
 	}
@@ -496,8 +514,38 @@ func (r *Replicator) bootstrap() error {
 	r.bytesApplied.Add(uint64(len(data)))
 	r.observeSource(s.Generation())
 	r.needSnapshot.Store(false)
-	r.refreshState()
+	r.caughtUp.Store(false)
+	r.refreshState(false)
 	return nil
+}
+
+// resolveBinAddrRetry wraps resolveBinAddr with a few jittered retries on
+// the snapshot-refetch backoff clock: at replica start the primary's
+// /healthz can be briefly down (process restarting, listener racing the
+// HTTP server), and failing the whole tail session for that would double
+// the outer redial clock for a hiccup that clears in milliseconds.
+func (r *Replicator) resolveBinAddrRetry(stop chan struct{}) (string, error) {
+	backoff := r.opts.SnapRefetchBase
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		if attempt > 0 {
+			sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+			select {
+			case <-stop:
+				return "", lastErr
+			case <-time.After(sleep):
+			}
+			if backoff *= 2; backoff > r.opts.SnapRefetchMax {
+				backoff = r.opts.SnapRefetchMax
+			}
+		}
+		addr, err := r.resolveBinAddr()
+		if err == nil {
+			return addr, nil
+		}
+		lastErr = err
+	}
+	return "", lastErr
 }
 
 // resolveBinAddr asks the primary's /healthz for its binary-listener

@@ -401,3 +401,74 @@ func waitHealthzStatus(t *testing.T, base, want string) {
 	}
 	t.Fatalf("/healthz status stuck at %q, want %q", last, want)
 }
+
+// TestReplicaHealthzCatchingUp checks the load-balancer contract from
+// §3.16: a replica answers /healthz with 503 and catching_up=true from
+// construction until its first full catch-up over the tail, and 200 with
+// catching_up=false after — so fronts never route to a replica that has
+// yet to converge once.
+func TestReplicaHealthzCatchingUp(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	p := startPrimary(t, workload.ErdosRenyi(60, 8.0/60, true, rng), 2)
+	rep := replicaFor(t, p)
+	rts := httptest.NewServer(rep.Server().Handler())
+	defer rts.Close()
+
+	// Not yet started: never caught up, so shed health checks.
+	resp, err := http.Get(rts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h serve.Healthz
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unstarted replica /healthz status = %d, want 503", resp.StatusCode)
+	}
+	if !h.CatchingUp {
+		t.Fatal("unstarted replica /healthz catching_up = false, want true")
+	}
+
+	if err := rep.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, p, rep)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(rts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h serve.Healthz
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && !h.CatchingUp {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("caught-up replica /healthz stuck at %d catching_up=%v, want 200/false",
+				resp.StatusCode, h.CatchingUp)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The latch is one-way: a replica that has converged once keeps
+	// answering 200 even while temporarily behind the primary.
+	rep.Stop()
+	p.drift(t, rand.New(rand.NewSource(42)), 3)
+	resp, err = http.Get(rts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h = serve.Healthz{} // catching_up is omitempty: clear the stale true
+	json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || h.CatchingUp {
+		t.Fatalf("lagging-but-converged replica /healthz = %d catching_up=%v, want 200/false",
+			resp.StatusCode, h.CatchingUp)
+	}
+}

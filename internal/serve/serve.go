@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/serve/genlog"
 	"repro/internal/serve/products"
@@ -99,6 +100,11 @@ type ReplicaStatus struct {
 	// log alone.
 	RecordsApplied uint64 `json:"records_applied"`
 	SnapshotLoads  uint64 `json:"snapshot_loads"`
+	// CatchingUp is true from bootstrap (or a snapshot refetch) until the
+	// replica first reaches zero generation lag. /healthz reports 503
+	// while it is set, so fronts and load balancers never route to a
+	// replica that has not yet served the primary's head once.
+	CatchingUp bool `json:"catching_up"`
 }
 
 // LagGenerations is the replication lag in generations.
@@ -166,6 +172,19 @@ type Server struct {
 	binMu       sync.Mutex
 	binOpen     map[net.Conn]struct{}
 	binDraining bool
+
+	// Overload protection (DESIGN.md §3.16): when admitMax > 0 the probe
+	// surfaces admit at most that many concurrent batches across HTTP and
+	// binary connections combined; excess requests are shed immediately
+	// (HTTP 503 + Retry-After, wire CodeUnavailable) instead of queueing
+	// without bound. connQueueMax bounds the bytes a single pipelined
+	// binary connection may hold buffered awaiting service.
+	admitMax     atomic.Int64
+	connQueueMax atomic.Int64
+	httpInflight atomic.Int64
+	shedHTTP     atomic.Uint64
+	shedBin      atomic.Uint64
+	shedDeadline atomic.Uint64
 }
 
 // New returns a server over the static scheme sch with a sharded LRU
@@ -261,6 +280,34 @@ func (s *Server) maybeCompactGenLogLocked() {
 			through, res.Dropped, res.Retained, res.BytesReclaimed, res.CheckpointGen)
 	}
 }
+
+// SetAdmission installs the overload-protection bounds: maxInflight caps
+// concurrently admitted probe batches across the HTTP and binary surfaces
+// combined (0 disables the gate), and maxConnQueue caps the bytes one
+// pipelined binary connection may hold buffered awaiting service (0
+// disables; frames beyond the cap are shed with CodeUnavailable, the
+// connection stays up). Callable at any time, including while serving.
+func (s *Server) SetAdmission(maxInflight, maxConnQueue int) {
+	s.admitMax.Store(int64(maxInflight))
+	s.connQueueMax.Store(int64(maxConnQueue))
+}
+
+// admitHTTP reserves an admission slot for one HTTP probe batch, shedding
+// with 503 + Retry-After when the server is over its in-flight cap. The
+// caller must releaseHTTP after answering iff admitHTTP returned true.
+func (s *Server) admitHTTP(w http.ResponseWriter) bool {
+	inflight := s.httpInflight.Add(1)
+	if max := s.admitMax.Load(); max > 0 && inflight+s.binInflight.Load() > max {
+		s.httpInflight.Add(-1)
+		s.shedHTTP.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "overloaded: probe shed, retry later"})
+		return false
+	}
+	return true
+}
+
+func (s *Server) releaseHTTP() { s.httpInflight.Add(-1) }
 
 // SetBinAddr advertises the binary listener's address in /healthz, so a
 // replica pointed at the HTTP address alone can discover where to tail the
@@ -485,7 +532,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/octet-stream")
 			w.Header().Set("Content-Length", fmt.Sprint(info.Payload))
 			w.Header().Set("X-Ftc-Generation", fmt.Sprint(info.Gen))
-			if _, err := io.Copy(w, r); err != nil {
+			if _, err := io.Copy(faultinject.WrapWriter("snapshot.stream", w), r); err != nil {
 				s.abortSnapshotStream(w, info.Gen, err)
 			}
 			return
@@ -502,7 +549,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Ftc-Generation", fmt.Sprint(sch.Generation()))
-	if err := sv.Save(w); err != nil {
+	if err := sv.Save(faultinject.WrapWriter("snapshot.stream", w)); err != nil {
 		s.abortSnapshotStream(w, sch.Generation(), err)
 	}
 }
@@ -548,6 +595,16 @@ var probeScratchPool = sync.Pool{New: func() any {
 
 func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if !s.admitHTTP(w) {
+		return
+	}
+	defer s.releaseHTTP()
+	// Failpoint "serve.probe": slow (or fail) the admitted probe while it
+	// holds its admission slot — how overload tests occupy the gate.
+	if err := faultinject.Fire("serve.probe"); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
 	sc := probeScratchPool.Get().(*probeScratch)
 	defer probeScratchPool.Put(sc)
 	sc.req.Faults = sc.req.Faults[:0]
@@ -727,6 +784,12 @@ type Healthz struct {
 	LogRecords  int            `json:"log_records,omitempty"`
 	LogCkptGen  uint64         `json:"log_checkpoint_generation,omitempty"`
 	Replication *ReplicaStatus `json:"replication,omitempty"`
+	// CatchingUp mirrors Replication.CatchingUp at the top level; when
+	// set the handler answers 503 so "healthy" == "HTTP 200" for fronts.
+	CatchingUp bool `json:"catching_up,omitempty"`
+	// ReplicaLagGenerations surfaces the replication lag where fronts
+	// already look, so lag-weighted routing needs no second request.
+	ReplicaLagGenerations uint64 `json:"replica_lag_generations,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -750,15 +813,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		h.LogRecords = lst.Records
 		h.LogCkptGen = lst.CheckpointGen
 	}
+	status := http.StatusOK
 	if fnp := s.replicaStatus.Load(); fnp != nil {
 		h.Role = "replica"
 		rs := (*fnp)()
 		h.Replication = &rs
+		h.ReplicaLagGenerations = rs.LagGenerations()
 		if rs.State != "ok" {
 			h.Status = "syncing"
 		}
+		// A replica that has never reached the primary's head is not
+		// servable: report 503 until the first full catch-up, so a
+		// front's health probe (or a load balancer's) excludes it
+		// without parsing the body.
+		if rs.CatchingUp {
+			h.CatchingUp = true
+			status = http.StatusServiceUnavailable
+		}
 	}
-	writeJSON(w, http.StatusOK, h)
+	writeJSON(w, status, h)
 }
 
 // Stats is the GET /stats payload. CacheShards breaks the aggregate cache
@@ -780,6 +853,9 @@ type Stats struct {
 	LogReclaimed  uint64       `json:"genlog_bytes_reclaimed,omitempty"`
 	LogCkptGen    uint64       `json:"genlog_checkpoint_generation,omitempty"`
 	SnapFailures  uint64       `json:"snapshot_stream_failures"`
+	ShedHTTP      uint64       `json:"requests_shed_http"`
+	ShedBin       uint64       `json:"requests_shed_bin"`
+	ShedDeadline  uint64       `json:"requests_shed_deadline"`
 	Generation    uint64       `json:"generation"`
 	CacheHits     uint64       `json:"cache_hits"`
 	CacheMisses   uint64       `json:"cache_misses"`
@@ -824,6 +900,9 @@ func (s *Server) Stats() Stats {
 		Commits:       s.commits.Load(),
 		LogAppended:   s.logAppended.Load(),
 		SnapFailures:  s.snapFailures.Load(),
+		ShedHTTP:      s.shedHTTP.Load(),
+		ShedBin:       s.shedBin.Load(),
+		ShedDeadline:  s.shedDeadline.Load(),
 		Generation:    s.view().Generation(),
 		CacheHits:     hits,
 		CacheMisses:   misses,

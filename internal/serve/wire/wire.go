@@ -38,8 +38,14 @@
 //
 //	OpProbe payload:
 //	  u64 id | u64 generation pin (0 = none) | u32 nFaults | u32 nPairs
+//	  u32 deadline budget in ms (0 = none)
 //	  nFaults × u32 fault edge index (strictly ascending)
 //	  nPairs  × (u32 s, u32 t)
+//
+//	The deadline budget is the requester's remaining end-to-end budget at
+//	send time; a server that cannot start serving the frame within it
+//	answers OpError CodeUnavailable instead of holding the request in a
+//	queue past its usefulness (DESIGN.md §3.16).
 //
 //	OpProbeResp payload:
 //	  u64 id | u8 flags (bit0 = cache hit) | u64 generation
@@ -94,8 +100,9 @@ import (
 )
 
 // Version is the protocol version exchanged in the hello. Bump on any
-// frame-layout change.
-const Version = 1
+// frame-layout change. Version 2 added the u32 deadline-budget field to
+// the probe-layout request frames.
+const Version = 2
 
 // magic opens both hello messages.
 var magic = [4]byte{'F', 'T', 'C', 'W'}
@@ -122,6 +129,7 @@ const (
 	CodeGone          uint16 = 410 // genlog no longer covers the requested gen
 	CodeUnprocessable uint16 = 422 // invalid fault set (budget, range)
 	CodeInternal      uint16 = 500
+	CodeUnavailable   uint16 = 503 // overload shed / deadline budget exhausted
 )
 
 // MaxFrameBytes bounds one frame's payload, mirroring the HTTP handler's
@@ -133,8 +141,8 @@ const MaxFrameBytes = 1 << 20
 const frameHeaderLen = 5
 
 // probeFixedLen is the fixed part of an OpProbe payload: id, generation
-// pin, and the two counts.
-const probeFixedLen = 8 + 8 + 4 + 4
+// pin, the two counts, and the deadline budget.
+const probeFixedLen = 8 + 8 + 4 + 4 + 4
 
 // ErrFrame is returned for any malformed frame or handshake.
 var ErrFrame = errors.New("wire: malformed frame")
@@ -240,13 +248,18 @@ type ProbeReq struct {
 	Faults []int
 	Pairs  [][2]int
 	Key    uint64
+	// BudgetMS is the requester's remaining end-to-end deadline budget in
+	// milliseconds at send time (0 = no deadline). Servers shed with
+	// CodeUnavailable instead of serving past it.
+	BudgetMS uint32
 }
 
-// appendProbeLike appends one complete probe-layout frame (header +
-// payload) under the given opcode — the shared encoder behind AppendProbe,
-// AppendRoute, and AppendVProbe, which differ only in opcode and in what
-// the fault indices mean.
-func appendProbeLike(b []byte, op byte, id, genPin uint64, faults []int, pairs [][2]int) []byte {
+// AppendRequest appends one complete probe-layout request frame (header +
+// payload) under the given opcode — the shared encoder behind
+// AppendProbe, AppendRoute, and AppendVProbe, which differ only in opcode
+// and in what the fault indices mean. budgetMS is the remaining deadline
+// budget (0 = none).
+func AppendRequest(b []byte, op byte, id, genPin uint64, budgetMS uint32, faults []int, pairs [][2]int) []byte {
 	payload := probeFixedLen + 4*len(faults) + 8*len(pairs)
 	b = binary.LittleEndian.AppendUint32(b, uint32(payload))
 	b = append(b, op)
@@ -254,6 +267,7 @@ func appendProbeLike(b []byte, op byte, id, genPin uint64, faults []int, pairs [
 	b = binary.LittleEndian.AppendUint64(b, genPin)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(faults)))
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(pairs)))
+	b = binary.LittleEndian.AppendUint32(b, budgetMS)
 	for _, e := range faults {
 		b = binary.LittleEndian.AppendUint32(b, uint32(e))
 	}
@@ -269,21 +283,21 @@ func appendProbeLike(b []byte, op byte, id, genPin uint64, faults []int, pairs [
 // client guarantees by sorting and deduplicating once per call; the server
 // rejects non-canonical frames.
 func AppendProbe(b []byte, id, genPin uint64, faults []int, pairs [][2]int) []byte {
-	return appendProbeLike(b, OpProbe, id, genPin, faults, pairs)
+	return AppendRequest(b, OpProbe, id, genPin, 0, faults, pairs)
 }
 
 // AppendRoute appends one complete route-plan request frame. Same layout
 // and canonical-form rules as AppendProbe; the forbidden set is fault edge
 // indices and each pair is a (source, target) route query.
 func AppendRoute(b []byte, id, genPin uint64, faults []int, pairs [][2]int) []byte {
-	return appendProbeLike(b, OpRoute, id, genPin, faults, pairs)
+	return AppendRequest(b, OpRoute, id, genPin, 0, faults, pairs)
 }
 
 // AppendVProbe appends one complete vertex-fault probe frame. Same layout
 // and canonical-form rules as AppendProbe, except the fault indices are
 // vertex indices.
 func AppendVProbe(b []byte, id, genPin uint64, vertices []int, pairs [][2]int) []byte {
-	return appendProbeLike(b, OpVProbe, id, genPin, vertices, pairs)
+	return AppendRequest(b, OpVProbe, id, genPin, 0, vertices, pairs)
 }
 
 // decodeProbeLike decodes a probe-layout payload into req, hashing the
@@ -296,6 +310,7 @@ func decodeProbeLike(payload []byte, req *ProbeReq, seed uint64) error {
 	req.GenPin = binary.LittleEndian.Uint64(payload[8:])
 	nFaults := int(binary.LittleEndian.Uint32(payload[16:]))
 	nPairs := int(binary.LittleEndian.Uint32(payload[20:]))
+	req.BudgetMS = binary.LittleEndian.Uint32(payload[24:])
 	if want := probeFixedLen + 4*nFaults + 8*nPairs; nFaults < 0 || nPairs < 0 || want != len(payload) {
 		return fmt.Errorf("%w: probe counts disagree with payload length", ErrFrame)
 	}

@@ -191,3 +191,67 @@ func TestNoReconnectOption(t *testing.T) {
 		t.Fatal("NoReconnect client dialed")
 	}
 }
+
+// TestBackoffResetAfterRecovery is the flappy-link guard regression test:
+// the redial backoff persists per slot across sessions (a link that
+// accepts TCP but dies before answering must keep backing off, not hot
+// loop), yet a successful reconnect plus ONE completed exchange resets it
+// — so a crash after real recovery is redialed at the base cadence, not
+// at the previously grown backoff.
+func TestBackoffResetAfterRecovery(t *testing.T) {
+	_, addr, stop := testServer(t)
+	defer stop()
+	fl := newFlaky(t, addr)
+	cl, err := Dial(addr, Options{
+		Dialer:        fl.dialer(),
+		ReconnectBase: 25 * time.Millisecond,
+		ReconnectMax:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	pairs := [][2]int{{0, 5}}
+	if _, err := cl.Probe(nil, pairs); err != nil {
+		t.Fatalf("warm probe: %v", err)
+	}
+
+	// Grow the backoff well past base: with base 25ms, ~500ms down pushes
+	// the stored per-slot backoff to several hundred milliseconds.
+	fl.crash()
+	for {
+		if _, err := cl.Probe(nil, pairs); err != nil {
+			break
+		}
+	}
+	time.Sleep(500 * time.Millisecond)
+
+	fl.restore()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := cl.Probe(nil, pairs); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never recovered after restore")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The completed exchange must have reset the slot's backoff: the next
+	// crash gets its first redial attempt at ~base, not at the grown
+	// value (which by now would be >= 200ms).
+	dialsBefore := fl.dials.Load()
+	fl.crash()
+	start := time.Now()
+	deadline = time.Now().Add(2 * time.Second)
+	for fl.dials.Load() == dialsBefore {
+		if time.Now().After(deadline) {
+			t.Fatal("no redial attempt after second crash")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if d := time.Since(start); d > 150*time.Millisecond {
+		t.Fatalf("first redial after recovery took %v; backoff was not reset by the completed exchange", d)
+	}
+}

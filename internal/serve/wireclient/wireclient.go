@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/serve/wire"
 )
 
@@ -64,6 +65,12 @@ type Options struct {
 	// waits min(ReconnectBase·2ⁿ, ReconnectMax) ± 50% jitter. Defaults
 	// 10ms and 2s. NoReconnect disables redialing entirely (a dead slot
 	// stays dead), which is what short-lived test clients want.
+	//
+	// The backoff is per slot and persists across redial sessions: it only
+	// resets to ReconnectBase after a reconnected slot completes one
+	// exchange, so a flappy link (TCP accepts, then dies before answering
+	// anything) keeps walking toward ReconnectMax instead of hammering the
+	// server at ReconnectBase on every accept.
 	ReconnectBase time.Duration
 	ReconnectMax  time.Duration
 	NoReconnect   bool
@@ -127,6 +134,10 @@ type conn struct {
 	// onDead, when set, runs exactly once as the connection is poisoned —
 	// the slot's hook that schedules the redial.
 	onDead func()
+	// alive latches on the first response delivered on this connection;
+	// its rising edge fires onAlive — the slot's backoff reset.
+	alive   atomic.Bool
+	onAlive func()
 }
 
 // slot is one position in the connection pool: the live connection (nil
@@ -137,6 +148,12 @@ type slot struct {
 	// redialing guards against stacking redial goroutines when the dead
 	// hook and a probing caller race.
 	redialing atomic.Bool
+	// backoff carries the redial backoff (nanoseconds) across redial
+	// sessions; 0 means "start from ReconnectBase". It is only reset by a
+	// reconnected connection completing one exchange (conn.onAlive), so a
+	// link that flaps between accept and first answer cannot collapse the
+	// backoff back to base.
+	backoff atomic.Int64
 }
 
 // Client is a pool of pipelined connections to one server.
@@ -207,6 +224,7 @@ func (cl *Client) connect(sl *slot) (*conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	c = faultinject.WrapConn("wireclient.conn", c)
 	if _, err := c.Write(wire.AppendClientHello(nil)); err != nil {
 		c.Close()
 		return nil, err
@@ -230,6 +248,7 @@ func (cl *Client) connect(sl *slot) (*conn, error) {
 		pending: make(chan *call, cl.opts.Inflight),
 		dead:    make(chan struct{}),
 		onDead:  func() { cl.scheduleRedial(sl) },
+		onAlive: func() { sl.backoff.Store(0) },
 	}
 	go cn.readLoop()
 	return cn, nil
@@ -255,8 +274,32 @@ func (cl *Client) scheduleRedial(sl *slot) {
 	go func() {
 		defer cl.wg.Done()
 		defer sl.redialing.Store(false)
-		backoff := cl.opts.ReconnectBase
 		for !cl.closed.Load() {
+			// The slot's backoff persists across redial sessions and gates
+			// the dial attempt itself (not just failed dials): a flappy link
+			// — TCP accept, then death before a single answered frame —
+			// produces a chain of "successful" dials that each enter a new
+			// session, and only the sleep here keeps that chain walking
+			// toward ReconnectMax. The backoff resets to zero on the first
+			// completed exchange (conn.onAlive), so a healthy link that dies
+			// redials immediately.
+			backoff := time.Duration(sl.backoff.Load())
+			if backoff > 0 {
+				// Capped exponential backoff ± 50% jitter, so a restarted
+				// server is not greeted by synchronized redial storms.
+				time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff))))
+				if cl.closed.Load() {
+					return
+				}
+			}
+			next := backoff * 2
+			if next < cl.opts.ReconnectBase {
+				next = cl.opts.ReconnectBase
+			}
+			if next > cl.opts.ReconnectMax {
+				next = cl.opts.ReconnectMax
+			}
+			sl.backoff.Store(int64(next))
 			cn, err := cl.connect(sl)
 			if err == nil {
 				if cl.closed.Load() {
@@ -265,16 +308,6 @@ func (cl *Client) scheduleRedial(sl *slot) {
 				}
 				sl.cur.Store(cn)
 				return
-			}
-			// Capped exponential backoff ± 50% jitter, so a restarted
-			// server is not greeted by synchronized redial storms.
-			sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
-			time.Sleep(sleep)
-			if backoff < cl.opts.ReconnectMax {
-				backoff *= 2
-				if backoff > cl.opts.ReconnectMax {
-					backoff = cl.opts.ReconnectMax
-				}
 			}
 		}
 	}()
@@ -353,7 +386,15 @@ func (cl *Client) Probe(faultEdges []int, pairs [][2]int) ([]bool, error) {
 // its generation differs — the edge-index stability contract of the JSON
 // surface, kept identical here.
 func (cl *Client) ProbeInto(faultEdges []int, pairs [][2]int, out []bool, genPin uint64) ([]bool, bool, uint64, error) {
-	ca, err := cl.exchange(wire.OpProbe, faultEdges, pairs, out, nil, genPin)
+	return cl.ProbeIntoBudget(faultEdges, pairs, out, genPin, 0)
+}
+
+// ProbeIntoBudget is ProbeInto carrying a deadline budget: the remaining
+// end-to-end time the caller is willing to wait, shipped in the frame so
+// an overloaded server sheds the request (wire.CodeUnavailable) instead
+// of serving it past its usefulness. Zero means no deadline.
+func (cl *Client) ProbeIntoBudget(faultEdges []int, pairs [][2]int, out []bool, genPin uint64, budget time.Duration) ([]bool, bool, uint64, error) {
+	ca, err := cl.exchange(wire.OpProbe, faultEdges, pairs, out, nil, genPin, budget)
 	if err != nil {
 		return out, false, 0, err
 	}
@@ -377,7 +418,13 @@ func (cl *Client) VProbe(faultVertices []int, pairs [][2]int) ([]bool, bool, err
 // VProbeInto is VProbe with the answer slice and generation pin under
 // caller control, mirroring ProbeInto.
 func (cl *Client) VProbeInto(faultVertices []int, pairs [][2]int, out []bool, genPin uint64) ([]bool, bool, bool, uint64, error) {
-	ca, err := cl.exchange(wire.OpVProbe, faultVertices, pairs, out, nil, genPin)
+	return cl.VProbeIntoBudget(faultVertices, pairs, out, genPin, 0)
+}
+
+// VProbeIntoBudget is VProbeInto with a deadline budget (see
+// ProbeIntoBudget).
+func (cl *Client) VProbeIntoBudget(faultVertices []int, pairs [][2]int, out []bool, genPin uint64, budget time.Duration) ([]bool, bool, bool, uint64, error) {
+	ca, err := cl.exchange(wire.OpVProbe, faultVertices, pairs, out, nil, genPin, budget)
 	if err != nil {
 		return out, false, false, 0, err
 	}
@@ -395,7 +442,12 @@ func (cl *Client) VProbeInto(faultVertices []int, pairs [][2]int, out []bool, ge
 // and is how a caller keeps a plan's edge indices pinned to the
 // generation it resolved them against.
 func (cl *Client) Route(faultEdges []int, pairs [][2]int, resp *wire.RouteResp, genPin uint64) error {
-	ca, err := cl.exchange(wire.OpRoute, faultEdges, pairs, nil, resp, genPin)
+	return cl.RouteBudget(faultEdges, pairs, resp, genPin, 0)
+}
+
+// RouteBudget is Route with a deadline budget (see ProbeIntoBudget).
+func (cl *Client) RouteBudget(faultEdges []int, pairs [][2]int, resp *wire.RouteResp, genPin uint64, budget time.Duration) error {
+	ca, err := cl.exchange(wire.OpRoute, faultEdges, pairs, nil, resp, genPin, budget)
 	if err != nil {
 		return err
 	}
@@ -417,10 +469,17 @@ func putCall(ca *call) {
 // the reader's handoff. On success the returned call holds the decoded
 // result (and ca.err the server's verdict); the caller extracts what it
 // needs and recycles the call via putCall.
-func (cl *Client) exchange(op byte, faults []int, pairs [][2]int, out []bool, routeDst *wire.RouteResp, genPin uint64) (*call, error) {
+func (cl *Client) exchange(op byte, faults []int, pairs [][2]int, out []bool, routeDst *wire.RouteResp, genPin uint64, budget time.Duration) (*call, error) {
 	cn, err := cl.pick()
 	if err != nil {
 		return nil, err
+	}
+	var budgetMS uint32
+	if budget > 0 {
+		budgetMS = uint32(budget / time.Millisecond)
+		if budgetMS == 0 {
+			budgetMS = 1
+		}
 	}
 	ca := callPool.Get().(*call)
 	ca.dst = out
@@ -443,14 +502,7 @@ func (cl *Client) exchange(op byte, faults []int, pairs [][2]int, out []bool, ro
 	cn.wmu.Lock()
 	cn.nextID++
 	ca.id = cn.nextID
-	switch op {
-	case wire.OpRoute:
-		ca.frame = wire.AppendRoute(ca.frame[:0], ca.id, genPin, ca.canon, pairs)
-	case wire.OpVProbe:
-		ca.frame = wire.AppendVProbe(ca.frame[:0], ca.id, genPin, ca.canon, pairs)
-	default:
-		ca.frame = wire.AppendProbe(ca.frame[:0], ca.id, genPin, ca.canon, pairs)
-	}
+	ca.frame = wire.AppendRequest(ca.frame[:0], op, ca.id, genPin, budgetMS, ca.canon, pairs)
 	// Enqueue before the bytes hit the wire so the reader's FIFO matches
 	// wire order; blocking here (Inflight reached) holds wmu, which is
 	// safe — the reader drains pending without ever taking wmu.
@@ -549,6 +601,15 @@ func (cn *conn) readLoop() {
 		// afterwards.
 		ferr := ca.err
 		ca.done <- struct{}{}
+		// Any cleanly framed response — including a server-reported error —
+		// proves the link completed a full exchange: reset the slot's redial
+		// backoff (the flappy-link guard only trips links that never get
+		// this far).
+		if ferr == nil || !errors.Is(ferr, wire.ErrFrame) {
+			if cn.onAlive != nil && cn.alive.CompareAndSwap(false, true) {
+				cn.onAlive()
+			}
+		}
 		if ferr != nil && errors.Is(ferr, wire.ErrFrame) {
 			// A framing-level failure means the stream cannot be trusted
 			// (pipeline desync, undecodable response) — drop the connection.
